@@ -1,0 +1,261 @@
+package tcsim
+
+import (
+	"fmt"
+
+	"tcsim/internal/asm"
+	"tcsim/internal/core"
+	"tcsim/internal/experiments"
+	"tcsim/internal/pipeline"
+	"tcsim/internal/workload"
+)
+
+// Options selects the fill unit's dynamic trace optimizations.
+type Options struct {
+	Moves      bool // mark register moves; executed inside rename (paper §4.2)
+	Reassoc    bool // combine immediates of dependent ADDIs (paper §4.3)
+	ScaledAdds bool // collapse short shift + add/load/store pairs (paper §4.4)
+	Placement  bool // cluster-aware issue-slot assignment (paper §4.5)
+
+	// DeadWriteElim is the extension the paper's conclusion proposes
+	// (dead code elimination in the fill unit); experimental and not part
+	// of AllOptions.
+	DeadWriteElim bool
+}
+
+// AllOptions enables every optimization (the paper's combined
+// configuration).
+func AllOptions() Options {
+	return Options{Moves: true, Reassoc: true, ScaledAdds: true, Placement: true}
+}
+
+// Config describes one simulated machine. Zero values select the
+// paper's baseline; construct with DefaultConfig and override fields.
+type Config struct {
+	// Opt selects the fill-unit optimizations (all off = baseline).
+	Opt Options
+	// FillLatency is the fill pipeline depth in cycles (paper: 1/5/10).
+	FillLatency int
+	// TracePacking packs instructions across block boundaries (default on).
+	TracePacking bool
+	// Promotion embeds static predictions for strongly biased branches
+	// (default on).
+	Promotion bool
+	// InactiveIssue issues non-predicted trace-line blocks inactively
+	// (default on).
+	InactiveIssue bool
+	// UseTraceCache enables the trace cache front end (default on;
+	// disable for the instruction-cache-only ablation).
+	UseTraceCache bool
+	// Clusters x FUsPerCluster organizes the 16 functional units
+	// (paper: 4 x 4).
+	Clusters      int
+	FUsPerCluster int
+	// MaxInsts stops the simulation after this many retired
+	// instructions (0 = run until the program halts).
+	MaxInsts uint64
+	// MaxCycles aborts a non-halting simulation (0 = a very large bound).
+	MaxCycles uint64
+}
+
+// DefaultConfig returns the paper's baseline machine with no fill-unit
+// optimizations enabled.
+func DefaultConfig() Config {
+	return Config{
+		FillLatency:   1,
+		TracePacking:  true,
+		Promotion:     true,
+		InactiveIssue: true,
+		UseTraceCache: true,
+		Clusters:      4,
+		FUsPerCluster: 4,
+	}
+}
+
+func (c Config) pipelineConfig() pipeline.Config {
+	pc := pipeline.DefaultConfig()
+	pc.Fill.Opt = core.Optimizations(c.Opt)
+	if c.FillLatency > 0 {
+		pc.Fill.FillLatency = c.FillLatency
+	}
+	pc.Fill.TracePacking = c.TracePacking
+	pc.Fill.Promotion = c.Promotion
+	pc.InactiveIssue = c.InactiveIssue
+	pc.UseTraceCache = c.UseTraceCache
+	if c.Clusters > 0 {
+		pc.Exec.Clusters = c.Clusters
+		pc.Fill.Clusters = c.Clusters
+	}
+	if c.FUsPerCluster > 0 {
+		pc.Exec.FUsPerCluster = c.FUsPerCluster
+		pc.Fill.FUsPerCluster = c.FUsPerCluster
+	}
+	pc.MaxInsts = c.MaxInsts
+	if c.MaxCycles > 0 {
+		pc.MaxCycles = c.MaxCycles
+	}
+	return pc
+}
+
+// Program is a loadable TCR executable.
+type Program struct {
+	p *asm.Program
+}
+
+// Assemble builds a Program from TCR assembly text (see internal/asm for
+// the syntax: MIPS-flavored, with .data/.text sections and label-based
+// control flow).
+func Assemble(source string) (*Program, error) {
+	p, err := asm.AssembleText(source)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{p: p}, nil
+}
+
+// Listing disassembles the program with symbol annotations.
+func (p *Program) Listing() string { return p.p.Listing() }
+
+// Result is what one simulation run produced.
+type Result struct {
+	IPC     float64
+	Cycles  uint64
+	Retired uint64
+
+	TraceCacheHitRate float64
+	MispredictRate    float64
+	BypassDelayRate   float64 // fraction of eligible instructions delayed by cross-cluster bypass (Fig 7)
+
+	// Fill-unit transformation coverage at retirement (Table 2).
+	MovesPct, ReassocPct, ScaledPct, OptimizedPct float64
+
+	// Output is the program's OUT byte stream.
+	Output []byte
+}
+
+func resultFrom(st pipeline.Stats, out []byte) Result {
+	pct := func(n uint64) float64 {
+		if st.Retired == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(st.Retired)
+	}
+	return Result{
+		IPC:               st.IPC,
+		Cycles:            st.Cycles,
+		Retired:           st.Retired,
+		TraceCacheHitRate: st.TCHitRate,
+		MispredictRate:    st.MispredictRate,
+		BypassDelayRate:   st.BypassDelayRate(),
+		MovesPct:          pct(st.RetiredMoves),
+		ReassocPct:        pct(st.RetiredReassoc),
+		ScaledPct:         pct(st.RetiredScaled),
+		OptimizedPct:      pct(st.RetiredAnyOpt),
+		Output:            out,
+	}
+}
+
+// Run simulates a program on the configured machine.
+func Run(cfg Config, prog *Program) (Result, error) {
+	sim, err := pipeline.New(cfg.pipelineConfig(), prog.p)
+	if err != nil {
+		return Result{}, err
+	}
+	st, err := sim.Run()
+	if err != nil {
+		return Result{}, err
+	}
+	return resultFrom(st, sim.Output()), nil
+}
+
+// Workloads lists the bundled benchmark names in the paper's Table 1
+// order.
+func Workloads() []string { return workload.Names() }
+
+// BuildWorkload constructs one of the bundled benchmark programs.
+func BuildWorkload(name string) (*Program, error) {
+	w, ok := workload.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("tcsim: unknown workload %q (have %v)", name, workload.Names())
+	}
+	return &Program{p: w.Build()}, nil
+}
+
+// RunWorkload builds and runs a bundled benchmark. When cfg.MaxInsts is
+// zero the workload's default instruction budget applies.
+func RunWorkload(cfg Config, name string) (Result, error) {
+	w, ok := workload.ByName(name)
+	if !ok {
+		return Result{}, fmt.Errorf("tcsim: unknown workload %q", name)
+	}
+	if cfg.MaxInsts == 0 {
+		cfg.MaxInsts = w.DefaultInsts
+	}
+	return Run(cfg, &Program{p: w.Build()})
+}
+
+// ReproduceFigure regenerates one of the paper's tables or figures and
+// returns it formatted. Valid ids: "table1", "fig3", "fig4", "fig5",
+// "fig6", "fig7", "fig8", "table2", "ablations". insts bounds each
+// simulation (0 = the workloads' defaults).
+func ReproduceFigure(id string, insts uint64) (string, error) {
+	r := experiments.NewRunner(insts)
+	switch id {
+	case "table1":
+		return experiments.FormatTable1(insts), nil
+	case "fig3":
+		f, err := r.Figure3()
+		if err != nil {
+			return "", err
+		}
+		return f.Format(), nil
+	case "fig4":
+		f, err := r.Figure4()
+		if err != nil {
+			return "", err
+		}
+		return f.Format(), nil
+	case "fig5":
+		f, err := r.Figure5()
+		if err != nil {
+			return "", err
+		}
+		return f.Format(), nil
+	case "fig6":
+		f, err := r.Figure6()
+		if err != nil {
+			return "", err
+		}
+		return f.Format(), nil
+	case "fig7":
+		f, err := r.Figure7()
+		if err != nil {
+			return "", err
+		}
+		return f.Format(), nil
+	case "fig8":
+		f, err := r.Figure8()
+		if err != nil {
+			return "", err
+		}
+		return f.Format(), nil
+	case "table2":
+		t, err := r.Table2()
+		if err != nil {
+			return "", err
+		}
+		return t.Format(), nil
+	case "ablations":
+		a, err := r.Ablations()
+		if err != nil {
+			return "", err
+		}
+		return a.Format(r.WorkloadNames()), nil
+	}
+	return "", fmt.Errorf("tcsim: unknown experiment %q", id)
+}
+
+// ExperimentIDs lists every reproducible table/figure id.
+func ExperimentIDs() []string {
+	return []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table2", "ablations"}
+}

@@ -1,0 +1,129 @@
+package tcsim_test
+
+import (
+	"strings"
+	"testing"
+
+	"tcsim"
+)
+
+func TestWorkloadsList(t *testing.T) {
+	ws := tcsim.Workloads()
+	if len(ws) != 15 {
+		t.Fatalf("workloads = %d, want 15", len(ws))
+	}
+	if ws[0] != "compress" || ws[14] != "tex" {
+		t.Errorf("order wrong: %v", ws)
+	}
+}
+
+func TestRunWorkload(t *testing.T) {
+	cfg := tcsim.DefaultConfig()
+	cfg.MaxInsts = 10_000
+	r, err := tcsim.RunWorkload(cfg, "compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Retired != 10_000 || r.IPC <= 0 {
+		t.Errorf("result = %+v", r)
+	}
+	if _, err := tcsim.RunWorkload(cfg, "bogus"); err == nil {
+		t.Error("unknown workload should fail")
+	}
+}
+
+func TestBuildWorkload(t *testing.T) {
+	p, err := tcsim.BuildWorkload("m88ksim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.Listing(), "main:") {
+		t.Error("listing missing main")
+	}
+	if _, err := tcsim.BuildWorkload("bogus"); err == nil {
+		t.Error("unknown workload should fail")
+	}
+}
+
+const apiTestProgram = `
+main:
+    li   t0, 64
+    li   s0, 0
+loop:
+    move t1, t0
+    add  s0, s0, t1
+    addi t0, t0, -1
+    bgtz t0, loop
+    halt
+`
+
+func TestAssembleAndRun(t *testing.T) {
+	p, err := tcsim.Assemble(apiTestProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := tcsim.Run(tcsim.DefaultConfig(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 + 64*4 + 1 instructions.
+	if r.Retired != 2+64*4+1 {
+		t.Errorf("retired = %d", r.Retired)
+	}
+	if _, err := tcsim.Assemble("bogus instruction"); err == nil {
+		t.Error("bad source should fail")
+	}
+}
+
+func TestOptionsChangeResults(t *testing.T) {
+	p, err := tcsim.Assemble(apiTestProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tcsim.DefaultConfig()
+	cfg.Opt = tcsim.AllOptions()
+	r, err := tcsim.Run(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MovesPct == 0 {
+		t.Error("the move in the loop should be marked")
+	}
+	if r.OptimizedPct < r.MovesPct {
+		t.Error("optimized% must cover moves%")
+	}
+}
+
+func TestConfigKnobs(t *testing.T) {
+	p, _ := tcsim.Assemble(apiTestProgram)
+	cfg := tcsim.DefaultConfig()
+	cfg.UseTraceCache = false
+	r, err := tcsim.Run(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TraceCacheHitRate != 0 {
+		t.Error("trace cache used despite being disabled")
+	}
+	cfg = tcsim.DefaultConfig()
+	cfg.Clusters, cfg.FUsPerCluster = 1, 16
+	if _, err := tcsim.Run(cfg, p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReproduceFigureIDs(t *testing.T) {
+	if len(tcsim.ExperimentIDs()) != 9 {
+		t.Fatalf("ids = %v", tcsim.ExperimentIDs())
+	}
+	out, err := tcsim.ReproduceFigure("table1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "compress") {
+		t.Error("table1 output incomplete")
+	}
+	if _, err := tcsim.ReproduceFigure("fig99", 0); err == nil {
+		t.Error("unknown figure should fail")
+	}
+}

@@ -1,0 +1,154 @@
+package tcsim_test
+
+import (
+	"testing"
+
+	"tcsim"
+	"tcsim/internal/experiments"
+	"tcsim/internal/workload"
+)
+
+// benchInsts bounds each simulation inside the benchmark harness. The
+// figures stabilize by ~50k retired instructions per run; cmd/tcexp
+// defaults to 200k for reported numbers.
+const benchInsts = 50_000
+
+// BenchmarkTable1Workloads measures raw simulation throughput over every
+// bundled benchmark on the baseline machine — the roster of paper
+// Table 1. The reported metric is simulated instructions per wall
+// second, plus each workload's IPC.
+func BenchmarkTable1Workloads(b *testing.B) {
+	for _, name := range tcsim.Workloads() {
+		b.Run(name, func(b *testing.B) {
+			cfg := tcsim.DefaultConfig()
+			cfg.MaxInsts = benchInsts
+			var lastIPC float64
+			var insts uint64
+			for i := 0; i < b.N; i++ {
+				r, err := tcsim.RunWorkload(cfg, name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lastIPC = r.IPC
+				insts += r.Retired
+			}
+			b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "sim-inst/s")
+			b.ReportMetric(lastIPC, "IPC")
+		})
+	}
+}
+
+// benchImprovement runs baseline vs. one optimization over the full
+// suite and reports the mean IPC improvement — the figure's headline
+// number.
+func benchImprovement(b *testing.B, fig func(r *experiments.Runner) (*experiments.FigureResult, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchInsts)
+		r.Parallel = 4
+		res, err := fig(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.AvgPct, "avg-improvement-%")
+		b.ReportMetric(res.PaperAvg, "paper-%")
+	}
+}
+
+// BenchmarkFig3RegisterMoves regenerates Figure 3: the IPC improvement
+// from executing marked register moves in rename (paper average ~5%).
+func BenchmarkFig3RegisterMoves(b *testing.B) {
+	benchImprovement(b, (*experiments.Runner).Figure3)
+}
+
+// BenchmarkFig4Reassociation regenerates Figure 4: the IPC improvement
+// from cross-block reassociation (paper: 1-2% for most, 23% for m88ksim
+// and chess).
+func BenchmarkFig4Reassociation(b *testing.B) {
+	benchImprovement(b, (*experiments.Runner).Figure4)
+}
+
+// BenchmarkFig5ScaledAdds regenerates Figure 5: the IPC improvement from
+// collapsing shift+add pairs (paper average 3.7%).
+func BenchmarkFig5ScaledAdds(b *testing.B) {
+	benchImprovement(b, (*experiments.Runner).Figure5)
+}
+
+// BenchmarkFig6Placement regenerates Figure 6: the IPC improvement from
+// cluster-aware instruction placement (paper average 5%).
+func BenchmarkFig6Placement(b *testing.B) {
+	benchImprovement(b, (*experiments.Runner).Figure6)
+}
+
+// BenchmarkFig7BypassDelays regenerates Figure 7: the fraction of
+// instructions whose last-arriving operand crossed clusters, baseline
+// vs. placement (paper: 35% -> 29%).
+func BenchmarkFig7BypassDelays(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchInsts)
+		r.Parallel = 4
+		res, err := r.Figure7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.BaseAvg, "baseline-delayed-%")
+		b.ReportMetric(res.PlaceAvg, "placement-delayed-%")
+	}
+}
+
+// BenchmarkFig8Combined regenerates Figure 8: all four optimizations
+// together across 1/5/10-cycle fill units (paper: ~18% average, and
+// latency-insensitive).
+func BenchmarkFig8Combined(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchInsts)
+		r.Parallel = 4
+		res, err := r.Figure8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.AvgPct, "avg-improvement-%")
+	}
+}
+
+// BenchmarkTable2Coverage regenerates Table 2: the percentage of retired
+// instructions the fill unit transformed (paper average ~13%).
+func BenchmarkTable2Coverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchInsts)
+		r.Parallel = 4
+		res, err := r.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.AvgTotal, "avg-transformed-%")
+	}
+}
+
+// BenchmarkAblations measures the design-choice ablations DESIGN.md
+// calls out (promotion, packing, inactive issue, the trace cache itself,
+// cluster organization) on a three-benchmark subset.
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchInsts)
+		r.Workloads = []string{"compress", "m88ksim", "ijpeg"}
+		r.Parallel = 4
+		if _, err := r.Ablations(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFillUnitOnly isolates the fill unit itself (no pipeline): how
+// fast segment construction plus all four optimization passes run over a
+// retired instruction stream.
+func BenchmarkFillUnitOnly(b *testing.B) {
+	w, _ := workload.ByName("m88ksim")
+	prog := w.Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.FillOnly(prog, 50_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

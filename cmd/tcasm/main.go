@@ -1,0 +1,76 @@
+// Command tcasm is the TCR toolchain driver: it assembles programs,
+// prints disassembly listings, runs programs on the functional emulator,
+// and dumps the bundled workloads' listings.
+//
+// Usage:
+//
+//	tcasm -in prog.s -listing          # assemble + disassemble
+//	tcasm -in prog.s -run -max 100000  # assemble + emulate
+//	tcasm -workload m88ksim -listing   # dump a bundled workload
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tcsim/internal/asm"
+	"tcsim/internal/emu"
+	"tcsim/internal/workload"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "TCR assembly source file")
+		wl      = flag.String("workload", "", "bundled workload to operate on instead of -in")
+		listing = flag.Bool("listing", false, "print the disassembly listing")
+		run     = flag.Bool("run", false, "execute on the functional emulator")
+		maxIns  = flag.Uint64("max", 10_000_000, "emulation step budget")
+	)
+	flag.Parse()
+
+	var prog *asm.Program
+	switch {
+	case *in != "" && *wl != "":
+		fatalf("pass either -in or -workload, not both")
+	case *in != "":
+		src, err := os.ReadFile(*in)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		prog, err = asm.AssembleText(string(src))
+		if err != nil {
+			fatalf("%v", err)
+		}
+	case *wl != "":
+		w, ok := workload.ByName(*wl)
+		if !ok {
+			fatalf("unknown workload %q", *wl)
+		}
+		prog = w.Build()
+	default:
+		fatalf("pass -in <file.s> or -workload <name>")
+	}
+
+	fmt.Printf("text: %d instructions, data: %d bytes, entry %#x\n",
+		len(prog.Text), len(prog.Data), prog.Entry)
+	if *listing {
+		fmt.Print(prog.Listing())
+	}
+	if *run {
+		m := emu.New(prog)
+		steps, err := m.Run(*maxIns)
+		if err != nil {
+			fatalf("emulation: %v", err)
+		}
+		fmt.Printf("halted after %d instructions\n", steps)
+		if len(m.Output) > 0 {
+			fmt.Printf("output: %q\n", m.Output)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tcasm: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,37 @@
+// Command tcexp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	tcexp -exp fig8 -insts 200000
+//	tcexp -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tcsim"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id: "+strings.Join(tcsim.ExperimentIDs(), ", ")+", or 'all'")
+		insts = flag.Uint64("insts", 200_000, "retired-instruction budget per simulation (0 = workload defaults)")
+	)
+	flag.Parse()
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = tcsim.ExperimentIDs()
+	}
+	for _, id := range ids {
+		out, err := tcsim.ReproduceFigure(id, *insts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tcexp: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+}

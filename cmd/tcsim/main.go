@@ -1,0 +1,115 @@
+// Command tcsim runs one benchmark (or a TCR assembly file) on one
+// machine configuration and prints the run's statistics.
+//
+// Usage:
+//
+//	tcsim -workload m88ksim -insts 300000 -opt all
+//	tcsim -asm prog.s -opt moves,place
+//	tcsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tcsim"
+)
+
+func main() {
+	var (
+		wl       = flag.String("workload", "", "bundled benchmark to run (see -list)")
+		asmFile  = flag.String("asm", "", "TCR assembly file to assemble and run")
+		insts    = flag.Uint64("insts", 0, "retired-instruction budget (0 = workload default / run to halt)")
+		opts     = flag.String("opt", "", "fill-unit optimizations: comma list of moves,reassoc,scadd,place, or 'all'")
+		fillLat  = flag.Int("fill-latency", 1, "fill unit latency in cycles")
+		noTC     = flag.Bool("no-tcache", false, "disable the trace cache (instruction-cache front end only)")
+		noPack   = flag.Bool("no-packing", false, "disable trace packing")
+		noProm   = flag.Bool("no-promotion", false, "disable branch promotion")
+		noInact  = flag.Bool("no-inactive", false, "disable inactive issue")
+		clusters = flag.Int("clusters", 4, "execution clusters")
+		fus      = flag.Int("fus-per-cluster", 4, "functional units per cluster")
+		list     = flag.Bool("list", false, "list bundled workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range tcsim.Workloads() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	cfg := tcsim.DefaultConfig()
+	cfg.MaxInsts = *insts
+	cfg.FillLatency = *fillLat
+	cfg.UseTraceCache = !*noTC
+	cfg.TracePacking = !*noPack
+	cfg.Promotion = !*noProm
+	cfg.InactiveIssue = !*noInact
+	cfg.Clusters = *clusters
+	cfg.FUsPerCluster = *fus
+	for _, o := range strings.Split(*opts, ",") {
+		switch strings.TrimSpace(o) {
+		case "":
+		case "all":
+			cfg.Opt = tcsim.AllOptions()
+		case "moves":
+			cfg.Opt.Moves = true
+		case "reassoc":
+			cfg.Opt.Reassoc = true
+		case "scadd":
+			cfg.Opt.ScaledAdds = true
+		case "place":
+			cfg.Opt.Placement = true
+		default:
+			fatalf("unknown optimization %q", o)
+		}
+	}
+
+	var (
+		res tcsim.Result
+		err error
+	)
+	switch {
+	case *wl != "" && *asmFile != "":
+		fatalf("pass either -workload or -asm, not both")
+	case *wl != "":
+		res, err = tcsim.RunWorkload(cfg, *wl)
+	case *asmFile != "":
+		src, rerr := os.ReadFile(*asmFile)
+		if rerr != nil {
+			fatalf("%v", rerr)
+		}
+		prog, aerr := tcsim.Assemble(string(src))
+		if aerr != nil {
+			fatalf("%v", aerr)
+		}
+		res, err = tcsim.Run(cfg, prog)
+	default:
+		fatalf("pass -workload <name> or -asm <file> (or -list)")
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Printf("IPC                 %.4f\n", res.IPC)
+	fmt.Printf("cycles              %d\n", res.Cycles)
+	fmt.Printf("retired             %d\n", res.Retired)
+	fmt.Printf("trace cache hit     %.2f%%\n", 100*res.TraceCacheHitRate)
+	fmt.Printf("mispredict rate     %.2f%%\n", 100*res.MispredictRate)
+	fmt.Printf("bypass delayed      %.2f%%\n", 100*res.BypassDelayRate)
+	fmt.Printf("moves marked        %.2f%%\n", res.MovesPct)
+	fmt.Printf("reassociated        %.2f%%\n", res.ReassocPct)
+	fmt.Printf("scaled ops          %.2f%%\n", res.ScaledPct)
+	fmt.Printf("any transformation  %.2f%%\n", res.OptimizedPct)
+	if len(res.Output) > 0 {
+		fmt.Printf("program output      %q\n", res.Output)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tcsim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,62 @@
+// Optsweep: measure each fill-unit optimization's individual
+// contribution on a set of benchmarks — a miniature of the paper's
+// Figures 3 through 6.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tcsim"
+)
+
+func main() {
+	benchmarks := []string{"compress", "m88ksim", "chess", "ijpeg", "vortex"}
+	variants := []struct {
+		name string
+		opt  tcsim.Options
+	}{
+		{"moves (Fig 3)", tcsim.Options{Moves: true}},
+		{"reassociation (Fig 4)", tcsim.Options{Reassoc: true}},
+		{"scaled adds (Fig 5)", tcsim.Options{ScaledAdds: true}},
+		{"placement (Fig 6)", tcsim.Options{Placement: true}},
+		{"combined (Fig 8)", tcsim.AllOptions()},
+	}
+
+	cfg := tcsim.DefaultConfig()
+	cfg.MaxInsts = 80_000
+
+	fmt.Printf("%-22s", "optimization")
+	for _, b := range benchmarks {
+		fmt.Printf(" %10s", b)
+	}
+	fmt.Println()
+
+	base := map[string]float64{}
+	for _, b := range benchmarks {
+		r, err := tcsim.RunWorkload(cfg, b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base[b] = r.IPC
+	}
+	fmt.Printf("%-22s", "baseline IPC")
+	for _, b := range benchmarks {
+		fmt.Printf(" %10.3f", base[b])
+	}
+	fmt.Println()
+
+	for _, v := range variants {
+		c := cfg
+		c.Opt = v.opt
+		fmt.Printf("%-22s", v.name)
+		for _, b := range benchmarks {
+			r, err := tcsim.RunWorkload(c, b)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %+9.2f%%", 100*(r.IPC-base[b])/base[b])
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,3 @@
+module tcsim
+
+go 1.22

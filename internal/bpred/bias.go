@@ -1,0 +1,84 @@
+package bpred
+
+// BiasTable tracks, per static branch, how many consecutive times the
+// branch went the same direction. When the run reaches the promotion
+// threshold the branch is *promoted*: the fill unit embeds a static
+// prediction in trace segments instead of consuming a dynamic predictor
+// slot (Patel et al., ISCA-25; used as this paper's baseline). A
+// misprediction of a promoted branch demotes it.
+type biasEntry struct {
+	dir   bool
+	count int
+	valid bool
+}
+
+// BiasTable is direct-mapped by branch address.
+type BiasTable struct {
+	entries []biasEntry
+	mask    uint32
+	thresh  int
+
+	Promotions uint64 // times a branch crossed the threshold
+	Demotions  uint64 // times a promoted branch was demoted
+}
+
+// NewBiasTable builds a table with a power-of-two entry count and the
+// given promotion threshold.
+func NewBiasTable(entries, thresh int) *BiasTable {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("bpred: bias table entries must be a positive power of two")
+	}
+	return &BiasTable{entries: make([]biasEntry, entries), mask: uint32(entries - 1), thresh: thresh}
+}
+
+func (b *BiasTable) slot(pc uint32) *biasEntry { return &b.entries[(pc>>2)&b.mask] }
+
+// Observe records a retired conditional branch outcome and reports
+// whether the branch is promoted after the update.
+func (b *BiasTable) Observe(pc uint32, taken bool) bool {
+	e := b.slot(pc)
+	if !e.valid || e.dir != taken {
+		if e.valid && e.count >= b.thresh {
+			b.Demotions++
+		}
+		*e = biasEntry{dir: taken, count: 1, valid: true}
+		return false
+	}
+	if e.count < b.thresh {
+		e.count++
+		if e.count == b.thresh {
+			b.Promotions++
+		}
+	}
+	return e.count >= b.thresh
+}
+
+// Promoted reports whether the branch at pc is currently promoted, and
+// if so its static direction.
+func (b *BiasTable) Promoted(pc uint32) (dir bool, ok bool) {
+	e := b.slot(pc)
+	if e.valid && e.count >= b.thresh {
+		return e.dir, true
+	}
+	return false, false
+}
+
+// Demote resets the entry after a promoted branch mispredicts.
+func (b *BiasTable) Demote(pc uint32) {
+	e := b.slot(pc)
+	if e.valid && e.count >= b.thresh {
+		b.Demotions++
+	}
+	*e = biasEntry{}
+}
+
+// Threshold returns the promotion threshold.
+func (b *BiasTable) Threshold() int { return b.thresh }
+
+// Reset clears the table.
+func (b *BiasTable) Reset() {
+	for i := range b.entries {
+		b.entries[i] = biasEntry{}
+	}
+	b.Promotions, b.Demotions = 0, 0
+}

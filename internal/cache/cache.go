@@ -1,0 +1,173 @@
+// Package cache models the simulator's memory hierarchy: a generic
+// set-associative cache with true-LRU replacement and the three-level
+// hierarchy the paper configures (4KB 4-way L1 instruction cache, 64KB
+// 4-way L1 data cache, 1MB unified L2 at 6 cycles, memory at 50 cycles,
+// no bus contention).
+package cache
+
+import "fmt"
+
+// Cache is a set-associative cache with true LRU replacement. It tracks
+// tags only (the simulator never needs cached data — values come from the
+// functional oracle), which matches how timing simulators model caches.
+type Cache struct {
+	name      string
+	sets      int
+	ways      int
+	lineBytes int
+
+	lineShift uint
+	setMask   uint32
+
+	tag   [][]uint32 // [set][way]
+	valid [][]bool
+	dirty [][]bool
+	lru   [][]uint64 // larger = more recently used
+	clock uint64
+
+	Hits   uint64
+	Misses uint64
+}
+
+// New constructs a cache of totalBytes capacity with the given
+// associativity and line size. totalBytes must be an exact multiple of
+// ways*lineBytes and all sizes powers of two.
+func New(name string, totalBytes, ways, lineBytes int) (*Cache, error) {
+	if totalBytes <= 0 || ways <= 0 || lineBytes <= 0 {
+		return nil, fmt.Errorf("cache %s: non-positive geometry", name)
+	}
+	if !pow2(lineBytes) {
+		return nil, fmt.Errorf("cache %s: line size %d not a power of two", name, lineBytes)
+	}
+	sets := totalBytes / (ways * lineBytes)
+	if sets <= 0 || sets*ways*lineBytes != totalBytes || !pow2(sets) {
+		return nil, fmt.Errorf("cache %s: %dB/%d-way/%dB-line does not divide into power-of-two sets", name, totalBytes, ways, lineBytes)
+	}
+	c := &Cache{
+		name: name, sets: sets, ways: ways, lineBytes: lineBytes,
+		lineShift: log2(lineBytes), setMask: uint32(sets - 1),
+	}
+	c.tag = make([][]uint32, sets)
+	c.valid = make([][]bool, sets)
+	c.dirty = make([][]bool, sets)
+	c.lru = make([][]uint64, sets)
+	for s := 0; s < sets; s++ {
+		c.tag[s] = make([]uint32, ways)
+		c.valid[s] = make([]bool, ways)
+		c.dirty[s] = make([]bool, ways)
+		c.lru[s] = make([]uint64, ways)
+	}
+	return c, nil
+}
+
+// MustNew is New but panics on error (used with compile-time-constant
+// geometries).
+func MustNew(name string, totalBytes, ways, lineBytes int) *Cache {
+	c, err := New(name, totalBytes, ways, lineBytes)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func pow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+func log2(n int) uint {
+	var s uint
+	for n > 1 {
+		n >>= 1
+		s++
+	}
+	return s
+}
+
+func (c *Cache) index(addr uint32) (set int, tag uint32) {
+	line := addr >> c.lineShift
+	return int(line & c.setMask), line >> log2(c.sets)
+}
+
+// Access performs a demand access: on a miss the line is allocated,
+// evicting the LRU way. It returns true on hit. isStore marks the line
+// dirty (write-allocate, write-back).
+func (c *Cache) Access(addr uint32, isStore bool) bool {
+	set, tag := c.index(addr)
+	c.clock++
+	for w := 0; w < c.ways; w++ {
+		if c.valid[set][w] && c.tag[set][w] == tag {
+			c.lru[set][w] = c.clock
+			if isStore {
+				c.dirty[set][w] = true
+			}
+			c.Hits++
+			return true
+		}
+	}
+	c.Misses++
+	victim := 0
+	for w := 1; w < c.ways; w++ {
+		if !c.valid[set][w] {
+			victim = w
+			break
+		}
+		if c.lru[set][w] < c.lru[set][victim] {
+			victim = w
+		}
+	}
+	c.tag[set][victim] = tag
+	c.valid[set][victim] = true
+	c.dirty[set][victim] = isStore
+	c.lru[set][victim] = c.clock
+	return false
+}
+
+// Probe reports whether addr currently hits without updating any state.
+func (c *Cache) Probe(addr uint32) bool {
+	set, tag := c.index(addr)
+	for w := 0; w < c.ways; w++ {
+		if c.valid[set][w] && c.tag[set][w] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate drops the line containing addr if present.
+func (c *Cache) Invalidate(addr uint32) {
+	set, tag := c.index(addr)
+	for w := 0; w < c.ways; w++ {
+		if c.valid[set][w] && c.tag[set][w] == tag {
+			c.valid[set][w] = false
+			return
+		}
+	}
+}
+
+// Reset invalidates the whole cache and clears statistics.
+func (c *Cache) Reset() {
+	for s := 0; s < c.sets; s++ {
+		for w := 0; w < c.ways; w++ {
+			c.valid[s][w] = false
+			c.dirty[s][w] = false
+			c.lru[s][w] = 0
+		}
+	}
+	c.clock, c.Hits, c.Misses = 0, 0, 0
+}
+
+// LineBytes returns the cache's line size.
+func (c *Cache) LineBytes() int { return c.lineBytes }
+
+// Sets returns the number of sets (test hook).
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity (test hook).
+func (c *Cache) Ways() int { return c.ways }
+
+// HitRate returns hits/(hits+misses), or 0 with no accesses.
+func (c *Cache) HitRate() float64 {
+	n := c.Hits + c.Misses
+	if n == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(n)
+}

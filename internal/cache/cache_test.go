@@ -1,0 +1,186 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometry(t *testing.T) {
+	c := MustNew("t", 4<<10, 4, 64)
+	if c.Sets() != 16 || c.Ways() != 4 || c.LineBytes() != 64 {
+		t.Errorf("geometry = %d sets, %d ways, %d line", c.Sets(), c.Ways(), c.LineBytes())
+	}
+	bad := []struct{ total, ways, line int }{
+		{0, 4, 64}, {4096, 0, 64}, {4096, 4, 0},
+		{4096, 4, 48}, // line not pow2
+		{4096, 3, 64}, // sets not pow2
+		{100, 4, 64},  // not divisible
+	}
+	for _, g := range bad {
+		if _, err := New("t", g.total, g.ways, g.line); err == nil {
+			t.Errorf("geometry %+v should fail", g)
+		}
+	}
+}
+
+func TestHitMiss(t *testing.T) {
+	c := MustNew("t", 1<<10, 2, 64) // 8 sets
+	if c.Access(0x1000, false) {
+		t.Error("cold access should miss")
+	}
+	if !c.Access(0x1000, false) {
+		t.Error("second access should hit")
+	}
+	if !c.Access(0x103C, false) {
+		t.Error("same line should hit")
+	}
+	if c.Access(0x1040, false) {
+		t.Error("next line should miss")
+	}
+	if c.Hits != 2 || c.Misses != 2 {
+		t.Errorf("hits=%d misses=%d", c.Hits, c.Misses)
+	}
+	if got := c.HitRate(); got != 0.5 {
+		t.Errorf("hit rate = %f", got)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	c := MustNew("t", 2*64, 2, 64) // 1 set, 2 ways
+	c.Access(0x0000, false)        // A
+	c.Access(0x1000, false)        // B
+	c.Access(0x0000, false)        // touch A; B is now LRU
+	c.Access(0x2000, false)        // C evicts B
+	if !c.Probe(0x0000) {
+		t.Error("A should survive")
+	}
+	if c.Probe(0x1000) {
+		t.Error("B should be evicted")
+	}
+	if !c.Probe(0x2000) {
+		t.Error("C should be resident")
+	}
+}
+
+func TestProbeDoesNotTouch(t *testing.T) {
+	c := MustNew("t", 2*64, 2, 64)
+	c.Access(0x0000, false) // A
+	c.Access(0x1000, false) // B
+	c.Probe(0x0000)         // must NOT refresh A
+	c.Access(0x2000, false) // evicts A (still LRU)
+	if c.Probe(0x0000) {
+		t.Error("probe must not update LRU")
+	}
+	h, m := c.Hits, c.Misses
+	c.Probe(0x2000)
+	if c.Hits != h || c.Misses != m {
+		t.Error("probe must not update stats")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := MustNew("t", 1<<10, 2, 64)
+	c.Access(0x40, false)
+	c.Invalidate(0x40)
+	if c.Probe(0x40) {
+		t.Error("line should be invalid")
+	}
+	c.Invalidate(0x7F40) // absent: no-op
+}
+
+func TestReset(t *testing.T) {
+	c := MustNew("t", 1<<10, 2, 64)
+	c.Access(0x40, true)
+	c.Reset()
+	if c.Probe(0x40) || c.Hits != 0 || c.Misses != 0 {
+		t.Error("reset incomplete")
+	}
+	if c.HitRate() != 0 {
+		t.Error("hit rate after reset")
+	}
+}
+
+// Property: a cache never reports more resident lines than its capacity,
+// and an immediately repeated access always hits.
+func TestCacheProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := MustNew("t", 1<<12, 4, 64)
+		for i := 0; i < 500; i++ {
+			a := uint32(rng.Intn(1 << 16))
+			c.Access(a, rng.Intn(2) == 0)
+			if !c.Probe(a) {
+				return false // just-accessed line must be resident
+			}
+		}
+		resident := 0
+		for a := uint32(0); a < 1<<16; a += 64 {
+			if c.Probe(a) {
+				resident++
+			}
+		}
+		return resident <= c.Sets()*c.Ways()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHierarchyDefaults(t *testing.T) {
+	h, err := NewHierarchy(Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.P.L2Latency != 6 || h.P.MemLatency != 50 || h.P.L1DLatency != 1 {
+		t.Errorf("latencies = %+v", h.P)
+	}
+	if h.L1I.Sets()*h.L1I.Ways()*64 != 4<<10 {
+		t.Error("L1I geometry wrong")
+	}
+	if h.L1D.Sets()*h.L1D.Ways()*64 != 64<<10 {
+		t.Error("L1D geometry wrong")
+	}
+	if h.L2.Sets()*h.L2.Ways()*64 != 1<<20 {
+		t.Error("L2 geometry wrong")
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h, _ := NewHierarchy(Params{})
+	// Cold fetch: L1I miss, L2 miss => memory latency.
+	if lat := h.InstFetch(0x400000); lat != 50 {
+		t.Errorf("cold fetch latency = %d", lat)
+	}
+	// Warm fetch: hit.
+	if lat := h.InstFetch(0x400000); lat != 0 {
+		t.Errorf("warm fetch latency = %d", lat)
+	}
+	// Cold load: L1D miss, but L2 also misses => 1 + 50.
+	if lat := h.DataAccess(0x10000000, false); lat != 51 {
+		t.Errorf("cold load latency = %d", lat)
+	}
+	if lat := h.DataAccess(0x10000000, false); lat != 1 {
+		t.Errorf("warm load latency = %d", lat)
+	}
+	// Evict from tiny L1I but keep in L2: refetch costs the L2 latency.
+	hsmall, _ := NewHierarchy(Params{L1IBytes: 128, L1IWays: 1, LineBytes: 64})
+	hsmall.InstFetch(0x0000) // set 0
+	hsmall.InstFetch(0x0080) // set 0 conflict, evicts
+	if lat := hsmall.InstFetch(0x0000); lat != 6 {
+		t.Errorf("L2-hit refetch latency = %d", lat)
+	}
+}
+
+func TestHierarchyReset(t *testing.T) {
+	h, _ := NewHierarchy(Params{})
+	h.InstFetch(0x400000)
+	h.DataAccess(0x1000, true)
+	h.Reset()
+	if h.L1I.Hits+h.L1I.Misses+h.L1D.Hits+h.L1D.Misses+h.L2.Hits+h.L2.Misses != 0 {
+		t.Error("reset did not clear stats")
+	}
+	if lat := h.InstFetch(0x400000); lat != 50 {
+		t.Error("reset did not clear contents")
+	}
+}

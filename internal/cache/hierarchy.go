@@ -1,0 +1,111 @@
+package cache
+
+// Params configures the three-level hierarchy. Zero values select the
+// paper's configuration via DefaultParams.
+type Params struct {
+	L1IBytes, L1IWays int
+	L1DBytes, L1DWays int
+	L2Bytes, L2Ways   int
+	LineBytes         int
+
+	L1DLatency int // load-use latency on an L1D hit, after address generation
+	L2Latency  int // additional cycles to fill from L2
+	MemLatency int // additional cycles to fill from memory
+}
+
+// DefaultParams is the paper's configuration: 4KB 4-way L1I, 64KB 4-way
+// L1D with 1-cycle load latency, 1MB 4-way unified L2 at 6 cycles, 50
+// cycles to memory, 64-byte lines.
+func DefaultParams() Params {
+	return Params{
+		L1IBytes: 4 << 10, L1IWays: 4,
+		L1DBytes: 64 << 10, L1DWays: 4,
+		L2Bytes: 1 << 20, L2Ways: 4,
+		LineBytes:  64,
+		L1DLatency: 1,
+		L2Latency:  6,
+		MemLatency: 50,
+	}
+}
+
+// Hierarchy wires the instruction cache, data cache and unified L2
+// together and converts accesses into latencies.
+type Hierarchy struct {
+	P   Params
+	L1I *Cache
+	L1D *Cache
+	L2  *Cache
+}
+
+// NewHierarchy builds the hierarchy; zero-valued fields of p are filled
+// from DefaultParams.
+func NewHierarchy(p Params) (*Hierarchy, error) {
+	d := DefaultParams()
+	if p.L1IBytes == 0 {
+		p.L1IBytes, p.L1IWays = d.L1IBytes, d.L1IWays
+	}
+	if p.L1DBytes == 0 {
+		p.L1DBytes, p.L1DWays = d.L1DBytes, d.L1DWays
+	}
+	if p.L2Bytes == 0 {
+		p.L2Bytes, p.L2Ways = d.L2Bytes, d.L2Ways
+	}
+	if p.LineBytes == 0 {
+		p.LineBytes = d.LineBytes
+	}
+	if p.L1DLatency == 0 {
+		p.L1DLatency = d.L1DLatency
+	}
+	if p.L2Latency == 0 {
+		p.L2Latency = d.L2Latency
+	}
+	if p.MemLatency == 0 {
+		p.MemLatency = d.MemLatency
+	}
+	l1i, err := New("L1I", p.L1IBytes, p.L1IWays, p.LineBytes)
+	if err != nil {
+		return nil, err
+	}
+	l1d, err := New("L1D", p.L1DBytes, p.L1DWays, p.LineBytes)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := New("L2", p.L2Bytes, p.L2Ways, p.LineBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &Hierarchy{P: p, L1I: l1i, L1D: l1d, L2: l2}, nil
+}
+
+// InstFetch models an instruction fetch of the line containing addr and
+// returns the additional cycles beyond the L1I hit path (0 on an L1I
+// hit, L2Latency on an L2 hit, MemLatency on an L2 miss).
+func (h *Hierarchy) InstFetch(addr uint32) int {
+	if h.L1I.Access(addr, false) {
+		return 0
+	}
+	if h.L2.Access(addr, false) {
+		return h.P.L2Latency
+	}
+	return h.P.MemLatency
+}
+
+// DataAccess models a load or store to addr and returns the access
+// latency in cycles after address generation: L1DLatency on a hit, plus
+// the fill latency from L2 or memory on misses.
+func (h *Hierarchy) DataAccess(addr uint32, isStore bool) int {
+	if h.L1D.Access(addr, isStore) {
+		return h.P.L1DLatency
+	}
+	if h.L2.Access(addr, false) {
+		return h.P.L1DLatency + h.P.L2Latency
+	}
+	return h.P.L1DLatency + h.P.MemLatency
+}
+
+// Reset clears all levels and statistics.
+func (h *Hierarchy) Reset() {
+	h.L1I.Reset()
+	h.L1D.Reset()
+	h.L2.Reset()
+}

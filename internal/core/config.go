@@ -1,0 +1,124 @@
+// Package core implements the paper's contribution: the trace-cache fill
+// unit and its four dynamic trace optimizations.
+//
+// The fill unit collects instructions as they retire, packs them into
+// multi-block trace segments (trace packing, branch promotion), marks
+// explicit dependency information, and — because it sits off the critical
+// path — runs optimization passes over each finished segment before it is
+// written into the trace cache:
+//
+//  1. register-move marking (moves execute inside rename),
+//  2. reassociation of dependent immediate instructions across basic
+//     block boundaries,
+//  3. collapsing short shift + add/load/store pairs into scaled
+//     operations, and
+//  4. cluster-aware instruction placement to reduce operand bypass
+//     delays.
+package core
+
+// Optimizations selects which fill-unit passes run.
+type Optimizations struct {
+	Moves      bool // mark register moves; executed by rename (paper §4.2)
+	Reassoc    bool // combine immediates of dependent ADDIs (paper §4.3)
+	ScaledAdds bool // collapse short shifts into dependent ops (paper §4.4)
+	Placement  bool // cluster-aware issue-slot assignment (paper §4.5)
+
+	// DeadWriteElim is the extension the paper's conclusion proposes
+	// (dead code elimination in the fill unit), restricted to killers in
+	// the same checkpoint block so no new recovery mechanism is needed.
+	// Not part of AllOptimizations: the paper's combined figures exclude
+	// it.
+	DeadWriteElim bool
+}
+
+// AllOptimizations enables every pass (the paper's combined
+// configuration, Figure 8).
+func AllOptimizations() Optimizations {
+	return Optimizations{Moves: true, Reassoc: true, ScaledAdds: true, Placement: true}
+}
+
+// Config parameterizes the fill unit.
+type Config struct {
+	Opt Optimizations
+
+	// FillLatency is the number of cycles a finished segment spends in
+	// the fill pipeline before it becomes visible in the trace cache.
+	// The paper evaluates 1, 5 and 10 and finds the impact negligible.
+	FillLatency int
+
+	// TracePacking packs instructions across natural block boundaries
+	// until the line is full (paper baseline: on). When off, segments
+	// end at the block boundary that would otherwise be split.
+	TracePacking bool
+
+	// FillOnMiss aligns segment construction with the fetch stream: the
+	// fill unit sits idle until the retire stream reaches an address the
+	// front end reported as a trace-cache miss (NoteMiss), then captures
+	// one segment. Without it the fill unit collects continuously, which
+	// phase-locks segment starts to retirement counts and can build lines
+	// the fetch unit never probes (a classic trace-cache pitfall). The
+	// pipeline always runs with this on; continuous mode remains for
+	// unit-level analysis of the optimization passes.
+	FillOnMiss bool
+
+	// Promotion embeds static predictions for strongly biased branches
+	// (paper baseline: on). Promoted branches do not consume one of the
+	// three conditional-branch slots.
+	Promotion bool
+
+	// ReassocCrossBlockOnly restricts reassociation to pairs that span a
+	// basic-block boundary, as the paper does to isolate the fill unit's
+	// contribution from the compiler's. Default on.
+	ReassocCrossBlockOnly bool
+
+	// ReassocMemDisp additionally folds ADDI immediates into the
+	// displacement of dependent loads/stores. Default on.
+	ReassocMemDisp bool
+
+	// Clusters and FUsPerCluster describe the backend for the placement
+	// heuristic. Paper: 4 clusters of 4 universal function units.
+	Clusters      int
+	FUsPerCluster int
+}
+
+// DefaultConfig returns the paper's baseline fill unit (all four
+// optimizations off; packing and promotion on; 1-cycle fill latency).
+func DefaultConfig() Config {
+	return Config{
+		FillLatency:           1,
+		TracePacking:          true,
+		Promotion:             true,
+		ReassocCrossBlockOnly: true,
+		ReassocMemDisp:        true,
+		Clusters:              4,
+		FUsPerCluster:         4,
+	}
+}
+
+func (c Config) normalize() Config {
+	d := DefaultConfig()
+	if c.FillLatency <= 0 {
+		c.FillLatency = d.FillLatency
+	}
+	if c.Clusters <= 0 {
+		c.Clusters = d.Clusters
+	}
+	if c.FUsPerCluster <= 0 {
+		c.FUsPerCluster = d.FUsPerCluster
+	}
+	return c
+}
+
+// Stats counts the fill unit's activity.
+type Stats struct {
+	SegmentsBuilt   uint64
+	InstsCollected  uint64
+	MovesMarked     uint64 // instructions with the move bit set
+	Reassociated    uint64 // consumers whose immediate was recombined
+	ScaledCreated   uint64 // consumers converted to scaled operations
+	PlacedNonIdent  uint64 // instructions steered away from their fetch slot
+	DeadWritesElim  uint64 // writes eliminated by the dead-code extension
+	PromotedInLine  uint64 // branch occurrences embedded with static predictions
+	RewiredByMoves  uint64 // consumer operands re-pointed past a move
+	ReassocRejected uint64 // candidate pairs rejected (overflow/safety)
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"tcsim/internal/isa"
+	"tcsim/internal/trace"
+)
+
+// markDependencies fills in the explicit dependency information the
+// baseline fill unit records in every trace line (paper §4.1: 7 bits per
+// instruction — source-internal flags, destination liveness, block id;
+// block ids were assigned during collection). For every source operand
+// it records the index of the in-segment producer, or live-in; for every
+// destination whether the value is live-out of the segment.
+func markDependencies(seg *trace.Segment) {
+	var lastWriter [isa.NumRegs]int
+	for r := range lastWriter {
+		lastWriter[r] = trace.NoProducer
+	}
+	var srcs [3]isa.Reg
+	var fields [3]isa.OperandField
+	for i := range seg.Insts {
+		si := &seg.Insts[i]
+		n := si.Inst.SourceOperands(srcs[:], fields[:])
+		si.NSrc = n
+		for k := 0; k < n; k++ {
+			si.SrcReg[k] = srcs[k]
+			si.SrcField[k] = fields[k]
+			si.SrcProducer[k] = lastWriter[srcs[k]]
+		}
+		for k := n; k < 3; k++ {
+			si.SrcReg[k] = isa.R0
+			si.SrcProducer[k] = trace.NoProducer
+		}
+		if d, ok := si.Inst.Dest(); ok {
+			lastWriter[d] = i
+		}
+	}
+	// Destination liveness: live-out unless overwritten later in the
+	// segment.
+	for i := range seg.Insts {
+		si := &seg.Insts[i]
+		if d, ok := si.Inst.Dest(); ok {
+			si.LiveOut = lastWriter[d] == i
+		}
+	}
+}
+
+// latestWriterBefore returns the index of the last instruction before j
+// (exclusive) that writes reg, or NoProducer.
+func latestWriterBefore(seg *trace.Segment, reg isa.Reg, j int) int {
+	for i := j - 1; i >= 0; i-- {
+		if d, ok := seg.Insts[i].Inst.Dest(); ok && d == reg {
+			return i
+		}
+	}
+	return trace.NoProducer
+}
+
+// rewireOperand re-points consumer operand k of instruction j from its
+// current producer to a new dependence: either the in-segment producer
+// newProd (exact — the dependency field names the producing instruction,
+// so intervening writes to newReg are irrelevant), or, when newProd is
+// NoProducer, the live-in register newReg. Live-in rewiring is only safe
+// when no earlier in-segment instruction writes newReg (otherwise rename
+// would capture the wrong value); the caller must have verified that.
+func rewireOperand(seg *trace.Segment, j, k, newProd int, newReg isa.Reg) {
+	seg.Insts[j].SrcProducer[k] = newProd
+	seg.Insts[j].SrcReg[k] = newReg
+}
+
+// liveInRewireSafe reports whether operand rewiring of instruction j to
+// live-in register reg is safe: the register must not be written by any
+// instruction in the segment before j.
+func liveInRewireSafe(seg *trace.Segment, reg isa.Reg, j int) bool {
+	return latestWriterBefore(seg, reg, j) == trace.NoProducer
+}

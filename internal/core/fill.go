@@ -1,0 +1,323 @@
+package core
+
+import (
+	"fmt"
+
+	"tcsim/internal/bpred"
+	"tcsim/internal/emu"
+	"tcsim/internal/isa"
+	"tcsim/internal/trace"
+)
+
+// FillUnit collects retired instructions into trace segments, optimizes
+// them, and delivers finished segments after the configured fill latency.
+type FillUnit struct {
+	cfg  Config
+	bias *bpred.BiasTable // shared with the front end; may be nil
+
+	cur    *trace.Segment // segment under construction
+	block  []pendInst     // current block buffer (packing disabled only)
+	nextID uint64
+
+	armed     map[uint32]struct{} // fetch addresses that missed in the TC
+	armedFIFO []uint32
+	cfBlock   int // architectural basic-block counter within cur
+
+	pipe []pendingSeg // finished segments waiting out the fill latency
+
+	Stats Stats
+}
+
+// maxArmed bounds the pending-miss address buffer.
+const maxArmed = 16
+
+type pendInst struct {
+	rec      emu.Record
+	promoted bool
+	dir      bool
+}
+
+type pendingSeg struct {
+	seg   *trace.Segment
+	ready uint64
+}
+
+// New builds a fill unit. bias may be nil to disable promotion lookups
+// regardless of cfg.Promotion.
+func New(cfg Config, bias *bpred.BiasTable) *FillUnit {
+	return &FillUnit{
+		cfg:   cfg.normalize(),
+		bias:  bias,
+		armed: make(map[uint32]struct{}),
+	}
+}
+
+// NoteMiss arms segment construction at a fetch address that missed in
+// the trace cache. When the retire stream reaches an armed address (and
+// the fill unit is between segments), a new segment starts there — this
+// keeps segment start addresses aligned with the addresses the fetch
+// unit actually probes.
+func (f *FillUnit) NoteMiss(pc uint32) {
+	if !f.cfg.FillOnMiss {
+		return
+	}
+	if _, ok := f.armed[pc]; ok {
+		return
+	}
+	if len(f.armedFIFO) >= maxArmed {
+		delete(f.armed, f.armedFIFO[0])
+		f.armedFIFO = f.armedFIFO[1:]
+	}
+	f.armed[pc] = struct{}{}
+	f.armedFIFO = append(f.armedFIFO, pc)
+}
+
+func (f *FillUnit) consumeArm(pc uint32) bool {
+	if _, ok := f.armed[pc]; !ok {
+		return false
+	}
+	delete(f.armed, pc)
+	for i, a := range f.armedFIFO {
+		if a == pc {
+			f.armedFIFO = append(f.armedFIFO[:i], f.armedFIFO[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Config returns the normalized configuration.
+func (f *FillUnit) Config() Config { return f.cfg }
+
+// Collect feeds one retired instruction to the fill unit at the given
+// cycle. Retirement order is program order, so segments are built along
+// the executed path.
+func (f *FillUnit) Collect(rec emu.Record, cycle uint64) {
+	pi := pendInst{rec: rec}
+	if rec.Inst.Op.IsCondBranch() && f.cfg.Promotion && f.bias != nil {
+		if dir, ok := f.bias.Promoted(rec.PC); ok && dir == rec.Taken {
+			pi.promoted, pi.dir = true, dir
+		}
+	}
+
+	if f.cfg.TracePacking {
+		f.appendInst(pi, cycle)
+	} else {
+		f.block = append(f.block, pi)
+		if isBlockEnd(rec.Inst) {
+			f.flushBlock(cycle)
+		}
+	}
+
+	// Returns, non-call indirect jumps and serializing instructions force
+	// the segment to terminate (paper §3). Subroutine calls — including
+	// indirect calls — do not: segments cross procedure boundaries.
+	if op := rec.Inst.Op; (op.IsIndirect() && !op.IsCall()) || op.IsSerializing() {
+		f.flushBlock(cycle)
+		f.finalize(cycle)
+	}
+}
+
+// isBlockEnd reports whether inst ends a basic block for packing
+// purposes: any control transfer does.
+func isBlockEnd(inst isa.Inst) bool { return inst.Op.IsControl() }
+
+// flushBlock appends the buffered block (packing disabled); with packing
+// enabled the buffer is always empty.
+func (f *FillUnit) flushBlock(cycle uint64) {
+	if len(f.block) == 0 {
+		return
+	}
+	blk := f.block
+	f.block = f.block[:0]
+	// If the whole block does not fit in the remaining slots, finalize
+	// first so the block starts a fresh segment (no mid-block splits).
+	if f.cur != nil && len(f.cur.Insts)+len(blk) > trace.MaxInsts {
+		f.finalize(cycle)
+	}
+	for _, pi := range blk {
+		f.appendInst(pi, cycle)
+	}
+}
+
+// appendInst adds one instruction to the segment under construction,
+// finalizing and restarting as the structural limits demand.
+func (f *FillUnit) appendInst(pi pendInst, cycle uint64) {
+	rec := pi.rec
+	cond := rec.Inst.Op.IsCondBranch() && !pi.promoted
+
+	if f.cur != nil {
+		// A non-promoted conditional branch that would be the 4th
+		// terminates the line before it (paper: at most 3).
+		if cond && f.cur.CondBranches >= trace.MaxCondBranch {
+			f.finalize(cycle)
+		} else if len(f.cur.Insts) >= trace.MaxInsts {
+			f.finalize(cycle)
+		} else if len(f.cur.Insts) > 0 {
+			// Discontinuity guard: a segment must follow one dynamic
+			// path. Retirement is sequential, but a pipeline flush can
+			// leave a stale partial segment; drop it.
+			last := f.cur.Insts[len(f.cur.Insts)-1]
+			if !validSuccessor(last, rec.PC) {
+				f.abandon()
+			}
+		}
+	}
+	if f.cur == nil {
+		// Between segments: in fetch-aligned mode, only start a new
+		// segment at an address the fetch unit reported as a trace-cache
+		// miss; other retired instructions pass by uncollected.
+		if f.cfg.FillOnMiss && !f.consumeArm(rec.PC) {
+			return
+		}
+		f.cur = &trace.Segment{StartPC: rec.PC, FillID: f.nextID}
+		f.nextID++
+		f.cfBlock = 0
+	}
+
+	si := trace.SegInst{
+		PC:      rec.PC,
+		Inst:    rec.Inst,
+		Orig:    rec.Inst,
+		Block:   f.cur.Blocks,
+		CFBlock: f.cfBlock,
+		BrSlot:  trace.NoSlot,
+		Slot:    len(f.cur.Insts),
+	}
+	if rec.Inst.Op.IsCondBranch() {
+		if pi.promoted {
+			si.Promoted = true
+			si.PromotedDir = pi.dir
+			f.Stats.PromotedInLine++
+		} else {
+			si.BrSlot = f.cur.CondBranches
+			f.cur.CondBranches++
+		}
+	}
+	f.cur.Insts = append(f.cur.Insts, si)
+	f.Stats.InstsCollected++
+
+	// A non-promoted conditional branch opens the next block; the 2-bit
+	// block-id field accommodates the trailing block after the 3rd
+	// branch, and the CondBranches guard above keeps a 4th branch out.
+	if rec.Inst.Op.IsCondBranch() && !si.Promoted {
+		f.cur.Blocks++
+	}
+	// Any control transfer opens a new architectural basic block.
+	if rec.Inst.Op.IsControl() {
+		f.cfBlock++
+	}
+}
+
+// validSuccessor reports whether pc can follow last on a dynamic path.
+func validSuccessor(last trace.SegInst, pc uint32) bool {
+	op := last.Inst.Op
+	switch {
+	case op.IsCondBranch():
+		return pc == last.PC+isa.InstBytes || pc == last.Orig.BranchTarget(last.PC)
+	case op.IsUncondJump():
+		return pc == last.Orig.BranchTarget(last.PC)
+	case op == isa.JALR:
+		return true // dynamic callee: any successor is plausible
+	case op.IsIndirect(), op.IsSerializing():
+		return false
+	default:
+		return pc == last.PC+isa.InstBytes
+	}
+}
+
+// abandon drops the segment under construction (pipeline flush).
+func (f *FillUnit) abandon() {
+	f.cur = nil
+	f.block = f.block[:0]
+}
+
+// Abandon exposes abandon to the pipeline (called on recovery from
+// mispredicted promoted branches whose lines were invalidated, and on
+// serializing flushes).
+func (f *FillUnit) Abandon() { f.abandon() }
+
+// finalize closes the segment under construction: dependency marking,
+// optimization passes, then entry into the fill pipeline.
+func (f *FillUnit) finalize(cycle uint64) {
+	if f.cur == nil || len(f.cur.Insts) == 0 {
+		f.cur = nil
+		return
+	}
+	seg := f.cur
+	f.cur = nil
+
+	// Block count = last instruction's block id + 1 (a final branch does
+	// not open a trailing block).
+	seg.Blocks = seg.Insts[len(seg.Insts)-1].Block + 1
+
+	markDependencies(seg)
+	// Reassociation runs before move marking: an unmarked move is itself
+	// a pairable ADDI, so immediate chains fold straight through moves;
+	// marking first would rewire the operands reassociation keys on.
+	if f.cfg.Opt.Reassoc {
+		f.reassociate(seg)
+	}
+	if f.cfg.Opt.Moves {
+		f.markMoves(seg)
+	}
+	if f.cfg.Opt.ScaledAdds {
+		f.createScaledAdds(seg)
+	}
+	if f.cfg.Opt.DeadWriteElim {
+		f.eliminateDeadWrites(seg)
+	}
+	if f.cfg.Opt.Placement {
+		f.placeInstructions(seg)
+	}
+
+	f.Stats.SegmentsBuilt++
+	f.pipe = append(f.pipe, pendingSeg{seg: seg, ready: cycle + uint64(f.cfg.FillLatency)})
+}
+
+// Drain returns the segments whose fill latency has elapsed by cycle.
+func (f *FillUnit) Drain(cycle uint64) []*trace.Segment {
+	var out []*trace.Segment
+	i := 0
+	for ; i < len(f.pipe) && f.pipe[i].ready <= cycle; i++ {
+		out = append(out, f.pipe[i].seg)
+	}
+	if i > 0 {
+		f.pipe = append(f.pipe[:0], f.pipe[i:]...)
+	}
+	return out
+}
+
+// Pending reports how many segments are waiting in the fill pipeline
+// (test hook).
+func (f *FillUnit) Pending() int { return len(f.pipe) }
+
+// Flush finalizes any partial segment (end of simulation) and returns
+// every queued segment regardless of latency.
+func (f *FillUnit) Flush(cycle uint64) []*trace.Segment {
+	f.flushBlock(cycle)
+	f.finalize(cycle)
+	var out []*trace.Segment
+	for _, p := range f.pipe {
+		out = append(out, p.seg)
+	}
+	f.pipe = f.pipe[:0]
+	return out
+}
+
+// blockOf is a debugging helper mapping an instruction index to its
+// block id.
+func blockOf(seg *trace.Segment, i int) int { return seg.Insts[i].Block }
+
+var _ = blockOf // referenced by tests
+
+// CheckInvariants validates the segment and panics with context if the
+// fill unit produced an inconsistent line. Used in tests.
+func CheckInvariants(seg *trace.Segment) {
+	if err := seg.Validate(); err != nil {
+		panic(fmt.Sprintf("fill unit invariant violation: %v (%v)", err, seg))
+	}
+}
+
+// ArmedDebug exposes the armed miss addresses (debug/test hook).
+func (f *FillUnit) ArmedDebug() []uint32 { return f.armedFIFO }

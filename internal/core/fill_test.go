@@ -1,0 +1,354 @@
+package core
+
+import (
+	"testing"
+
+	"tcsim/internal/asm"
+	"tcsim/internal/bpred"
+	"tcsim/internal/emu"
+	"tcsim/internal/isa"
+	"tcsim/internal/trace"
+)
+
+// runFill executes a program on the emulator, feeds every retired
+// instruction to a fill unit, and returns the segments in build order
+// along with the records and the register state before each instruction.
+func runFill(t *testing.T, cfg Config, bias *bpred.BiasTable, maxSteps uint64,
+	build func(*asm.Builder)) ([]*trace.Segment, []emu.Record, [][isa.NumRegs]uint32, *asm.Program) {
+	t.Helper()
+	b := asm.NewBuilder()
+	build(b)
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := emu.New(p)
+	f := New(cfg, bias)
+
+	var recs []emu.Record
+	var regs [][isa.NumRegs]uint32
+	var segs []*trace.Segment
+	cycle := uint64(0)
+	for !m.Halted {
+		if uint64(len(recs)) >= maxSteps {
+			t.Fatalf("program did not halt within %d steps", maxSteps)
+		}
+		regs = append(regs, m.Reg)
+		rec, err := m.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, rec)
+		if bias != nil && rec.Inst.Op.IsCondBranch() {
+			bias.Observe(rec.PC, rec.Taken)
+		}
+		f.Collect(rec, cycle)
+		cycle++
+		segs = append(segs, f.Drain(cycle)...)
+	}
+	segs = append(segs, f.Flush(cycle)...)
+	for _, s := range segs {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("segment invalid: %v\n%v", err, s)
+		}
+	}
+	return segs, recs, regs, p
+}
+
+func straightLine(n int) func(*asm.Builder) {
+	return func(b *asm.Builder) {
+		for i := 0; i < n; i++ {
+			b.Addi(isa.T0, isa.T0, 1)
+		}
+		b.Halt()
+	}
+}
+
+func TestSegmentSizeLimit(t *testing.T) {
+	segs, _, _, _ := runFill(t, DefaultConfig(), nil, 1000, straightLine(40))
+	// 40 addis + halt = 41 instructions: 16 + 16 + 9.
+	if len(segs) != 3 {
+		t.Fatalf("got %d segments, want 3", len(segs))
+	}
+	if segs[0].Len() != 16 || segs[1].Len() != 16 || segs[2].Len() != 9 {
+		t.Errorf("segment lengths = %d,%d,%d", segs[0].Len(), segs[1].Len(), segs[2].Len())
+	}
+}
+
+func TestTracePackingCrossesBranches(t *testing.T) {
+	// A loop of 5 instructions (4 + branch) taken 4 times: with packing
+	// the segments should span loop iterations (more than 5 insts in the
+	// first segment, containing >1 conditional branch).
+	loop := func(b *asm.Builder) {
+		b.Li(isa.T0, 4)
+		b.Label("loop")
+		b.Addi(isa.T1, isa.T1, 1)
+		b.Addi(isa.T2, isa.T2, 2)
+		b.Addi(isa.T0, isa.T0, -1)
+		b.Bgtz(isa.T0, "loop")
+		b.Halt()
+	}
+	segs, _, _, _ := runFill(t, DefaultConfig(), nil, 1000, loop)
+	if segs[0].CondBranches < 2 {
+		t.Errorf("first segment has %d branches; packing should cross blocks", segs[0].CondBranches)
+	}
+	if segs[0].Len() <= 5 {
+		t.Errorf("first segment has %d insts; packing should exceed one iteration", segs[0].Len())
+	}
+}
+
+func TestThreeBranchLimit(t *testing.T) {
+	segs, _, _, _ := runFill(t, DefaultConfig(), nil, 1000, func(b *asm.Builder) {
+		b.Li(isa.T0, 8)
+		b.Label("loop")
+		b.Addi(isa.T0, isa.T0, -1)
+		b.Bgtz(isa.T0, "loop") // 2-instruction loop body: many branches
+		b.Halt()
+	})
+	for _, s := range segs {
+		if s.CondBranches > trace.MaxCondBranch {
+			t.Errorf("segment has %d conditional branches", s.CondBranches)
+		}
+	}
+}
+
+func TestReturnTerminatesSegment(t *testing.T) {
+	segs, _, _, _ := runFill(t, DefaultConfig(), nil, 1000, func(b *asm.Builder) {
+		b.Jal("fn")
+		b.Addi(isa.T0, isa.T0, 1)
+		b.Halt()
+		b.Label("fn")
+		b.Addi(isa.T1, isa.T1, 1)
+		b.Ret()
+	})
+	// Path: jal, addi(fn), ret | addi, halt — the ret must end segment 0.
+	if segs[0].Insts[segs[0].Len()-1].Inst.Op != isa.JR {
+		t.Errorf("segment 0 should end at the return, ends with %v", segs[0].Insts[segs[0].Len()-1].Inst)
+	}
+	if segs[0].Len() != 3 {
+		t.Errorf("segment 0 length = %d, want 3", segs[0].Len())
+	}
+}
+
+func TestCallDoesNotTerminate(t *testing.T) {
+	segs, _, _, _ := runFill(t, DefaultConfig(), nil, 1000, func(b *asm.Builder) {
+		b.Addi(isa.T0, isa.T0, 1)
+		b.Jal("fn")
+		b.Halt()
+		b.Label("fn")
+		b.Addi(isa.T1, isa.T1, 1)
+		b.Ret()
+	})
+	// The jal and the callee's first instruction must share a segment.
+	if segs[0].Len() < 3 {
+		t.Errorf("segment 0 length = %d; call should not terminate", segs[0].Len())
+	}
+	if segs[0].Insts[1].Inst.Op != isa.JAL || segs[0].Insts[2].PC == segs[0].Insts[1].PC+4 {
+		t.Error("segment should continue at the call target")
+	}
+}
+
+func TestPackingDisabledEndsAtBlockBoundary(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TracePacking = false
+	loop := func(b *asm.Builder) {
+		b.Li(isa.T0, 3)
+		b.Label("loop")
+		for i := 0; i < 9; i++ {
+			b.Addi(isa.T1, isa.T1, 1)
+		}
+		b.Addi(isa.T0, isa.T0, -1)
+		b.Bgtz(isa.T0, "loop")
+		b.Halt()
+	}
+	segs, _, _, _ := runFill(t, cfg, nil, 1000, loop)
+	// Blocks are 11 instructions; two don't fit in 16, so every segment
+	// should end exactly at a block boundary (its last inst a control
+	// transfer or the program end), never splitting a block.
+	for i, s := range segs[:len(segs)-1] {
+		last := s.Insts[s.Len()-1].Inst.Op
+		if !last.IsControl() {
+			t.Errorf("segment %d ends mid-block with %v", i, last)
+		}
+	}
+}
+
+func TestDependencyMarking(t *testing.T) {
+	segs, _, _, _ := runFill(t, DefaultConfig(), nil, 100, func(b *asm.Builder) {
+		b.Addi(isa.T0, isa.S0, 4)     // 0: t0 <- s0+4 (s0 live-in)
+		b.Addi(isa.T1, isa.T0, 4)     // 1: t1 <- t0+4 (t0 from 0)
+		b.Add(isa.T2, isa.T0, isa.T1) // 2: both internal
+		b.Addi(isa.T0, isa.T2, 1)     // 3: overwrites t0
+		b.Halt()
+	})
+	s := segs[0]
+	if s.Insts[0].SrcProducer[0] != trace.NoProducer || s.Insts[0].SrcReg[0] != isa.S0 {
+		t.Errorf("inst 0 deps = %+v", s.Insts[0])
+	}
+	if s.Insts[1].SrcProducer[0] != 0 {
+		t.Errorf("inst 1 producer = %d", s.Insts[1].SrcProducer[0])
+	}
+	if s.Insts[2].SrcProducer[0] != 0 || s.Insts[2].SrcProducer[1] != 1 {
+		t.Errorf("inst 2 producers = %v", s.Insts[2].SrcProducer)
+	}
+	// Liveness: inst 0's t0 is overwritten by inst 3 => not live-out;
+	// inst 3's t0 is live-out; inst 1's t1 live-out.
+	if s.Insts[0].LiveOut {
+		t.Error("inst 0 should not be live-out")
+	}
+	if !s.Insts[3].LiveOut || !s.Insts[1].LiveOut {
+		t.Error("insts 1,3 should be live-out")
+	}
+}
+
+func TestBlockNumbering(t *testing.T) {
+	segs, _, _, _ := runFill(t, DefaultConfig(), nil, 100, func(b *asm.Builder) {
+		b.Addi(isa.T0, isa.T0, 1) // block 0
+		b.Beq(isa.R0, isa.R0, "l1")
+		b.Nop()
+		b.Label("l1")
+		b.Addi(isa.T1, isa.T1, 1) // block 1
+		b.Beq(isa.R0, isa.R0, "l2")
+		b.Nop()
+		b.Label("l2")
+		b.Addi(isa.T2, isa.T2, 1) // block 2
+		b.Halt()
+	})
+	s := segs[0]
+	wantBlocks := []int{0, 0, 1, 1, 2}
+	for i, w := range wantBlocks {
+		if s.Insts[i].Block != w {
+			t.Errorf("inst %d block = %d want %d", i, s.Insts[i].Block, w)
+		}
+	}
+	if s.Blocks != 3 {
+		t.Errorf("segment blocks = %d", s.Blocks)
+	}
+}
+
+func TestPromotionEmbedsStaticPrediction(t *testing.T) {
+	bias := bpred.NewBiasTable(1024, 4) // low threshold for the test
+	cfg := DefaultConfig()
+	segs, _, _, _ := runFill(t, cfg, bias, 10000, func(b *asm.Builder) {
+		b.Li(isa.T0, 20)
+		b.Label("loop")
+		b.Addi(isa.T0, isa.T0, -1)
+		b.Bgtz(isa.T0, "loop")
+		b.Halt()
+	})
+	// After 4 taken outcomes the loop branch promotes; later segments
+	// should embed it with a static taken prediction and not count it.
+	var promoted, counted int
+	for _, s := range segs {
+		for i := range s.Insts {
+			si := &s.Insts[i]
+			if si.Inst.Op == isa.BGTZ {
+				if si.Promoted {
+					promoted++
+					if !si.PromotedDir {
+						t.Error("promoted direction should be taken")
+					}
+					if si.BrSlot != trace.NoSlot {
+						t.Error("promoted branch should not hold a predictor slot")
+					}
+				} else {
+					counted++
+				}
+			}
+		}
+	}
+	if promoted == 0 {
+		t.Error("no promoted branch occurrences found")
+	}
+	// Promoted branches don't count toward the 3-branch limit, so late
+	// segments should contain more than 3 loop branches.
+	max := 0
+	for _, s := range segs {
+		brs := 0
+		for i := range s.Insts {
+			if s.Insts[i].IsCondBranch() {
+				brs++
+			}
+		}
+		if brs > max {
+			max = brs
+		}
+	}
+	if max <= trace.MaxCondBranch {
+		t.Errorf("max branches per segment = %d; promotion should exceed %d", max, trace.MaxCondBranch)
+	}
+}
+
+func TestPromotionDisabled(t *testing.T) {
+	bias := bpred.NewBiasTable(1024, 2)
+	cfg := DefaultConfig()
+	cfg.Promotion = false
+	segs, _, _, _ := runFill(t, cfg, bias, 10000, func(b *asm.Builder) {
+		b.Li(isa.T0, 10)
+		b.Label("loop")
+		b.Addi(isa.T0, isa.T0, -1)
+		b.Bgtz(isa.T0, "loop")
+		b.Halt()
+	})
+	for _, s := range segs {
+		for i := range s.Insts {
+			if s.Insts[i].Promoted {
+				t.Fatal("promotion disabled but branch promoted")
+			}
+		}
+	}
+}
+
+func TestFillLatencyPipeline(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FillLatency = 5
+	f := New(cfg, nil)
+	rec := emu.Record{PC: 0x400000, Inst: isa.Inst{Op: isa.JR, Rs: isa.RA}}
+	f.Collect(rec, 100) // return terminates: finalizes at cycle 100
+	if got := f.Drain(104); len(got) != 0 {
+		t.Error("segment visible before fill latency elapsed")
+	}
+	if got := f.Drain(105); len(got) != 1 {
+		t.Errorf("segment not delivered at ready cycle; got %d", len(got))
+	}
+	if got := f.Drain(200); len(got) != 0 {
+		t.Error("segment delivered twice")
+	}
+}
+
+func TestAbandonOnDiscontinuity(t *testing.T) {
+	f := New(DefaultConfig(), nil)
+	f.Collect(emu.Record{PC: 0x400000, Inst: isa.Inst{Op: isa.ADDI, Rt: isa.T0, Rs: isa.T0, Imm: 1}}, 0)
+	// Jump in retirement PC without a control transfer: stale partial
+	// segment must be dropped, new segment starts at the new PC.
+	f.Collect(emu.Record{PC: 0x400100, Inst: isa.Inst{Op: isa.JR, Rs: isa.RA}}, 1)
+	segs := f.Flush(2)
+	if len(segs) != 1 {
+		t.Fatalf("got %d segments", len(segs))
+	}
+	if segs[0].StartPC != 0x400100 || segs[0].Len() != 1 {
+		t.Errorf("segment = %v", segs[0])
+	}
+}
+
+func TestExplicitAbandon(t *testing.T) {
+	f := New(DefaultConfig(), nil)
+	f.Collect(emu.Record{PC: 0x400000, Inst: isa.Inst{Op: isa.ADDI, Rt: isa.T0, Rs: isa.T0, Imm: 1}}, 0)
+	f.Abandon()
+	if segs := f.Flush(1); len(segs) != 0 {
+		t.Errorf("abandoned segment still produced: %d", len(segs))
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	segs, _, _, _ := runFill(t, DefaultConfig(), nil, 1000, straightLine(20))
+	f := New(DefaultConfig(), nil)
+	_ = f
+	total := 0
+	for _, s := range segs {
+		total += s.Len()
+	}
+	if total != 21 {
+		t.Errorf("collected %d insts, want 21", total)
+	}
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+
+	"tcsim/internal/emu"
+	"tcsim/internal/isa"
+	"tcsim/internal/trace"
+)
+
+// EvalSegment executes a trace segment the way the renamed, explicitly
+// dependency-tracked hardware would: every operand resolves either to the
+// in-segment producer's result (tag semantics — later overwrites of the
+// architectural register are irrelevant) or, for live-in operands, to the
+// architectural register value at segment entry. Scaled operands are
+// pre-shifted; marked moves copy their operand without "executing".
+//
+// It returns the result value of every instruction (0 for instructions
+// without a destination; 1/0 for conditional branch taken/not-taken) and
+// the effective address of every memory operation (0 for the rest).
+// Stores write through to mem. This is the semantic ground truth the
+// optimization passes must preserve; tests compare it against the
+// functional emulator's per-instruction results.
+func EvalSegment(seg *trace.Segment, entry [isa.NumRegs]uint32, mem *emu.Memory) (results, eas []uint32, err error) {
+	results = make([]uint32, len(seg.Insts))
+	eas = make([]uint32, len(seg.Insts))
+	for i := range seg.Insts {
+		si := &seg.Insts[i]
+		// Resolve operand values.
+		var vals [3]uint32
+		for k := 0; k < si.NSrc; k++ {
+			if p := si.SrcProducer[k]; p != trace.NoProducer {
+				vals[k] = results[p]
+			} else {
+				vals[k] = entry[si.SrcReg[k]]
+			}
+			if si.ScaleAmt != 0 && scaleApplies(si, k) {
+				vals[k] <<= uint32(si.ScaleAmt)
+			}
+		}
+		// Map operand positions to the roles the op expects.
+		var rs, rt, rd uint32
+		for k := 0; k < si.NSrc; k++ {
+			switch si.SrcField[k] {
+			case isa.FieldRs:
+				rs = vals[k]
+			case isa.FieldRt:
+				rt = vals[k]
+			case isa.FieldRd:
+				rd = vals[k]
+			}
+		}
+
+		if si.MoveBit {
+			if si.NSrc > 0 {
+				results[i] = vals[0]
+			}
+			continue
+		}
+
+		in := si.Inst
+		imm := uint32(in.Imm)
+		switch in.Op {
+		case isa.NOP, isa.HALT, isa.J:
+		case isa.ADD:
+			results[i] = rs + rt
+		case isa.SUB:
+			results[i] = rs - rt
+		case isa.AND:
+			results[i] = rs & rt
+		case isa.OR:
+			results[i] = rs | rt
+		case isa.XOR:
+			results[i] = rs ^ rt
+		case isa.NOR:
+			results[i] = ^(rs | rt)
+		case isa.SLT:
+			results[i] = b2u(int32(rs) < int32(rt))
+		case isa.SLTU:
+			results[i] = b2u(rs < rt)
+		case isa.SLLV:
+			results[i] = rs << (rt & 31)
+		case isa.SRLV:
+			results[i] = rs >> (rt & 31)
+		case isa.SRAV:
+			results[i] = uint32(int32(rs) >> (rt & 31))
+		case isa.MUL:
+			results[i] = rs * rt
+		case isa.DIV:
+			if rt == 0 {
+				results[i] = 0
+			} else {
+				results[i] = uint32(int32(rs) / int32(rt))
+			}
+		case isa.ADDI:
+			results[i] = rs + imm
+		case isa.ANDI:
+			results[i] = rs & imm
+		case isa.ORI:
+			results[i] = rs | imm
+		case isa.XORI:
+			results[i] = rs ^ imm
+		case isa.SLTI:
+			results[i] = b2u(int32(rs) < in.Imm)
+		case isa.SLTIU:
+			results[i] = b2u(rs < imm)
+		case isa.LUI:
+			results[i] = imm << 16
+		case isa.SLLI:
+			results[i] = rs << (imm & 31)
+		case isa.SRLI:
+			results[i] = rs >> (imm & 31)
+		case isa.SRAI:
+			results[i] = uint32(int32(rs) >> (imm & 31))
+		case isa.LB:
+			eas[i] = rs + imm
+			results[i] = uint32(int32(int8(mem.Read8(eas[i]))))
+		case isa.LBU:
+			eas[i] = rs + imm
+			results[i] = uint32(mem.Read8(eas[i]))
+		case isa.LH:
+			eas[i] = rs + imm
+			results[i] = uint32(int32(int16(mem.Read16(eas[i]))))
+		case isa.LHU:
+			eas[i] = rs + imm
+			results[i] = uint32(mem.Read16(eas[i]))
+		case isa.LW:
+			eas[i] = rs + imm
+			results[i] = mem.Read32(eas[i])
+		case isa.LWX:
+			eas[i] = rs + rt
+			results[i] = mem.Read32(eas[i])
+		case isa.SB:
+			eas[i] = rs + imm
+			results[i] = rt
+			mem.Write8(eas[i], byte(rt))
+		case isa.SH:
+			eas[i] = rs + imm
+			results[i] = rt
+			mem.Write16(eas[i], uint16(rt))
+		case isa.SW:
+			eas[i] = rs + imm
+			results[i] = rt
+			mem.Write32(eas[i], rt)
+		case isa.SWX:
+			eas[i] = rs + rt
+			results[i] = rd
+			mem.Write32(eas[i], rd)
+		case isa.BEQ:
+			results[i] = b2u(rs == rt)
+		case isa.BNE:
+			results[i] = b2u(rs != rt)
+		case isa.BLEZ:
+			results[i] = b2u(int32(rs) <= 0)
+		case isa.BGTZ:
+			results[i] = b2u(int32(rs) > 0)
+		case isa.BLTZ:
+			results[i] = b2u(int32(rs) < 0)
+		case isa.BGEZ:
+			results[i] = b2u(int32(rs) >= 0)
+		case isa.JAL, isa.JALR:
+			results[i] = si.PC + isa.InstBytes
+		case isa.JR, isa.OUT:
+		default:
+			return nil, nil, fmt.Errorf("core: EvalSegment cannot execute %v", in.Op)
+		}
+	}
+	return results, eas, nil
+}
+
+// scaleApplies reports whether the scaled-operand annotation targets
+// operand position k.
+func scaleApplies(si *trace.SegInst, k int) bool {
+	switch si.ScaleSrc {
+	case isa.ScaleRs:
+		return si.SrcField[k] == isa.FieldRs
+	case isa.ScaleRt:
+		return si.SrcField[k] == isa.FieldRt
+	}
+	return false
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}

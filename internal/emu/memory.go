@@ -1,0 +1,103 @@
+// Package emu implements the TCR functional emulator: a sparse paged
+// memory, an architectural machine that executes one instruction per
+// Step, and an Oracle that feeds the timing simulator the correct-path
+// dynamic instruction stream (PCs, branch outcomes, effective addresses)
+// so the pipeline can model speculation and wrong-path effects without
+// carrying speculative data values.
+package emu
+
+import "encoding/binary"
+
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
+// Memory is a sparse, paged, little-endian 32-bit address space. Reads of
+// unmapped addresses return zero without allocating; writes allocate the
+// containing page.
+type Memory struct {
+	pages map[uint32]*[pageSize]byte
+}
+
+// NewMemory returns an empty address space.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint32]*[pageSize]byte)}
+}
+
+func (m *Memory) page(addr uint32, alloc bool) *[pageSize]byte {
+	pn := addr >> pageShift
+	p := m.pages[pn]
+	if p == nil && alloc {
+		p = new([pageSize]byte)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// Read8 reads one byte.
+func (m *Memory) Read8(addr uint32) byte {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&pageMask]
+}
+
+// Write8 writes one byte.
+func (m *Memory) Write8(addr uint32, v byte) {
+	m.page(addr, true)[addr&pageMask] = v
+}
+
+// Read16 reads a little-endian halfword (no alignment requirement).
+func (m *Memory) Read16(addr uint32) uint16 {
+	if addr&pageMask <= pageSize-2 {
+		if p := m.page(addr, false); p != nil {
+			return binary.LittleEndian.Uint16(p[addr&pageMask:])
+		}
+		return 0
+	}
+	return uint16(m.Read8(addr)) | uint16(m.Read8(addr+1))<<8
+}
+
+// Write16 writes a little-endian halfword.
+func (m *Memory) Write16(addr uint32, v uint16) {
+	if addr&pageMask <= pageSize-2 {
+		binary.LittleEndian.PutUint16(m.page(addr, true)[addr&pageMask:], v)
+		return
+	}
+	m.Write8(addr, byte(v))
+	m.Write8(addr+1, byte(v>>8))
+}
+
+// Read32 reads a little-endian word.
+func (m *Memory) Read32(addr uint32) uint32 {
+	if addr&pageMask <= pageSize-4 {
+		if p := m.page(addr, false); p != nil {
+			return binary.LittleEndian.Uint32(p[addr&pageMask:])
+		}
+		return 0
+	}
+	return uint32(m.Read16(addr)) | uint32(m.Read16(addr+2))<<16
+}
+
+// Write32 writes a little-endian word.
+func (m *Memory) Write32(addr uint32, v uint32) {
+	if addr&pageMask <= pageSize-4 {
+		binary.LittleEndian.PutUint32(m.page(addr, true)[addr&pageMask:], v)
+		return
+	}
+	m.Write16(addr, uint16(v))
+	m.Write16(addr+2, uint16(v>>16))
+}
+
+// WriteBytes copies a byte slice into memory starting at addr.
+func (m *Memory) WriteBytes(addr uint32, b []byte) {
+	for i, v := range b {
+		m.Write8(addr+uint32(i), v)
+	}
+}
+
+// MappedPages reports how many pages have been allocated (test hook).
+func (m *Memory) MappedPages() int { return len(m.pages) }

@@ -1,0 +1,74 @@
+package emu
+
+import "fmt"
+
+// Oracle serves the correct-path dynamic instruction stream to the
+// timing simulator by random access over a sliding window. The window
+// grows forward on demand (At steps the underlying machine lazily) and is
+// trimmed from the back by Release as the pipeline retires instructions.
+type Oracle struct {
+	m       *Machine
+	base    uint64   // Seq of window[0]
+	window  []Record // records [base, base+len)
+	done    bool     // machine has halted; no records past the window
+	stepErr error
+}
+
+// NewOracle wraps a freshly constructed machine.
+func NewOracle(m *Machine) *Oracle {
+	return &Oracle{m: m}
+}
+
+// At returns the correct-path record with dynamic sequence number seq.
+// ok is false when seq is past the end of the program. Asking for a
+// sequence number that has already been released panics: it indicates a
+// retirement-ordering bug in the pipeline.
+func (o *Oracle) At(seq uint64) (Record, bool) {
+	if seq < o.base {
+		panic(fmt.Sprintf("emu: oracle record %d already released (base %d)", seq, o.base))
+	}
+	for seq >= o.base+uint64(len(o.window)) {
+		if o.done {
+			return Record{}, false
+		}
+		rec, err := o.m.Step()
+		if err != nil {
+			o.stepErr = err
+			o.done = true
+			return Record{}, false
+		}
+		o.window = append(o.window, rec)
+		if o.m.Halted {
+			o.done = true
+		}
+	}
+	return o.window[seq-o.base], true
+}
+
+// Err reports an execution error encountered while extending the window
+// (illegal instruction); nil for a normal HALT.
+func (o *Oracle) Err() error { return o.stepErr }
+
+// Release discards all records with Seq < upTo. The pipeline calls this
+// as instructions retire.
+func (o *Oracle) Release(upTo uint64) {
+	if upTo <= o.base {
+		return
+	}
+	n := upTo - o.base
+	if n >= uint64(len(o.window)) {
+		o.window = o.window[:0]
+		o.base = upTo
+		return
+	}
+	copy(o.window, o.window[n:])
+	o.window = o.window[:uint64(len(o.window))-n]
+	o.base = upTo
+}
+
+// WindowLen reports the number of buffered records (test hook).
+func (o *Oracle) WindowLen() int { return len(o.window) }
+
+// Machine exposes the underlying architectural machine (for final-state
+// checks and program output).
+func (o *Oracle) Machine() *Machine { return o.m }

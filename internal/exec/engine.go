@@ -1,0 +1,404 @@
+package exec
+
+import (
+	"tcsim/internal/cache"
+	"tcsim/internal/isa"
+)
+
+// Config sizes the backend. Zero values take the paper's configuration.
+type Config struct {
+	Clusters            int // paper: 4
+	FUsPerCluster       int // paper: 4
+	RSPerFU             int // paper: 32
+	WindowSize          int // in-flight instruction cap
+	CrossClusterPenalty int // paper: 1 extra cycle
+	IntLatency          int // simple ALU / branch / scaled-add
+	MulLatency          int
+	DivLatency          int
+	AgenLatency         int // address generation before the D-cache access
+}
+
+// DefaultConfig is the paper's backend.
+func DefaultConfig() Config {
+	return Config{
+		Clusters:            4,
+		FUsPerCluster:       4,
+		RSPerFU:             32,
+		WindowSize:          512,
+		CrossClusterPenalty: 1,
+		IntLatency:          1,
+		MulLatency:          3,
+		DivLatency:          12,
+		AgenLatency:         1,
+	}
+}
+
+func (c Config) normalize() Config {
+	d := DefaultConfig()
+	if c.Clusters <= 0 {
+		c.Clusters = d.Clusters
+	}
+	if c.FUsPerCluster <= 0 {
+		c.FUsPerCluster = d.FUsPerCluster
+	}
+	if c.RSPerFU <= 0 {
+		c.RSPerFU = d.RSPerFU
+	}
+	if c.WindowSize <= 0 {
+		c.WindowSize = d.WindowSize
+	}
+	if c.CrossClusterPenalty <= 0 {
+		c.CrossClusterPenalty = d.CrossClusterPenalty
+	}
+	if c.IntLatency <= 0 {
+		c.IntLatency = d.IntLatency
+	}
+	if c.MulLatency <= 0 {
+		c.MulLatency = d.MulLatency
+	}
+	if c.DivLatency <= 0 {
+		c.DivLatency = d.DivLatency
+	}
+	if c.AgenLatency <= 0 {
+		c.AgenLatency = d.AgenLatency
+	}
+	return c
+}
+
+// Stats counts backend activity.
+type Stats struct {
+	Dispatched     uint64
+	LoadsForwarded uint64
+	LoadsAccessed  uint64
+	LoadsBlocked   uint64 // load-cycles spent blocked behind unknown store addresses
+}
+
+// Engine is the out-of-order backend: the instruction window, the
+// clustered reservation stations and functional units, and the memory
+// scheduler.
+type Engine struct {
+	cfg  Config
+	hier *cache.Hierarchy
+
+	window  []*UOp // fetch order; pruned as the head retires/dies
+	rsCount []int  // occupied RS entries per FU
+
+	Stats Stats
+}
+
+// NewEngine builds a backend over the given memory hierarchy.
+func NewEngine(cfg Config, hier *cache.Hierarchy) *Engine {
+	cfg = cfg.normalize()
+	return &Engine{
+		cfg:     cfg,
+		hier:    hier,
+		rsCount: make([]int, cfg.Clusters*cfg.FUsPerCluster),
+	}
+}
+
+// Config returns the normalized configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// FUs returns the number of functional units (= issue slots).
+func (e *Engine) FUs() int { return e.cfg.Clusters * e.cfg.FUsPerCluster }
+
+// WindowSpace reports how many more uops fit in the window.
+func (e *Engine) WindowSpace() int { return e.cfg.WindowSize - e.liveCount() }
+
+func (e *Engine) liveCount() int {
+	n := 0
+	for _, u := range e.window {
+		if !u.Dead && !u.Retired {
+			n++
+		}
+	}
+	return n
+}
+
+// RSSpaceFor reports whether the reservation stations can absorb a group
+// of uops destined for the given FU slots.
+func (e *Engine) RSSpaceFor(slots []int) bool {
+	need := make(map[int]int, len(slots))
+	for _, s := range slots {
+		need[s]++
+	}
+	for s, n := range need {
+		if e.rsCount[s]+n > e.cfg.RSPerFU {
+			return false
+		}
+	}
+	return true
+}
+
+// Issue adds a renamed uop to the window (and its FU's reservation
+// station when it needs one). The caller has already checked space.
+func (e *Engine) Issue(u *UOp, cycle uint64) {
+	u.IssueCycle = cycle
+	u.Cluster = u.FU / e.cfg.FUsPerCluster
+	switch {
+	case u.MoveBit:
+		// Executes in rename; result adopted from the producer.
+		u.State = StateInRS // no RS entry; tracked for adoption
+		e.tryAdoptMove(u)
+	case !u.NeedsFU():
+		u.State = StateComplete
+		u.Resolved = true // direct jumps never mispredict
+		u.HasResult = true
+		u.ResultTime = cycle
+		u.ResultCluster = GlobalCluster
+	default:
+		u.State = StateInRS
+		u.InRS = true
+		e.rsCount[u.FU]++
+	}
+	e.window = append(e.window, u)
+}
+
+// tryAdoptMove completes a rename-executed move once its producer has a
+// scheduled result: the move shares the producer's tag, so its value
+// appears exactly when (and where) the producer's does.
+func (e *Engine) tryAdoptMove(u *UOp) {
+	if u.HasResult {
+		return
+	}
+	if u.NSrc == 0 || u.SrcProd[0] == nil || u.SrcProd[0].Dead {
+		u.HasResult = true
+		u.ResultTime = u.IssueCycle
+		u.ResultCluster = GlobalCluster
+		u.State = StateComplete
+		return
+	}
+	p := u.SrcProd[0]
+	if p.HasResult {
+		u.HasResult = true
+		u.ResultTime = p.ResultTime
+		if u.ResultTime < u.IssueCycle {
+			u.ResultTime = u.IssueCycle
+		}
+		u.ResultCluster = p.ResultCluster
+		u.State = StateComplete
+	}
+}
+
+// latency returns the execution latency of a non-memory operation.
+func (e *Engine) latency(op isa.Op) int {
+	switch op {
+	case isa.MUL:
+		return e.cfg.MulLatency
+	case isa.DIV:
+		return e.cfg.DivLatency
+	default:
+		return e.cfg.IntLatency
+	}
+}
+
+// Cycle advances the backend one cycle: adopts move results, dispatches
+// ready uops (one per FU, oldest first), computes store data
+// availability, and runs the memory scheduler.
+func (e *Engine) Cycle(c uint64) {
+	// Dispatch: oldest ready uop per FU. The window is in Seq order, so
+	// the first ready candidate per FU is the oldest.
+	nFU := e.FUs()
+	dispatched := make([]bool, nFU)
+	for _, u := range e.window {
+		if u.Dead || !u.InRS || dispatched[u.FU] {
+			continue
+		}
+		ready, delayed, known := u.readyAt(u.Cluster, e.cfg.CrossClusterPenalty, u.IsMem())
+		if !known || ready > c {
+			continue
+		}
+		dispatched[u.FU] = true
+		u.InRS = false
+		e.rsCount[u.FU]--
+		u.DispatchCycle = c
+		u.BypassDelayed = delayed
+		u.HadOperands = u.NSrc > 0
+		e.Stats.Dispatched++
+
+		switch {
+		case u.IsMem():
+			u.AddrTime = c + uint64(e.cfg.AgenLatency)
+			u.AddrKnown = true
+			if u.IsLoad() {
+				u.State = StateWaitMem
+			} else {
+				u.State = StateExecuting // store: waits for data
+			}
+		default:
+			u.HasResult = true
+			u.ResultTime = c + uint64(e.latency(u.Inst.Op))
+			u.ResultCluster = u.Cluster
+			u.State = StateComplete
+		}
+	}
+
+	// Move adoption after dispatch: a move whose producer scheduled this
+	// cycle adopts the producer's result timing immediately.
+	for _, u := range e.window {
+		if u.MoveBit && !u.Dead && !u.HasResult {
+			e.tryAdoptMove(u)
+		}
+	}
+
+	// Store data availability (data operands need not be ready at AGEN).
+	for _, u := range e.window {
+		if u.Dead || !u.IsStore() || !u.AddrKnown || u.State == StateComplete {
+			continue
+		}
+		t, ok := e.storeDataAvail(u)
+		if ok && t <= c {
+			u.DataAvail = t
+			u.State = StateComplete
+		}
+	}
+
+	e.memSchedule(c)
+}
+
+// storeDataAvail returns when the store's data operands are available in
+// its cluster.
+func (e *Engine) storeDataAvail(u *UOp) (uint64, bool) {
+	t := u.AddrTime
+	for k := 0; k < u.NSrc; k++ {
+		if u.SrcAddr[k] {
+			continue
+		}
+		a, ok := u.operandAvail(k, u.Cluster, e.cfg.CrossClusterPenalty)
+		if !ok {
+			return 0, false
+		}
+		if a > t {
+			t = a
+		}
+	}
+	return t, true
+}
+
+// memSchedule implements the paper's memory scheduler: it "waits for
+// addresses to be generated before scheduling memory operations", and
+// "no memory operation can bypass a store with an unknown address".
+// Loads with a known address either forward from the youngest older
+// store to the same word (once its data is ready) or access the data
+// cache.
+func (e *Engine) memSchedule(c uint64) {
+	for _, u := range e.window {
+		if u.Dead || u.State != StateWaitMem || u.AddrTime > c {
+			continue
+		}
+		blocked := false
+		var match *UOp
+		for _, s := range e.window {
+			if s.Seq >= u.Seq {
+				break
+			}
+			if s.Dead || s.Retired || !s.IsStore() {
+				continue
+			}
+			if !s.AddrKnown || s.AddrTime > c {
+				blocked = true
+				break
+			}
+			if s.EA>>2 == u.EA>>2 {
+				match = s // youngest older matching store wins
+			}
+		}
+		if blocked {
+			e.Stats.LoadsBlocked++
+			continue
+		}
+		if match != nil {
+			// Forward once the store's data is ready.
+			t, ok := e.storeDataAvail(match)
+			if !ok || t > c {
+				continue
+			}
+			u.HasResult = true
+			u.ResultTime = c + 1
+			u.ResultCluster = u.Cluster
+			u.State = StateComplete
+			e.Stats.LoadsForwarded++
+			continue
+		}
+		// Access the hierarchy. Wrong-path loads consume scheduler slots
+		// but are not allowed to pollute the caches: their synthetic
+		// addresses would displace real working-set lines.
+		lat := e.hier.P.L1DLatency
+		if u.OnPath {
+			lat = e.hier.DataAccess(u.EA, false)
+		}
+		u.HasResult = true
+		u.ResultTime = c + uint64(lat)
+		u.ResultCluster = u.Cluster
+		u.State = StateComplete
+		e.Stats.LoadsAccessed++
+	}
+}
+
+// CompletedBy reports whether the uop has finished all execution it owes
+// by cycle c (the retirement condition, alongside program order).
+func (u *UOp) CompletedBy(c uint64) bool {
+	if u.IsStore() {
+		return u.State == StateComplete && u.AddrTime <= c && u.DataAvail <= c
+	}
+	if u.MoveBit {
+		return u.HasResult && u.ResultTime <= c
+	}
+	return u.State == StateComplete && (!u.HasResult || u.ResultTime <= c)
+}
+
+// RetireStore performs the store's architectural cache write (stores
+// update the data cache at retirement, in order).
+func (e *Engine) RetireStore(u *UOp) {
+	if u.OnPath {
+		e.hier.DataAccess(u.EA, true)
+	}
+}
+
+// Window exposes the live window in fetch order (oldest first).
+func (e *Engine) Window() []*UOp { return e.window }
+
+// Prune drops retired and dead uops from the head of the window.
+func (e *Engine) Prune() {
+	i := 0
+	for i < len(e.window) && (e.window[i].Retired || e.window[i].Dead) {
+		i++
+	}
+	if i > 0 {
+		e.window = append(e.window[:0], e.window[i:]...)
+	}
+}
+
+// Kill marks a uop dead and releases its reservation-station entry.
+func (e *Engine) Kill(u *UOp) {
+	if u.Dead {
+		return
+	}
+	u.Dead = true
+	if u.InRS {
+		u.InRS = false
+		e.rsCount[u.FU]--
+	}
+}
+
+// SquashAfter kills every uop with Seq > cutoff for which keep returns
+// false (keep lets recovery preserve activated inactive instructions —
+// in practice keep is only consulted for uops in the guard's own fetch
+// group). It returns the number killed.
+func (e *Engine) SquashAfter(cutoff uint64, keep func(*UOp) bool) int {
+	n := 0
+	for _, u := range e.window {
+		if u.Seq <= cutoff || u.Dead || u.Retired {
+			continue
+		}
+		if keep != nil && keep(u) {
+			continue
+		}
+		e.Kill(u)
+		n++
+	}
+	return n
+}
+
+// RSOccupancy returns the occupied entry count for a FU (test hook).
+func (e *Engine) RSOccupancy(fu int) int { return e.rsCount[fu] }

@@ -1,0 +1,48 @@
+package isa
+
+import "fmt"
+
+// Disasm renders the instruction in assembler syntax. pc is used to
+// resolve PC-relative branch targets; pass 0 to print raw offsets.
+func Disasm(i Inst, pc uint32) string {
+	switch i.Op {
+	case NOP, HALT:
+		return i.Op.String()
+	case ADD, SUB, AND, OR, XOR, NOR, SLT, SLTU, SLLV, SRLV, SRAV, MUL, DIV:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, i.Rd, i.Rs, i.Rt)
+	case LWX:
+		return fmt.Sprintf("lwx %s, %s(%s)", i.Rd, i.Rt, i.Rs)
+	case SWX:
+		return fmt.Sprintf("swx %s, %s(%s)", i.Rd, i.Rt, i.Rs)
+	case JR:
+		return fmt.Sprintf("jr %s", i.Rs)
+	case JALR:
+		return fmt.Sprintf("jalr %s, %s", i.Rd, i.Rs)
+	case ADDI, SLTI, SLTIU, ANDI, ORI, XORI:
+		return fmt.Sprintf("%s %s, %s, %d", i.Op, i.Rt, i.Rs, i.Imm)
+	case LUI:
+		return fmt.Sprintf("lui %s, %d", i.Rt, i.Imm)
+	case SLLI, SRLI, SRAI:
+		return fmt.Sprintf("%s %s, %s, %d", i.Op, i.Rt, i.Rs, i.Imm)
+	case LB, LBU, LH, LHU, LW, SB, SH, SW:
+		return fmt.Sprintf("%s %s, %d(%s)", i.Op, i.Rt, i.Imm, i.Rs)
+	case BEQ, BNE:
+		if pc != 0 {
+			return fmt.Sprintf("%s %s, %s, 0x%x", i.Op, i.Rs, i.Rt, i.BranchTarget(pc))
+		}
+		return fmt.Sprintf("%s %s, %s, %d", i.Op, i.Rs, i.Rt, i.Imm)
+	case BLEZ, BGTZ, BLTZ, BGEZ:
+		if pc != 0 {
+			return fmt.Sprintf("%s %s, 0x%x", i.Op, i.Rs, i.BranchTarget(pc))
+		}
+		return fmt.Sprintf("%s %s, %d", i.Op, i.Rs, i.Imm)
+	case J, JAL:
+		return fmt.Sprintf("%s 0x%x", i.Op, uint32(i.Imm)*InstBytes)
+	case OUT:
+		return fmt.Sprintf("out %s", i.Rs)
+	}
+	return "bad"
+}
+
+// String renders the instruction without PC context.
+func (i Inst) String() string { return Disasm(i, 0) }

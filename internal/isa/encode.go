@@ -1,0 +1,249 @@
+package isa
+
+import "fmt"
+
+// Binary encoding, MIPS-style:
+//
+//	R-type: opcode[31:26]=0  rs[25:21] rt[20:16] rd[15:11] shamt[10:6] funct[5:0]
+//	I-type: opcode[31:26]    rs[25:21] rt[20:16] imm[15:0]
+//	J-type: opcode[31:26]    target[25:0]        (word address)
+//
+// Conditional branch immediates are signed word offsets relative to the
+// *next* instruction (no delay slots in TCR). Shift-immediate operations
+// carry the shift amount in the low 5 bits of imm.
+
+// Primary opcode field values.
+const (
+	popSpecial = 0x00
+	popRegimm  = 0x01
+	popJ       = 0x02
+	popJAL     = 0x03
+	popBEQ     = 0x04
+	popBNE     = 0x05
+	popBLEZ    = 0x06
+	popBGTZ    = 0x07
+	popADDI    = 0x08
+	popSLTI    = 0x0A
+	popSLTIU   = 0x0B
+	popANDI    = 0x0C
+	popORI     = 0x0D
+	popXORI    = 0x0E
+	popLUI     = 0x0F
+	popSLLI    = 0x10
+	popSRLI    = 0x11
+	popSRAI    = 0x12
+	popLB      = 0x20
+	popLH      = 0x21
+	popLW      = 0x23
+	popLBU     = 0x24
+	popLHU     = 0x25
+	popSB      = 0x28
+	popSH      = 0x29
+	popSW      = 0x2B
+	popOUT     = 0x3E
+	popHALT    = 0x3F
+)
+
+// SPECIAL funct field values.
+const (
+	fnNOP  = 0x00
+	fnSLLV = 0x04
+	fnSRLV = 0x06
+	fnSRAV = 0x07
+	fnJR   = 0x08
+	fnJALR = 0x09
+	fnMUL  = 0x18
+	fnDIV  = 0x1A
+	fnADD  = 0x20
+	fnSUB  = 0x22
+	fnAND  = 0x24
+	fnOR   = 0x25
+	fnXOR  = 0x26
+	fnNOR  = 0x27
+	fnSLT  = 0x2A
+	fnSLTU = 0x2B
+	fnLWX  = 0x30
+	fnSWX  = 0x31
+)
+
+// REGIMM rt field values.
+const (
+	riBLTZ = 0x00
+	riBGEZ = 0x01
+)
+
+var rTypeFunct = map[Op]uint32{
+	NOP: fnNOP, SLLV: fnSLLV, SRLV: fnSRLV, SRAV: fnSRAV,
+	JR: fnJR, JALR: fnJALR, MUL: fnMUL, DIV: fnDIV,
+	ADD: fnADD, SUB: fnSUB, AND: fnAND, OR: fnOR, XOR: fnXOR, NOR: fnNOR,
+	SLT: fnSLT, SLTU: fnSLTU, LWX: fnLWX, SWX: fnSWX,
+}
+
+var functToOp = func() map[uint32]Op {
+	m := make(map[uint32]Op, len(rTypeFunct))
+	for op, fn := range rTypeFunct {
+		m[fn] = op
+	}
+	return m
+}()
+
+var iTypePop = map[Op]uint32{
+	ADDI: popADDI, SLTI: popSLTI, SLTIU: popSLTIU, ANDI: popANDI,
+	ORI: popORI, XORI: popXORI, LUI: popLUI,
+	SLLI: popSLLI, SRLI: popSRLI, SRAI: popSRAI,
+	LB: popLB, LH: popLH, LW: popLW, LBU: popLBU, LHU: popLHU,
+	SB: popSB, SH: popSH, SW: popSW,
+	BEQ: popBEQ, BNE: popBNE, BLEZ: popBLEZ, BGTZ: popBGTZ,
+	OUT: popOUT, HALT: popHALT,
+}
+
+var popToOp = func() map[uint32]Op {
+	m := make(map[uint32]Op, len(iTypePop))
+	for op, p := range iTypePop {
+		m[p] = op
+	}
+	return m
+}()
+
+// Encode packs the decoded instruction into its 32-bit binary form.
+// It returns an error when a field is out of range (immediates that do
+// not fit 16 bits, shift amounts above 31, jump targets above 26 bits).
+func Encode(i Inst) (Word, error) {
+	reg := func(r Reg) uint32 { return uint32(r) & 31 }
+	switch i.Op {
+	case NOP:
+		return 0, nil
+	case ADD, SUB, AND, OR, XOR, NOR, SLT, SLTU, SLLV, SRLV, SRAV, MUL, DIV, LWX, SWX:
+		return reg(i.Rs)<<21 | reg(i.Rt)<<16 | reg(i.Rd)<<11 | rTypeFunct[i.Op], nil
+	case JR:
+		return reg(i.Rs)<<21 | fnJR, nil
+	case JALR:
+		return reg(i.Rs)<<21 | reg(i.Rd)<<11 | fnJALR, nil
+	case SLLI, SRLI, SRAI:
+		if i.Imm < 0 || i.Imm > 31 {
+			return 0, fmt.Errorf("isa: %s shift amount %d out of range [0,31]", i.Op, i.Imm)
+		}
+		return iTypePop[i.Op]<<26 | reg(i.Rs)<<21 | reg(i.Rt)<<16 | uint32(i.Imm), nil
+	case ADDI, SLTI, SLTIU, LB, LH, LW, LBU, LHU, SB, SH, SW, BEQ, BNE, BLEZ, BGTZ, LUI:
+		if i.Imm < -32768 || i.Imm > 32767 {
+			return 0, fmt.Errorf("isa: %s immediate %d does not fit 16 signed bits", i.Op, i.Imm)
+		}
+		return iTypePop[i.Op]<<26 | reg(i.Rs)<<21 | reg(i.Rt)<<16 | uint32(uint16(i.Imm)), nil
+	case ANDI, ORI, XORI:
+		if i.Imm < 0 || i.Imm > 0xFFFF {
+			return 0, fmt.Errorf("isa: %s immediate %d does not fit 16 unsigned bits", i.Op, i.Imm)
+		}
+		return iTypePop[i.Op]<<26 | reg(i.Rs)<<21 | reg(i.Rt)<<16 | uint32(i.Imm), nil
+	case BLTZ:
+		if i.Imm < -32768 || i.Imm > 32767 {
+			return 0, fmt.Errorf("isa: bltz offset %d does not fit 16 bits", i.Imm)
+		}
+		return popRegimm<<26 | reg(i.Rs)<<21 | riBLTZ<<16 | uint32(uint16(i.Imm)), nil
+	case BGEZ:
+		if i.Imm < -32768 || i.Imm > 32767 {
+			return 0, fmt.Errorf("isa: bgez offset %d does not fit 16 bits", i.Imm)
+		}
+		return popRegimm<<26 | reg(i.Rs)<<21 | riBGEZ<<16 | uint32(uint16(i.Imm)), nil
+	case J, JAL:
+		if i.Imm < 0 || i.Imm >= 1<<26 {
+			return 0, fmt.Errorf("isa: jump target %d does not fit 26 bits", i.Imm)
+		}
+		pop := uint32(popJ)
+		if i.Op == JAL {
+			pop = popJAL
+		}
+		return pop<<26 | uint32(i.Imm), nil
+	case OUT:
+		return popOUT<<26 | reg(i.Rs)<<21, nil
+	case HALT:
+		return popHALT << 26, nil
+	}
+	return 0, fmt.Errorf("isa: cannot encode op %v", i.Op)
+}
+
+// MustEncode is Encode but panics on error; it is used by the
+// workload builders, whose operands are constructed in range.
+func MustEncode(i Inst) Word {
+	w, err := Encode(i)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Decode unpacks a 32-bit binary instruction. Unrecognized encodings
+// decode to Op BAD rather than returning an error so the pipeline can
+// model wrong-path fetches of non-code bytes harmlessly.
+func Decode(w Word) Inst {
+	pop := w >> 26
+	rs := Reg(w >> 21 & 31)
+	rt := Reg(w >> 16 & 31)
+	rd := Reg(w >> 11 & 31)
+	imm16 := int32(int16(w & 0xFFFF))
+	uimm16 := int32(w & 0xFFFF)
+
+	switch pop {
+	case popSpecial:
+		fn := w & 0x3F
+		op, ok := functToOp[fn]
+		if !ok {
+			return Inst{Op: BAD}
+		}
+		switch op {
+		case NOP:
+			if w == 0 {
+				return Inst{Op: NOP}
+			}
+			return Inst{Op: BAD}
+		case JR:
+			return Inst{Op: JR, Rs: rs}
+		case JALR:
+			return Inst{Op: JALR, Rs: rs, Rd: rd}
+		default:
+			return Inst{Op: op, Rs: rs, Rt: rt, Rd: rd}
+		}
+	case popRegimm:
+		switch uint32(rt) {
+		case riBLTZ:
+			return Inst{Op: BLTZ, Rs: rs, Imm: imm16}
+		case riBGEZ:
+			return Inst{Op: BGEZ, Rs: rs, Imm: imm16}
+		}
+		return Inst{Op: BAD}
+	case popJ:
+		return Inst{Op: J, Imm: int32(w & 0x03FFFFFF)}
+	case popJAL:
+		return Inst{Op: JAL, Imm: int32(w & 0x03FFFFFF)}
+	case popOUT:
+		return Inst{Op: OUT, Rs: rs}
+	case popHALT:
+		return Inst{Op: HALT}
+	}
+
+	op, ok := popToOp[pop]
+	if !ok {
+		return Inst{Op: BAD}
+	}
+	switch op {
+	case ANDI, ORI, XORI:
+		return Inst{Op: op, Rs: rs, Rt: rt, Imm: uimm16}
+	case SLLI, SRLI, SRAI:
+		return Inst{Op: op, Rs: rs, Rt: rt, Imm: int32(w & 31)}
+	default:
+		return Inst{Op: op, Rs: rs, Rt: rt, Imm: imm16}
+	}
+}
+
+// BranchTarget computes the target address of a direct control transfer
+// located at pc. For conditional branches the immediate is a signed word
+// offset from pc+4; for jumps it is a 26-bit word address within the
+// current 256MB region.
+func (i Inst) BranchTarget(pc uint32) uint32 {
+	switch {
+	case i.Op.IsCondBranch():
+		return pc + InstBytes + uint32(i.Imm)*InstBytes
+	case i.Op.IsUncondJump():
+		return pc&0xF0000000 | uint32(i.Imm)*InstBytes
+	}
+	return 0
+}

@@ -1,0 +1,518 @@
+// Package isa defines the TCR instruction set architecture used by the
+// simulator: a 32-bit MIPS-like RISC ISA modelled on the SimpleScalar
+// instruction set the paper uses (a superset of MIPS-IV with architected
+// delay slots removed and indexed register+register memory operations
+// added).
+//
+// The package provides the opcode space, binary encoding and decoding,
+// a disassembler, and the instruction-classification predicates the fill
+// unit's dynamic optimizations key off (register-move idioms, pairable
+// immediate instructions, short immediate shifts).
+package isa
+
+import "fmt"
+
+// Reg names an architectural register. The ISA has 32 general purpose
+// registers; R0 always reads as zero and writes to it are discarded.
+type Reg uint8
+
+// Register conventions, loosely following the MIPS o32 ABI. Only ZERO,
+// SP, GP and RA carry semantics inside the toolchain; the rest are
+// convention used by the workload generators.
+const (
+	R0   Reg = 0 // hardwired zero
+	AT   Reg = 1 // assembler temporary
+	V0   Reg = 2 // results
+	V1   Reg = 3
+	A0   Reg = 4 // arguments
+	A1   Reg = 5
+	A2   Reg = 6
+	A3   Reg = 7
+	T0   Reg = 8 // caller-saved temporaries
+	T1   Reg = 9
+	T2   Reg = 10
+	T3   Reg = 11
+	T4   Reg = 12
+	T5   Reg = 13
+	T6   Reg = 14
+	T7   Reg = 15
+	S0   Reg = 16 // callee-saved
+	S1   Reg = 17
+	S2   Reg = 18
+	S3   Reg = 19
+	S4   Reg = 20
+	S5   Reg = 21
+	S6   Reg = 22
+	S7   Reg = 23
+	T8   Reg = 24
+	T9   Reg = 25
+	K0   Reg = 26
+	K1   Reg = 27
+	GP   Reg = 28 // global pointer (static data base)
+	SP   Reg = 29 // stack pointer
+	FP   Reg = 30 // frame pointer
+	RA   Reg = 31 // return address
+	ZERO     = R0
+)
+
+// NumRegs is the size of the architectural register file.
+const NumRegs = 32
+
+var regNames = [NumRegs]string{
+	"zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+	"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+	"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+	"t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+}
+
+// String returns the conventional ABI name of the register (e.g. "t0").
+func (r Reg) String() string {
+	if int(r) < len(regNames) {
+		return regNames[r]
+	}
+	return fmt.Sprintf("r%d?", uint8(r))
+}
+
+// RegByName maps an ABI name ("t0") or numeric name ("r8") to a register.
+func RegByName(name string) (Reg, bool) {
+	for i, n := range regNames {
+		if n == name {
+			return Reg(i), true
+		}
+	}
+	var n int
+	if _, err := fmt.Sscanf(name, "r%d", &n); err == nil && n >= 0 && n < NumRegs {
+		return Reg(n), true
+	}
+	return 0, false
+}
+
+// Op enumerates TCR operations.
+type Op uint8
+
+const (
+	BAD Op = iota // illegal / unrecognized encoding
+
+	NOP // no operation
+
+	// Three-register ALU operations (R-type).
+	ADD  // rd <- rs + rt
+	SUB  // rd <- rs - rt
+	AND  // rd <- rs & rt
+	OR   // rd <- rs | rt
+	XOR  // rd <- rs ^ rt
+	NOR  // rd <- ^(rs | rt)
+	SLT  // rd <- signed(rs) < signed(rt)
+	SLTU // rd <- unsigned(rs) < unsigned(rt)
+	SLLV // rd <- rs << (rt & 31)
+	SRLV // rd <- logical rs >> (rt & 31)
+	SRAV // rd <- arithmetic rs >> (rt & 31)
+	MUL  // rd <- low 32 bits of rs * rt
+	DIV  // rd <- rs / rt (signed; division by zero yields 0)
+
+	// Indexed memory operations (register + register addressing), the
+	// SimpleScalar extension to MIPS-IV.
+	LWX // rd <- mem32[rs + rt]
+	SWX // mem32[rs + rt] <- rd
+
+	// Register-indirect control flow.
+	JR   // pc <- rs
+	JALR // rd <- return address; pc <- rs
+
+	// Immediate ALU operations (I-type; imm is sign-extended unless noted).
+	ADDI  // rt <- rs + imm
+	ANDI  // rt <- rs & zext(imm)
+	ORI   // rt <- rs | zext(imm)
+	XORI  // rt <- rs ^ zext(imm)
+	SLTI  // rt <- signed(rs) < imm
+	SLTIU // rt <- unsigned(rs) < unsigned(sext(imm))
+	LUI   // rt <- imm << 16
+	SLLI  // rt <- rs << shamt
+	SRLI  // rt <- logical rs >> shamt
+	SRAI  // rt <- arithmetic rs >> shamt
+
+	// Displacement memory operations: address = rs + sext(imm).
+	LB  // rt <- sext(mem8[addr])
+	LBU // rt <- zext(mem8[addr])
+	LH  // rt <- sext(mem16[addr])
+	LHU // rt <- zext(mem16[addr])
+	LW  // rt <- mem32[addr]
+	SB  // mem8[addr] <- rt
+	SH  // mem16[addr] <- rt
+	SW  // mem32[addr] <- rt
+
+	// Conditional branches, PC-relative: target = pc + 4 + imm*4.
+	BEQ  // taken if rs == rt
+	BNE  // taken if rs != rt
+	BLEZ // taken if signed(rs) <= 0
+	BGTZ // taken if signed(rs) > 0
+	BLTZ // taken if signed(rs) < 0
+	BGEZ // taken if signed(rs) >= 0
+
+	// Absolute jumps (J-type): target = (pc & 0xF0000000) | imm*4.
+	J   // unconditional jump
+	JAL // ra <- return address; jump
+
+	// System operations (serializing).
+	HALT // stop the program
+	OUT  // append the low byte of rs to the program's output stream
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	BAD: "bad", NOP: "nop",
+	ADD: "add", SUB: "sub", AND: "and", OR: "or", XOR: "xor", NOR: "nor",
+	SLT: "slt", SLTU: "sltu", SLLV: "sllv", SRLV: "srlv", SRAV: "srav",
+	MUL: "mul", DIV: "div",
+	LWX: "lwx", SWX: "swx",
+	JR: "jr", JALR: "jalr",
+	ADDI: "addi", ANDI: "andi", ORI: "ori", XORI: "xori",
+	SLTI: "slti", SLTIU: "sltiu", LUI: "lui",
+	SLLI: "slli", SRLI: "srli", SRAI: "srai",
+	LB: "lb", LBU: "lbu", LH: "lh", LHU: "lhu", LW: "lw",
+	SB: "sb", SH: "sh", SW: "sw",
+	BEQ: "beq", BNE: "bne", BLEZ: "blez", BGTZ: "bgtz", BLTZ: "bltz", BGEZ: "bgez",
+	J: "j", JAL: "jal",
+	HALT: "halt", OUT: "out",
+}
+
+// String returns the assembler mnemonic for the operation.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op%d?", uint8(o))
+}
+
+// OpByName maps a mnemonic back to its operation.
+func OpByName(name string) (Op, bool) {
+	for i, n := range opNames {
+		if n == name && n != "" {
+			return Op(i), true
+		}
+	}
+	return BAD, false
+}
+
+// NumOps reports the number of defined operations (including BAD and NOP).
+func NumOps() int { return int(numOps) }
+
+// Inst is a decoded TCR instruction. The register fields follow the
+// hardware roles: Rd is the R-type destination, Rs/Rt the sources; for
+// I-type operations Rt is the destination (loads, immediates) or the
+// stored value (stores), matching MIPS conventions. Use Dest and Sources
+// for a role-independent view.
+type Inst struct {
+	Op  Op
+	Rd  Reg
+	Rs  Reg
+	Rt  Reg
+	Imm int32 // sign-extended immediate, shift amount, or jump word target
+}
+
+// Word is a convenience alias for a raw 32-bit instruction encoding.
+type Word = uint32
+
+// InstBytes is the size of one encoded instruction in bytes.
+const InstBytes = 4
+
+// Dest returns the architectural destination register of the instruction
+// and whether it writes one. Writes to R0 are reported as no destination.
+func (i Inst) Dest() (Reg, bool) {
+	var d Reg
+	switch i.Op {
+	case ADD, SUB, AND, OR, XOR, NOR, SLT, SLTU, SLLV, SRLV, SRAV, MUL, DIV, LWX, JALR:
+		d = i.Rd
+	case ADDI, ANDI, ORI, XORI, SLTI, SLTIU, LUI, SLLI, SRLI, SRAI,
+		LB, LBU, LH, LHU, LW:
+		d = i.Rt
+	case JAL:
+		d = RA
+	default:
+		return 0, false
+	}
+	if d == R0 {
+		return 0, false
+	}
+	return d, true
+}
+
+// Sources returns the architectural source registers read by the
+// instruction, excluding R0 (which is constant and never creates a
+// dependency). For SWX the order is address base, address index, data.
+func (i Inst) Sources() []Reg {
+	var buf [3]Reg
+	n := i.SourceRegs(buf[:])
+	if n == 0 {
+		return nil
+	}
+	return append([]Reg(nil), buf[:n]...)
+}
+
+// OperandField names the encoding field a source operand comes from.
+type OperandField uint8
+
+const (
+	FieldRs OperandField = iota
+	FieldRt
+	FieldRd
+)
+
+// SourceOperands writes up to three source registers and their encoding
+// fields into regs/fields and returns the count, skipping R0 operands
+// (constant, no dependency). Both slices must have length >= 3.
+func (i Inst) SourceOperands(regs []Reg, fields []OperandField) int {
+	n := 0
+	add := func(r Reg, f OperandField) {
+		if r != R0 {
+			regs[n] = r
+			fields[n] = f
+			n++
+		}
+	}
+	switch i.Op {
+	case ADD, SUB, AND, OR, XOR, NOR, SLT, SLTU, SLLV, SRLV, SRAV, MUL, DIV, LWX, BEQ, BNE:
+		add(i.Rs, FieldRs)
+		add(i.Rt, FieldRt)
+	case SWX:
+		add(i.Rs, FieldRs)
+		add(i.Rt, FieldRt)
+		add(i.Rd, FieldRd)
+	case ADDI, ANDI, ORI, XORI, SLTI, SLTIU, SLLI, SRLI, SRAI,
+		LB, LBU, LH, LHU, LW, BLEZ, BGTZ, BLTZ, BGEZ, JR, JALR, OUT:
+		add(i.Rs, FieldRs)
+	case SB, SH, SW:
+		add(i.Rs, FieldRs)
+		add(i.Rt, FieldRt)
+	}
+	return n
+}
+
+// SourceRegs writes up to three source registers into dst and returns the
+// count, avoiding allocation on hot paths. dst must have length >= 3.
+func (i Inst) SourceRegs(dst []Reg) int {
+	var fields [3]OperandField
+	return i.SourceOperands(dst, fields[:])
+}
+
+// Classification predicates.
+
+// IsCondBranch reports whether the operation is a conditional branch.
+func (o Op) IsCondBranch() bool {
+	switch o {
+	case BEQ, BNE, BLEZ, BGTZ, BLTZ, BGEZ:
+		return true
+	}
+	return false
+}
+
+// IsUncondJump reports whether the operation is a direct unconditional jump.
+func (o Op) IsUncondJump() bool { return o == J || o == JAL }
+
+// IsIndirect reports whether the operation is a register-indirect jump.
+func (o Op) IsIndirect() bool { return o == JR || o == JALR }
+
+// IsControl reports whether the operation changes control flow.
+func (o Op) IsControl() bool {
+	return o.IsCondBranch() || o.IsUncondJump() || o.IsIndirect()
+}
+
+// IsCall reports whether the operation is a subroutine call.
+func (o Op) IsCall() bool { return o == JAL || o == JALR }
+
+// IsLoad reports whether the operation reads data memory.
+func (o Op) IsLoad() bool {
+	switch o {
+	case LB, LBU, LH, LHU, LW, LWX:
+		return true
+	}
+	return false
+}
+
+// IsStore reports whether the operation writes data memory.
+func (o Op) IsStore() bool {
+	switch o {
+	case SB, SH, SW, SWX:
+		return true
+	}
+	return false
+}
+
+// IsMem reports whether the operation accesses data memory.
+func (o Op) IsMem() bool { return o.IsLoad() || o.IsStore() }
+
+// IsSerializing reports whether the operation must serialize the pipeline
+// and terminates trace segments (paper section 3).
+func (o Op) IsSerializing() bool { return o == HALT || o == OUT }
+
+// IsReturn reports whether the instruction is a subroutine return
+// (jr through the link register).
+func (i Inst) IsReturn() bool { return i.Op == JR && i.Rs == RA }
+
+// MemBytes returns the access width in bytes for memory operations.
+func (o Op) MemBytes() int {
+	switch o {
+	case LB, LBU, SB:
+		return 1
+	case LH, LHU, SH:
+		return 2
+	case LW, SW, LWX, SWX:
+		return 4
+	}
+	return 0
+}
+
+// MoveSource reports whether the instruction is a register-to-register
+// move idiom, and if so returns the source register whose value is
+// copied. These are the instructions the fill unit marks with the move
+// bit so rename can execute them (paper section 4.2). Recognized idioms:
+//
+//	addi rd <- rs + 0        (rs may be R0: load constant zero)
+//	ori  rd <- rs | 0
+//	add/or/xor rd <- rs op r0, or rd <- r0 op rt
+//
+// An instruction that writes R0 is not a move (it is dead).
+func (i Inst) MoveSource() (Reg, bool) {
+	d, ok := i.Dest()
+	if !ok || d == R0 {
+		return 0, false
+	}
+	switch i.Op {
+	case ADDI, ORI, XORI:
+		if i.Imm == 0 {
+			return i.Rs, true
+		}
+	case ADD, OR, XOR:
+		if i.Rt == R0 {
+			return i.Rs, true
+		}
+		if i.Rs == R0 && i.Op != XOR {
+			// xor r0, rt is also a move of rt, but keep the common forms.
+			return i.Rt, true
+		}
+		if i.Rs == R0 && i.Op == XOR {
+			return i.Rt, true
+		}
+	case SLLI, SRLI, SRAI:
+		if i.Imm == 0 {
+			return i.Rs, true
+		}
+	}
+	return 0, false
+}
+
+// IsPairableImmediate reports whether the instruction can participate in
+// fill-unit reassociation as the *producer*: an add-immediate whose
+// destination feeds a later pairable consumer (paper section 4.3).
+func (i Inst) IsPairableImmediate() bool {
+	if i.Op != ADDI {
+		return false
+	}
+	_, ok := i.Dest()
+	return ok
+}
+
+// ReassocConsumer describes how a candidate consumer instruction uses the
+// producer's destination register for reassociation purposes.
+type ReassocConsumer uint8
+
+const (
+	// NotReassociable means the instruction cannot be reassociated.
+	NotReassociable ReassocConsumer = iota
+	// ReassocAddI means the consumer is itself an add-immediate reading
+	// the producer's destination as its base (ADDI pattern of the paper).
+	ReassocAddI
+	// ReassocMemDisp means the consumer is a displacement-mode load or
+	// store whose base register is the producer's destination; the
+	// producer's immediate can be folded into the displacement.
+	ReassocMemDisp
+)
+
+// ReassocUse classifies how inst could consume a value in register r for
+// reassociation. Stores whose *data* register is r are not reassociable
+// through that operand.
+func (i Inst) ReassocUse(r Reg) ReassocConsumer {
+	if r == R0 {
+		return NotReassociable
+	}
+	switch i.Op {
+	case ADDI:
+		if i.Rs == r {
+			return ReassocAddI
+		}
+	case LB, LBU, LH, LHU, LW:
+		if i.Rs == r {
+			return ReassocMemDisp
+		}
+	case SB, SH, SW:
+		if i.Rs == r && i.Rt != r {
+			return ReassocMemDisp
+		}
+	}
+	return NotReassociable
+}
+
+// MaxScaledShift is the largest immediate shift distance that may be
+// collapsed into a scaled add (paper section 4.4 limits the shift to 3
+// bits to bound the extra ALU path length to ~2 gate delays).
+const MaxScaledShift = 3
+
+// IsShortShift reports whether the instruction is a left-shift-immediate
+// of at most MaxScaledShift bits with a real destination — the producer
+// half of a scaled-add pair.
+func (i Inst) IsShortShift() bool {
+	if i.Op != SLLI || i.Imm <= 0 || i.Imm > MaxScaledShift {
+		return false
+	}
+	_, ok := i.Dest()
+	return ok
+}
+
+// ScaledUse describes how a consumer can absorb a short shift.
+type ScaledUse uint8
+
+const (
+	// NotScalable means the instruction cannot absorb a shifted operand.
+	NotScalable ScaledUse = iota
+	// ScaleRs means source Rs is the shifted operand.
+	ScaleRs
+	// ScaleRt means source Rt is the shifted operand.
+	ScaleRt
+)
+
+// ScaledAddUse classifies whether inst can become a scaled operation by
+// shifting the operand held in register r: plain adds and the indexed
+// memory operations qualify (paper: "small immediate shifts ... combine
+// with both dependent add and dependent load/store instructions").
+func (i Inst) ScaledAddUse(r Reg) ScaledUse {
+	if r == R0 {
+		return NotScalable
+	}
+	switch i.Op {
+	case ADD, LWX:
+		if i.Rs == r {
+			return ScaleRs
+		}
+		if i.Rt == r {
+			return ScaleRt
+		}
+	case SWX:
+		// Only the address operands may be scaled, not the stored data.
+		if i.Rs == r && i.Rd != r {
+			return ScaleRs
+		}
+		if i.Rt == r && i.Rd != r {
+			return ScaleRt
+		}
+	case ADDI, LB, LBU, LH, LHU, LW:
+		if i.Rs == r {
+			return ScaleRs
+		}
+	case SB, SH, SW:
+		if i.Rs == r && i.Rt != r {
+			return ScaleRs
+		}
+	}
+	return NotScalable
+}

@@ -1,0 +1,448 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegNames(t *testing.T) {
+	cases := []struct {
+		r    Reg
+		name string
+	}{
+		{R0, "zero"}, {SP, "sp"}, {RA, "ra"}, {T0, "t0"}, {S7, "s7"}, {GP, "gp"},
+	}
+	for _, c := range cases {
+		if c.r.String() != c.name {
+			t.Errorf("Reg(%d).String() = %q, want %q", c.r, c.r.String(), c.name)
+		}
+		got, ok := RegByName(c.name)
+		if !ok || got != c.r {
+			t.Errorf("RegByName(%q) = %v,%v, want %v", c.name, got, ok, c.r)
+		}
+	}
+	if r, ok := RegByName("r17"); !ok || r != S1 {
+		t.Errorf("RegByName(r17) = %v,%v, want s1", r, ok)
+	}
+	if _, ok := RegByName("bogus"); ok {
+		t.Error("RegByName(bogus) should fail")
+	}
+	if _, ok := RegByName("r32"); ok {
+		t.Error("RegByName(r32) should fail")
+	}
+}
+
+func TestOpNames(t *testing.T) {
+	for op := Op(0); op < Op(NumOps()); op++ {
+		name := op.String()
+		if name == "" {
+			t.Fatalf("op %d has no name", op)
+		}
+		back, ok := OpByName(name)
+		if !ok || back != op {
+			t.Errorf("OpByName(%q) = %v,%v, want %v", name, back, ok, op)
+		}
+	}
+	if _, ok := OpByName("nosuchop"); ok {
+		t.Error("OpByName(nosuchop) should fail")
+	}
+}
+
+// allEncodable returns one representative valid instruction per encodable op.
+func allEncodable() []Inst {
+	return []Inst{
+		{Op: NOP},
+		{Op: ADD, Rd: T0, Rs: T1, Rt: T2},
+		{Op: SUB, Rd: S0, Rs: S1, Rt: S2},
+		{Op: AND, Rd: V0, Rs: A0, Rt: A1},
+		{Op: OR, Rd: T3, Rs: T4, Rt: T5},
+		{Op: XOR, Rd: T6, Rs: T7, Rt: T8},
+		{Op: NOR, Rd: S3, Rs: S4, Rt: S5},
+		{Op: SLT, Rd: V1, Rs: A2, Rt: A3},
+		{Op: SLTU, Rd: T0, Rs: T1, Rt: T2},
+		{Op: SLLV, Rd: T0, Rs: T1, Rt: T2},
+		{Op: SRLV, Rd: T0, Rs: T1, Rt: T2},
+		{Op: SRAV, Rd: T0, Rs: T1, Rt: T2},
+		{Op: MUL, Rd: T0, Rs: T1, Rt: T2},
+		{Op: DIV, Rd: T0, Rs: T1, Rt: T2},
+		{Op: LWX, Rd: T0, Rs: T1, Rt: T2},
+		{Op: SWX, Rd: T0, Rs: T1, Rt: T2},
+		{Op: JR, Rs: RA},
+		{Op: JALR, Rd: RA, Rs: T9},
+		{Op: ADDI, Rt: T0, Rs: T1, Imm: -4},
+		{Op: ANDI, Rt: T0, Rs: T1, Imm: 0xFF},
+		{Op: ORI, Rt: T0, Rs: T1, Imm: 0xF0F0},
+		{Op: XORI, Rt: T0, Rs: T1, Imm: 1},
+		{Op: SLTI, Rt: T0, Rs: T1, Imm: -100},
+		{Op: SLTIU, Rt: T0, Rs: T1, Imm: 100},
+		{Op: LUI, Rt: T0, Imm: 0x1234},
+		{Op: SLLI, Rt: T0, Rs: T1, Imm: 2},
+		{Op: SRLI, Rt: T0, Rs: T1, Imm: 31},
+		{Op: SRAI, Rt: T0, Rs: T1, Imm: 7},
+		{Op: LB, Rt: T0, Rs: SP, Imm: -8},
+		{Op: LBU, Rt: T0, Rs: SP, Imm: 8},
+		{Op: LH, Rt: T0, Rs: SP, Imm: 16},
+		{Op: LHU, Rt: T0, Rs: SP, Imm: 18},
+		{Op: LW, Rt: T0, Rs: SP, Imm: 4},
+		{Op: SB, Rt: T0, Rs: SP, Imm: -1},
+		{Op: SH, Rt: T0, Rs: SP, Imm: 2},
+		{Op: SW, Rt: T0, Rs: SP, Imm: 0},
+		{Op: BEQ, Rs: T0, Rt: T1, Imm: -3},
+		{Op: BNE, Rs: T0, Rt: T1, Imm: 12},
+		{Op: BLEZ, Rs: T0, Imm: 5},
+		{Op: BGTZ, Rs: T0, Imm: -5},
+		{Op: BLTZ, Rs: T0, Imm: 1},
+		{Op: BGEZ, Rs: T0, Imm: 2},
+		{Op: J, Imm: 0x100},
+		{Op: JAL, Imm: 0x200},
+		{Op: HALT},
+		{Op: OUT, Rs: A0},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, in := range allEncodable() {
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", in, err)
+		}
+		out := Decode(w)
+		if out != in {
+			t.Errorf("round trip %v -> %#08x -> %v", in, w, out)
+		}
+	}
+}
+
+func TestEncodeRangeErrors(t *testing.T) {
+	bad := []Inst{
+		{Op: ADDI, Rt: T0, Rs: T1, Imm: 40000},
+		{Op: ADDI, Rt: T0, Rs: T1, Imm: -40000},
+		{Op: ANDI, Rt: T0, Rs: T1, Imm: -1},
+		{Op: ANDI, Rt: T0, Rs: T1, Imm: 0x10000},
+		{Op: SLLI, Rt: T0, Rs: T1, Imm: 32},
+		{Op: SLLI, Rt: T0, Rs: T1, Imm: -1},
+		{Op: J, Imm: 1 << 26},
+		{Op: BEQ, Rs: T0, Rt: T1, Imm: 32768},
+		{Op: BLTZ, Rs: T0, Imm: 32768},
+		{Op: BGEZ, Rs: T0, Imm: -32769},
+		{Op: BAD},
+	}
+	for _, in := range bad {
+		if _, err := Encode(in); err == nil {
+			t.Errorf("Encode(%v) should fail", in)
+		}
+	}
+}
+
+func TestMustEncodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEncode on invalid inst should panic")
+		}
+	}()
+	MustEncode(Inst{Op: ADDI, Imm: 1 << 20})
+}
+
+// Property: Decode never panics and re-encoding a decoded word that
+// decodes to a valid op reproduces a word that decodes identically.
+func TestDecodeEncodeProperty(t *testing.T) {
+	f := func(w uint32) bool {
+		in := Decode(w)
+		if in.Op == BAD {
+			return true
+		}
+		w2, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		return Decode(w2) == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every encodable instruction with random in-range operands
+// round-trips exactly.
+func TestRandomInstRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ops := allEncodable()
+	for n := 0; n < 20000; n++ {
+		in := ops[rng.Intn(len(ops))]
+		switch in.Op {
+		case NOP, HALT:
+		case J, JAL:
+			in.Imm = rng.Int31n(1 << 26)
+		case SLLI, SRLI, SRAI:
+			in.Rt = Reg(rng.Intn(32))
+			in.Rs = Reg(rng.Intn(32))
+			in.Imm = rng.Int31n(32)
+		case ANDI, ORI, XORI:
+			in.Rt = Reg(rng.Intn(32))
+			in.Rs = Reg(rng.Intn(32))
+			in.Imm = rng.Int31n(1 << 16)
+		case JR:
+			in.Rs = Reg(rng.Intn(32))
+		case JALR:
+			in.Rs = Reg(rng.Intn(32))
+			in.Rd = Reg(rng.Intn(32))
+		case OUT:
+			in.Rs = Reg(rng.Intn(32))
+		case BLEZ, BGTZ, BLTZ, BGEZ:
+			in.Rs = Reg(rng.Intn(32))
+			in.Imm = rng.Int31n(1<<16) - 1<<15
+		default:
+			in.Rd = Reg(rng.Intn(32))
+			in.Rs = Reg(rng.Intn(32))
+			in.Rt = Reg(rng.Intn(32))
+			if hasImm(in.Op) {
+				in.Imm = rng.Int31n(1<<16) - 1<<15
+				in.Rd = 0
+			}
+		}
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", in, err)
+		}
+		if got := Decode(w); got != in {
+			t.Fatalf("round trip %v -> %#08x -> %v", in, w, got)
+		}
+	}
+}
+
+func hasImm(op Op) bool {
+	switch op {
+	case ADDI, SLTI, SLTIU, LUI, LB, LBU, LH, LHU, LW, SB, SH, SW, BEQ, BNE:
+		return true
+	}
+	return false
+}
+
+func TestDestAndSources(t *testing.T) {
+	cases := []struct {
+		in    Inst
+		dest  Reg
+		hasD  bool
+		wantS []Reg
+	}{
+		{Inst{Op: ADD, Rd: T0, Rs: T1, Rt: T2}, T0, true, []Reg{T1, T2}},
+		{Inst{Op: ADD, Rd: R0, Rs: T1, Rt: T2}, 0, false, []Reg{T1, T2}},
+		{Inst{Op: ADDI, Rt: T0, Rs: T1, Imm: 4}, T0, true, []Reg{T1}},
+		{Inst{Op: LW, Rt: T0, Rs: SP, Imm: 4}, T0, true, []Reg{SP}},
+		{Inst{Op: SW, Rt: T0, Rs: SP, Imm: 4}, 0, false, []Reg{SP, T0}},
+		{Inst{Op: SWX, Rd: T0, Rs: T1, Rt: T2}, 0, false, []Reg{T1, T2, T0}},
+		{Inst{Op: LWX, Rd: T0, Rs: T1, Rt: T2}, T0, true, []Reg{T1, T2}},
+		{Inst{Op: JAL, Imm: 4}, RA, true, nil},
+		{Inst{Op: JALR, Rd: RA, Rs: T9}, RA, true, []Reg{T9}},
+		{Inst{Op: JR, Rs: RA}, 0, false, []Reg{RA}},
+		{Inst{Op: BEQ, Rs: T0, Rt: R0, Imm: 1}, 0, false, []Reg{T0}},
+		{Inst{Op: LUI, Rt: T0, Imm: 5}, T0, true, nil},
+		{Inst{Op: NOP}, 0, false, nil},
+		{Inst{Op: HALT}, 0, false, nil},
+		{Inst{Op: OUT, Rs: A0}, 0, false, []Reg{A0}},
+	}
+	for _, c := range cases {
+		d, ok := c.in.Dest()
+		if ok != c.hasD || (ok && d != c.dest) {
+			t.Errorf("%v.Dest() = %v,%v want %v,%v", c.in, d, ok, c.dest, c.hasD)
+		}
+		s := c.in.Sources()
+		if len(s) != len(c.wantS) {
+			t.Errorf("%v.Sources() = %v want %v", c.in, s, c.wantS)
+			continue
+		}
+		for i := range s {
+			if s[i] != c.wantS[i] {
+				t.Errorf("%v.Sources() = %v want %v", c.in, s, c.wantS)
+			}
+		}
+		var buf [3]Reg
+		n := c.in.SourceRegs(buf[:])
+		if n != len(c.wantS) {
+			t.Errorf("%v.SourceRegs() n=%d want %d", c.in, n, len(c.wantS))
+		}
+		for i := 0; i < n; i++ {
+			if buf[i] != c.wantS[i] {
+				t.Errorf("%v.SourceRegs() = %v want %v", c.in, buf[:n], c.wantS)
+			}
+		}
+	}
+}
+
+func TestClassification(t *testing.T) {
+	if !BEQ.IsCondBranch() || !BGEZ.IsCondBranch() || ADD.IsCondBranch() {
+		t.Error("IsCondBranch misclassifies")
+	}
+	if !J.IsUncondJump() || !JAL.IsUncondJump() || JR.IsUncondJump() {
+		t.Error("IsUncondJump misclassifies")
+	}
+	if !JR.IsIndirect() || !JALR.IsIndirect() || JAL.IsIndirect() {
+		t.Error("IsIndirect misclassifies")
+	}
+	if !JAL.IsCall() || !JALR.IsCall() || JR.IsCall() {
+		t.Error("IsCall misclassifies")
+	}
+	if !LW.IsLoad() || !LWX.IsLoad() || SW.IsLoad() {
+		t.Error("IsLoad misclassifies")
+	}
+	if !SW.IsStore() || !SWX.IsStore() || LW.IsStore() {
+		t.Error("IsStore misclassifies")
+	}
+	if !HALT.IsSerializing() || !OUT.IsSerializing() || ADD.IsSerializing() {
+		t.Error("IsSerializing misclassifies")
+	}
+	if !(Inst{Op: JR, Rs: RA}).IsReturn() || (Inst{Op: JR, Rs: T0}).IsReturn() {
+		t.Error("IsReturn misclassifies")
+	}
+	if LW.MemBytes() != 4 || LH.MemBytes() != 2 || SB.MemBytes() != 1 || ADD.MemBytes() != 0 {
+		t.Error("MemBytes wrong")
+	}
+	for _, op := range []Op{BEQ, J, JR} {
+		if !op.IsControl() {
+			t.Errorf("%v should be control", op)
+		}
+	}
+	if ADD.IsControl() {
+		t.Error("add is not control")
+	}
+}
+
+func TestMoveSource(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		src  Reg
+		isMv bool
+	}{
+		{Inst{Op: ADDI, Rt: T0, Rs: T1, Imm: 0}, T1, true},
+		{Inst{Op: ADDI, Rt: T0, Rs: R0, Imm: 0}, R0, true}, // load zero
+		{Inst{Op: ADDI, Rt: T0, Rs: T1, Imm: 4}, 0, false},
+		{Inst{Op: ADDI, Rt: R0, Rs: T1, Imm: 0}, 0, false}, // dead write
+		{Inst{Op: ORI, Rt: T0, Rs: T1, Imm: 0}, T1, true},
+		{Inst{Op: ADD, Rd: T0, Rs: T1, Rt: R0}, T1, true},
+		{Inst{Op: ADD, Rd: T0, Rs: R0, Rt: T1}, T1, true},
+		{Inst{Op: OR, Rd: T0, Rs: T1, Rt: R0}, T1, true},
+		{Inst{Op: XOR, Rd: T0, Rs: R0, Rt: T2}, T2, true},
+		{Inst{Op: SUB, Rd: T0, Rs: T1, Rt: R0}, 0, false}, // sub is not marked
+		{Inst{Op: SLLI, Rt: T0, Rs: T1, Imm: 0}, T1, true},
+		{Inst{Op: SLLI, Rt: T0, Rs: T1, Imm: 1}, 0, false},
+		{Inst{Op: LW, Rt: T0, Rs: T1, Imm: 0}, 0, false},
+	}
+	for _, c := range cases {
+		src, ok := c.in.MoveSource()
+		if ok != c.isMv || (ok && src != c.src) {
+			t.Errorf("%v.MoveSource() = %v,%v want %v,%v", c.in, src, ok, c.src, c.isMv)
+		}
+	}
+}
+
+func TestReassocUse(t *testing.T) {
+	if got := (Inst{Op: ADDI, Rt: T2, Rs: T0, Imm: 4}).ReassocUse(T0); got != ReassocAddI {
+		t.Errorf("addi consumer = %v", got)
+	}
+	if got := (Inst{Op: ADDI, Rt: T2, Rs: T1, Imm: 4}).ReassocUse(T0); got != NotReassociable {
+		t.Errorf("addi non-consumer = %v", got)
+	}
+	if got := (Inst{Op: LW, Rt: T2, Rs: T0, Imm: 8}).ReassocUse(T0); got != ReassocMemDisp {
+		t.Errorf("lw consumer = %v", got)
+	}
+	if got := (Inst{Op: SW, Rt: T2, Rs: T0, Imm: 8}).ReassocUse(T0); got != ReassocMemDisp {
+		t.Errorf("sw base consumer = %v", got)
+	}
+	// Store whose data register is also the base cannot be reassociated.
+	if got := (Inst{Op: SW, Rt: T0, Rs: T0, Imm: 8}).ReassocUse(T0); got != NotReassociable {
+		t.Errorf("sw data+base = %v", got)
+	}
+	if got := (Inst{Op: ADDI, Rt: T2, Rs: R0, Imm: 4}).ReassocUse(R0); got != NotReassociable {
+		t.Errorf("r0 = %v", got)
+	}
+	if !(Inst{Op: ADDI, Rt: T0, Rs: T1, Imm: 4}).IsPairableImmediate() {
+		t.Error("addi should be pairable")
+	}
+	if (Inst{Op: ADDI, Rt: R0, Rs: T1, Imm: 4}).IsPairableImmediate() {
+		t.Error("dead addi not pairable")
+	}
+	if (Inst{Op: ORI, Rt: T0, Rs: T1, Imm: 4}).IsPairableImmediate() {
+		t.Error("ori not pairable")
+	}
+}
+
+func TestScaledAddUse(t *testing.T) {
+	if !(Inst{Op: SLLI, Rt: T0, Rs: T1, Imm: 2}).IsShortShift() {
+		t.Error("slli 2 is a short shift")
+	}
+	if (Inst{Op: SLLI, Rt: T0, Rs: T1, Imm: 4}).IsShortShift() {
+		t.Error("slli 4 exceeds MaxScaledShift")
+	}
+	if (Inst{Op: SLLI, Rt: T0, Rs: T1, Imm: 0}).IsShortShift() {
+		t.Error("slli 0 is a move, not a shift")
+	}
+	if (Inst{Op: SRLI, Rt: T0, Rs: T1, Imm: 2}).IsShortShift() {
+		t.Error("right shifts are not scaled-add producers")
+	}
+	cases := []struct {
+		in   Inst
+		r    Reg
+		want ScaledUse
+	}{
+		{Inst{Op: ADD, Rd: T2, Rs: T0, Rt: T1}, T0, ScaleRs},
+		{Inst{Op: ADD, Rd: T2, Rs: T1, Rt: T0}, T0, ScaleRt},
+		{Inst{Op: ADD, Rd: T2, Rs: T1, Rt: T3}, T0, NotScalable},
+		{Inst{Op: LWX, Rd: T2, Rs: T0, Rt: T1}, T1, ScaleRt},
+		{Inst{Op: SWX, Rd: T4, Rs: T0, Rt: T1}, T0, ScaleRs},
+		{Inst{Op: SWX, Rd: T0, Rs: T0, Rt: T1}, T0, NotScalable}, // data reg conflict
+		{Inst{Op: LW, Rt: T2, Rs: T0, Imm: 4}, T0, ScaleRs},
+		{Inst{Op: SW, Rt: T2, Rs: T0, Imm: 4}, T0, ScaleRs},
+		{Inst{Op: SW, Rt: T0, Rs: T0, Imm: 4}, T0, NotScalable},
+		{Inst{Op: ADDI, Rt: T2, Rs: T0, Imm: 4}, T0, ScaleRs},
+		{Inst{Op: SUB, Rd: T2, Rs: T0, Rt: T1}, T0, NotScalable},
+		{Inst{Op: ADD, Rd: T2, Rs: R0, Rt: T1}, R0, NotScalable},
+	}
+	for _, c := range cases {
+		if got := c.in.ScaledAddUse(c.r); got != c.want {
+			t.Errorf("%v.ScaledAddUse(%v) = %v want %v", c.in, c.r, got, c.want)
+		}
+	}
+}
+
+func TestDisasm(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		pc   uint32
+		want string
+	}{
+		{Inst{Op: ADD, Rd: T0, Rs: T1, Rt: T2}, 0, "add t0, t1, t2"},
+		{Inst{Op: ADDI, Rt: T0, Rs: T1, Imm: -4}, 0, "addi t0, t1, -4"},
+		{Inst{Op: LW, Rt: T0, Rs: SP, Imm: 8}, 0, "lw t0, 8(sp)"},
+		{Inst{Op: LWX, Rd: T0, Rs: T1, Rt: T2}, 0, "lwx t0, t2(t1)"},
+		{Inst{Op: BEQ, Rs: T0, Rt: T1, Imm: 2}, 0x100, "beq t0, t1, 0x10c"},
+		{Inst{Op: BLTZ, Rs: T0, Imm: -1}, 0x100, "bltz t0, 0x100"},
+		{Inst{Op: J, Imm: 0x40}, 0, "j 0x100"},
+		{Inst{Op: JR, Rs: RA}, 0, "jr ra"},
+		{Inst{Op: NOP}, 0, "nop"},
+		{Inst{Op: HALT}, 0, "halt"},
+		{Inst{Op: OUT, Rs: A0}, 0, "out a0"},
+		{Inst{Op: LUI, Rt: T0, Imm: 3}, 0, "lui t0, 3"},
+		{Inst{Op: JALR, Rd: RA, Rs: T9}, 0, "jalr ra, t9"},
+		{Inst{Op: BAD}, 0, "bad"},
+	}
+	for _, c := range cases {
+		if got := Disasm(c.in, c.pc); got != c.want {
+			t.Errorf("Disasm(%#v) = %q want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBranchTarget(t *testing.T) {
+	b := Inst{Op: BNE, Rs: T0, Rt: T1, Imm: -2}
+	if got := b.BranchTarget(0x1000); got != 0x1000+4-8 {
+		t.Errorf("branch target = %#x", got)
+	}
+	j := Inst{Op: J, Imm: 0x10}
+	if got := j.BranchTarget(0x30001000); got != 0x30000040 {
+		t.Errorf("jump target = %#x", got)
+	}
+	if got := (Inst{Op: ADD}).BranchTarget(0); got != 0 {
+		t.Errorf("non-branch target = %#x", got)
+	}
+}

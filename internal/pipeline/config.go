@@ -1,0 +1,150 @@
+// Package pipeline wires the simulator together: the trace-cache front
+// end with inactive issue, the rename/issue stage with checkpoint repair,
+// the clustered out-of-order backend, in-order retirement feeding the
+// fill unit, and the statistics the paper's figures are built from.
+//
+// Execution is timing-directed: a functional oracle (internal/emu)
+// supplies the correct-path instruction stream — PCs, branch outcomes,
+// effective addresses — while the pipeline models fetch, speculation,
+// wrong-path and inactive-issue resource effects, bypass latencies and
+// recovery timing itself.
+package pipeline
+
+import (
+	"tcsim/internal/bpred"
+	"tcsim/internal/cache"
+	"tcsim/internal/core"
+	"tcsim/internal/exec"
+	"tcsim/internal/trace"
+)
+
+// Config aggregates the configuration of every component. Zero values
+// select the paper's machine.
+type Config struct {
+	Fill   core.Config
+	Exec   exec.Config
+	Cache  cache.Params
+	Pred   bpred.Config
+	TCache trace.CacheConfig
+
+	FetchWidth  int // instructions fetched per cycle; paper: 16
+	RetireWidth int // instructions retired per cycle
+	Checkpoints int // in-flight checkpoint capacity
+
+	// UseTraceCache disables the trace cache path entirely when false
+	// (ablation: pure instruction-cache front end).
+	UseTraceCache bool
+	// InactiveIssue issues the blocks of a trace line that do not match
+	// the prediction inactively (paper baseline: on). When false, a
+	// trace line is truncated at the first predicted divergence.
+	InactiveIssue bool
+
+	// MaxCycles aborts the simulation if the program has not halted.
+	MaxCycles uint64
+	// MaxInsts stops simulation after retiring this many instructions
+	// (0: run to HALT). Used to bound long workloads like the paper
+	// bounds li and ijpeg.
+	MaxInsts uint64
+}
+
+// DefaultConfig returns the paper's baseline machine configuration (all
+// fill-unit optimizations off).
+func DefaultConfig() Config {
+	return Config{
+		Fill:          core.DefaultConfig(),
+		Exec:          exec.DefaultConfig(),
+		Cache:         cache.DefaultParams(),
+		Pred:          bpred.DefaultConfig(),
+		TCache:        trace.DefaultCacheConfig(),
+		FetchWidth:    16,
+		RetireWidth:   16,
+		Checkpoints:   64,
+		UseTraceCache: true,
+		InactiveIssue: true,
+		MaxCycles:     1 << 62,
+	}
+}
+
+func (c Config) normalize() Config {
+	d := DefaultConfig()
+	if c.FetchWidth <= 0 {
+		c.FetchWidth = d.FetchWidth
+	}
+	if c.FetchWidth > trace.MaxInsts {
+		c.FetchWidth = trace.MaxInsts
+	}
+	if c.RetireWidth <= 0 {
+		c.RetireWidth = d.RetireWidth
+	}
+	if c.Checkpoints <= 0 {
+		c.Checkpoints = d.Checkpoints
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = d.MaxCycles
+	}
+	return c
+}
+
+// Stats is everything the experiment harness reads out of one run.
+type Stats struct {
+	Cycles  uint64
+	Retired uint64
+	IPC     float64
+
+	// Front end.
+	TCLookups       uint64
+	TCHits          uint64
+	TCHitRate       float64
+	FetchedInsts    uint64
+	FetchedTC       uint64
+	InactiveIssued  uint64
+	InactiveKept    uint64 // inactive instructions activated and retired
+	InactiveDropped uint64
+
+	// Branches.
+	CondBranches    uint64
+	Mispredicts     uint64
+	MispredictRate  float64
+	PromotedRetired uint64
+	PromotedMispred uint64
+	IndirectRetired uint64
+	IndirectMispred uint64
+
+	// Fill-unit transformations observed at retirement (Table 2).
+	RetiredMoves   uint64
+	RetiredReassoc uint64
+	RetiredScaled  uint64
+	RetiredDead    uint64
+	RetiredAnyOpt  uint64
+
+	// Bypass network (Figure 7): retired instructions that executed on a
+	// functional unit with at least one register operand, and the subset
+	// whose last-arriving operand was delayed by cross-cluster bypass.
+	BypassEligible uint64
+	BypassDelayed  uint64
+
+	// Memory.
+	DL1Hits, DL1Misses uint64
+	IL1Hits, IL1Misses uint64
+	L2Hits, L2Misses   uint64
+
+	// Fill unit.
+	Fill core.Stats
+}
+
+// BypassDelayRate returns the Figure 7 metric.
+func (s Stats) BypassDelayRate() float64 {
+	if s.BypassEligible == 0 {
+		return 0
+	}
+	return float64(s.BypassDelayed) / float64(s.BypassEligible)
+}
+
+// OptimizedFraction returns Table 2's "total" column: the fraction of
+// retired instructions with any transformation applied.
+func (s Stats) OptimizedFraction() float64 {
+	if s.Retired == 0 {
+		return 0
+	}
+	return float64(s.RetiredAnyOpt) / float64(s.Retired)
+}

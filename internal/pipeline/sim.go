@@ -1,0 +1,557 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"tcsim/internal/asm"
+	"tcsim/internal/bpred"
+	"tcsim/internal/cache"
+	"tcsim/internal/core"
+	"tcsim/internal/emu"
+	"tcsim/internal/exec"
+	"tcsim/internal/isa"
+	"tcsim/internal/rename"
+	"tcsim/internal/trace"
+)
+
+// Simulator is one configured machine bound to one program.
+type Simulator struct {
+	cfg  Config
+	prog *asm.Program
+
+	oracle            *emu.Oracle
+	text              []isa.Inst
+	textBase, textEnd uint32
+
+	pred *bpred.Predictor
+	hier *cache.Hierarchy
+	tc   *trace.Cache
+	fill *core.FillUnit
+	eng  *exec.Engine
+	rat  *rename.RAT
+	pool *rename.CheckpointPool
+
+	inflight map[uint64]*exec.UOp
+
+	cycle           uint64
+	nextSeq         uint64
+	fetchPC         uint32
+	fetchOnPath     bool
+	oracleIdx       uint64
+	fetchStallUntil uint64
+	serializeWait   bool
+	fetchBuf        *fetchGroup
+	done            bool
+	lastRetire      uint64
+
+	stats Stats
+}
+
+// New builds a simulator for the program under the given configuration.
+func New(cfg Config, prog *asm.Program) (*Simulator, error) {
+	cfg = cfg.normalize()
+	// The pipeline always runs the fill unit in fetch-aligned mode:
+	// segments start at addresses the fetch engine actually missed on,
+	// otherwise segment starts phase-lock to retirement counts and the
+	// trace cache can build lines fetch never probes.
+	cfg.Fill.FillOnMiss = true
+	hier, err := cache.NewHierarchy(cfg.Cache)
+	if err != nil {
+		return nil, err
+	}
+	tc, err := trace.NewCache(cfg.TCache)
+	if err != nil {
+		return nil, err
+	}
+	pred := bpred.New(cfg.Pred)
+	s := &Simulator{
+		cfg:         cfg,
+		prog:        prog,
+		oracle:      emu.NewOracle(emu.New(prog)),
+		pred:        pred,
+		hier:        hier,
+		tc:          tc,
+		fill:        core.New(cfg.Fill, pred.Bias),
+		eng:         exec.NewEngine(cfg.Exec, hier),
+		rat:         rename.NewRAT(),
+		pool:        rename.NewCheckpointPool(cfg.Checkpoints),
+		inflight:    make(map[uint64]*exec.UOp),
+		fetchPC:     prog.Entry,
+		fetchOnPath: true,
+	}
+	s.textBase = prog.TextBase
+	s.textEnd = prog.TextEnd()
+	s.text = make([]isa.Inst, len(prog.Text))
+	for i, w := range prog.Text {
+		s.text[i] = isa.Decode(w)
+	}
+	return s, nil
+}
+
+// Run simulates until the program halts (or the retirement bound is
+// reached) and returns the statistics.
+func (s *Simulator) Run() (Stats, error) {
+	for !s.done {
+		c := s.cycle
+		if c >= s.cfg.MaxCycles {
+			return s.stats, fmt.Errorf("pipeline: exceeded %d cycles without halting", s.cfg.MaxCycles)
+		}
+		if c-s.lastRetire > 500000 {
+			return s.stats, fmt.Errorf("pipeline: no retirement for 500000 cycles at cycle %d (deadlock)", c)
+		}
+		s.resolveBranches(c)
+		s.retire(c)
+		if s.done {
+			break
+		}
+		s.eng.Cycle(c)
+		s.tryIssue(c)
+		s.fetchCycle(c)
+		if s.cfg.UseTraceCache {
+			for _, seg := range s.fill.Drain(c) {
+				s.tc.Insert(seg)
+			}
+		}
+		s.eng.Prune()
+		s.cycle++
+	}
+	if err := s.oracle.Err(); err != nil {
+		return s.stats, err
+	}
+	s.finalizeStats()
+	return s.stats, nil
+}
+
+// Stats returns the statistics accumulated so far.
+func (s *Simulator) Stats() Stats {
+	s.finalizeStats()
+	return s.stats
+}
+
+// Output returns the program's OUT stream (for correctness checks).
+func (s *Simulator) Output() []byte { return s.oracle.Machine().Output }
+
+func (s *Simulator) finalizeStats() {
+	st := &s.stats
+	st.Cycles = s.cycle
+	if s.cycle > 0 {
+		st.IPC = float64(st.Retired) / float64(s.cycle)
+	}
+	st.TCLookups = s.tc.Lookups
+	st.TCHits = s.tc.HitLines
+	st.TCHitRate = s.tc.HitRate()
+	if st.CondBranches > 0 {
+		st.MispredictRate = float64(st.Mispredicts) / float64(st.CondBranches)
+	}
+	st.DL1Hits, st.DL1Misses = s.hier.L1D.Hits, s.hier.L1D.Misses
+	st.IL1Hits, st.IL1Misses = s.hier.L1I.Hits, s.hier.L1I.Misses
+	st.L2Hits, st.L2Misses = s.hier.L2.Hits, s.hier.L2.Misses
+	st.Fill = s.fill.Stats
+}
+
+// tryIssue runs the issue stage: rename the buffered fetch group and
+// insert it into the window, all-or-nothing on resources.
+func (s *Simulator) tryIssue(c uint64) {
+	g := s.fetchBuf
+	if g == nil || c < g.readyCycle {
+		return
+	}
+	if s.eng.WindowSpace() < len(g.uops) {
+		return
+	}
+	var slots []int
+	ckpts := 0
+	for _, u := range g.uops {
+		if u.NeedsFU() {
+			slots = append(slots, u.FU)
+		}
+		if needsCheckpoint(u) {
+			ckpts++
+		}
+	}
+	if !s.eng.RSSpaceFor(slots) {
+		return
+	}
+	if !s.pool.Allocate(ckpts) {
+		return
+	}
+
+	rat := s.rat
+	for i, u := range g.uops {
+		if g.firstInactive >= 0 && i == g.firstInactive {
+			// Inactive blocks rename off a fork of the table so the
+			// predicted path's mappings stay undisturbed.
+			rat = s.rat.Clone()
+		}
+		s.renameUOp(u, g, i, rat)
+		if needsCheckpoint(u) {
+			u.HasCheckpoint = true
+			u.CkRAT = rat.Snapshot()
+		}
+		s.eng.Issue(u, c)
+	}
+	s.fetchBuf = nil
+}
+
+// isAddrOperand reports whether the operand in the given encoding field
+// participates in address generation (vs. store data).
+func isAddrOperand(op isa.Op, field isa.OperandField) bool {
+	switch op {
+	case isa.SB, isa.SH, isa.SW:
+		return field != isa.FieldRt
+	case isa.SWX:
+		return field != isa.FieldRd
+	}
+	return true
+}
+
+// renameUOp resolves the uop's operands to in-flight producers (through
+// the trace line's explicit dependency info when present, else the RAT)
+// and renames its destination. Marked moves execute here: the
+// destination's mapping becomes a copy of the source's (paper §4.2).
+func (s *Simulator) renameUOp(u *exec.UOp, g *fetchGroup, i int, rat *rename.RAT) {
+	si := g.segInsts[i]
+	if si != nil {
+		u.NSrc = si.NSrc
+		for k := 0; k < si.NSrc; k++ {
+			u.SrcAddr[k] = isAddrOperand(u.Inst.Op, si.SrcField[k])
+			if p := si.SrcProducer[k]; p != trace.NoProducer {
+				pu := g.uops[p]
+				u.SrcProd[k] = pu
+				if pu.MoveBit {
+					// Unrewired consumer of a same-group move pays the
+					// rename pipelining cycle (paper §4.2).
+					u.SrcDelay[k] = 1
+				}
+			} else {
+				s.resolveLiveIn(u, k, si.SrcReg[k], rat)
+			}
+		}
+	} else {
+		var regs [3]isa.Reg
+		var fields [3]isa.OperandField
+		n := u.Inst.SourceOperands(regs[:], fields[:])
+		u.NSrc = n
+		for k := 0; k < n; k++ {
+			u.SrcAddr[k] = isAddrOperand(u.Inst.Op, fields[k])
+			s.resolveLiveIn(u, k, regs[k], rat)
+		}
+	}
+
+	if !u.OnPath && u.IsMem() {
+		// Synthetic, non-matching address for wrong-path memory ops.
+		u.EA = 0xE0000000 | uint32(u.Seq<<2)
+	}
+	if !u.OnPath && u.IsBranch {
+		// Wrong-path branches resolve "as predicted": no redirect.
+		u.ActualTaken = u.PredTaken
+		u.ActualNext = u.PredNext
+	}
+
+	if u.MoveBit {
+		src, _ := u.Orig.MoveSource()
+		if d, ok := u.Orig.Dest(); ok {
+			rat.Alias(d, src)
+		}
+		return
+	}
+	if d, ok := u.Inst.Dest(); ok {
+		rat.SetDest(d, u.Seq)
+		s.inflight[u.Seq] = u
+	}
+}
+
+// resolveLiveIn binds operand k to the architectural register's current
+// producer (nil when the value is already in the register file).
+func (s *Simulator) resolveLiveIn(u *exec.UOp, k int, reg isa.Reg, rat *rename.RAT) {
+	e := rat.Lookup(reg)
+	if e.Ready {
+		return
+	}
+	if pu, ok := s.inflight[e.Tag]; ok {
+		u.SrcProd[k] = pu
+	}
+}
+
+// resolveBranches scans the window oldest-first for branches whose
+// execution finished this cycle, and triggers recovery on the oldest
+// misprediction.
+func (s *Simulator) resolveBranches(c uint64) {
+	for _, u := range s.eng.Window() {
+		if u.Dead || u.Resolved || !u.IsBranch {
+			continue
+		}
+		if !u.HasResult || u.ResultTime > c {
+			continue
+		}
+		u.Resolved = true
+		if !u.OnPath || u.Promoted {
+			// Wrong-path branches resolve as predicted; mispromoted
+			// branches recover with a retirement flush.
+			s.discardInactive(u)
+			continue
+		}
+		if u.ActualNext == u.PredNext {
+			s.discardInactive(u)
+			continue
+		}
+		s.recover(u, c)
+		return // younger window state has changed; rescan next cycle
+	}
+}
+
+// discardInactive drops the inactive instructions guarded by a branch
+// whose prediction was confirmed.
+func (s *Simulator) discardInactive(u *exec.UOp) {
+	for _, w := range s.eng.Window() {
+		if w.Inactive && !w.Dead && w.GuardSeq == u.Seq {
+			s.killUOp(w)
+			s.stats.InactiveDropped++
+		}
+	}
+}
+
+// killUOp kills one uop and releases its bookkeeping.
+func (s *Simulator) killUOp(w *exec.UOp) {
+	s.eng.Kill(w)
+	delete(s.inflight, w.Seq)
+	if w.HasCheckpoint {
+		s.pool.Release(1)
+		w.HasCheckpoint = false
+	}
+}
+
+// recover repairs a mispredicted on-path branch: activate the trace
+// line's inactive instructions that lie on the actual path (inactive
+// issue's payoff), squash everything younger, restore the checkpoint,
+// and redirect fetch.
+func (s *Simulator) recover(u *exec.UOp, c uint64) {
+	if u.PredValid || u.Inst.Op.IsCondBranch() {
+		s.stats.Mispredicts++
+	}
+	if u.Inst.Op.IsIndirect() {
+		s.stats.IndirectMispred++
+	}
+
+	// Activate the oracle-matching prefix of the guarded suffix.
+	lastKept := u
+	var activated []*exec.UOp
+	if s.cfg.InactiveIssue {
+		for _, w := range s.eng.Window() {
+			if w.Dead || !w.Inactive || w.GuardSeq != u.Seq {
+				continue
+			}
+			if w.OnPath && w.Seq == lastKept.Seq+1 && w.OracleIdx == lastKept.OracleIdx+1 {
+				w.Inactive = false
+				activated = append(activated, w)
+				lastKept = w
+				s.stats.InactiveKept++
+			}
+		}
+	}
+
+	// Squash everything younger than the recovery point.
+	for _, w := range s.eng.Window() {
+		if w.Seq > lastKept.Seq && !w.Dead && !w.Retired {
+			s.killUOp(w)
+		}
+	}
+
+	// Checkpoint repair.
+	s.rat.Restore(u.CkRAT)
+	s.pred.RAS.Restore(u.CkRAS)
+	s.pred.SetHistory(u.CkHist)
+	if u.Inst.Op.IsCondBranch() {
+		s.pred.PushOutcome(u.ActualTaken)
+	}
+	// Replay the activated instructions' rename effects on top of the
+	// restored table (their tags are unchanged).
+	for _, w := range activated {
+		if w.MoveBit {
+			src, _ := w.Orig.MoveSource()
+			if d, ok := w.Orig.Dest(); ok {
+				s.rat.Alias(d, src)
+			}
+		} else if d, ok := w.Inst.Dest(); ok {
+			s.rat.SetDest(d, w.Seq)
+		}
+		switch {
+		case w.Inst.Op.IsCall():
+			s.pred.RAS.Push(w.PC + isa.InstBytes)
+		case w.Orig.IsReturn():
+			s.pred.RAS.Pop()
+		}
+		if w.Inst.Op.IsCondBranch() && !w.Promoted {
+			s.pred.PushOutcome(w.ActualTaken)
+		}
+	}
+
+	// Redirect fetch to the actual path.
+	s.fetchPC = lastKept.ActualNext
+	s.oracleIdx = lastKept.OracleIdx + 1
+	s.fetchOnPath = true
+	s.fetchBuf = nil
+	s.fetchStallUntil = c + 1
+	s.rescanSerialize()
+}
+
+// rescanSerialize recomputes the serialize-wait flag after a squash may
+// have killed the blocking instruction.
+func (s *Simulator) rescanSerialize() {
+	s.serializeWait = false
+	for _, w := range s.eng.Window() {
+		if !w.Dead && !w.Retired && w.Inst.Op.IsSerializing() {
+			s.serializeWait = true
+			return
+		}
+	}
+	if s.fetchBuf != nil {
+		for _, w := range s.fetchBuf.uops {
+			if w.Inst.Op.IsSerializing() {
+				s.serializeWait = true
+				return
+			}
+		}
+	}
+}
+
+// retireFlush implements recovery at the retirement boundary (used for
+// mispromoted branches, which carry no checkpoint): every younger
+// instruction is squashed and the machine restarts from architectural
+// state.
+func (s *Simulator) retireFlush(u *exec.UOp, c uint64) {
+	for _, w := range s.eng.Window() {
+		if w.Seq > u.Seq && !w.Dead && !w.Retired {
+			s.killUOp(w)
+		}
+	}
+	s.rat = rename.NewRAT() // no in-flight producers remain
+	s.fetchPC = u.ActualNext
+	s.oracleIdx = u.OracleIdx + 1
+	s.fetchOnPath = true
+	s.fetchBuf = nil
+	s.fetchStallUntil = c + 1
+	if u.Inst.Op.IsCondBranch() {
+		s.pred.PushOutcome(u.ActualTaken)
+	}
+	s.rescanSerialize()
+}
+
+// retire commits completed instructions in program order, feeding the
+// fill unit and the trainers.
+func (s *Simulator) retire(c uint64) {
+	n := 0
+	for _, u := range s.eng.Window() {
+		if u.Dead || u.Retired {
+			continue
+		}
+		if u.Inactive || !u.OnPath {
+			break
+		}
+		if u.IsBranch && !u.Resolved {
+			break
+		}
+		if !u.CompletedBy(c) {
+			break
+		}
+
+		u.Retired = true
+		s.lastRetire = c
+		delete(s.inflight, u.Seq)
+		if u.HasCheckpoint {
+			s.pool.Release(1)
+			u.HasCheckpoint = false
+		}
+		s.stats.Retired++
+
+		if u.IsStore() {
+			s.eng.RetireStore(u)
+		}
+
+		// Statistics.
+		if u.MoveBit {
+			s.stats.RetiredMoves++
+		}
+		if u.ReassocBit {
+			s.stats.RetiredReassoc++
+		}
+		if u.ScaleAmt != 0 {
+			s.stats.RetiredScaled++
+		}
+		if u.DeadBit {
+			s.stats.RetiredDead++
+		}
+		if u.MoveBit || u.ReassocBit || u.ScaleAmt != 0 || u.DeadBit {
+			s.stats.RetiredAnyOpt++
+		}
+		if u.NeedsFU() && u.HadOperands {
+			s.stats.BypassEligible++
+			if u.BypassDelayed {
+				s.stats.BypassDelayed++
+			}
+		}
+
+		mispromoted := false
+		op := u.Inst.Op
+		if op.IsCondBranch() {
+			s.stats.CondBranches++
+			if u.Promoted {
+				s.stats.PromotedRetired++
+				if u.ActualNext != u.PredNext {
+					s.stats.PromotedMispred++
+					mispromoted = true
+					s.pred.Bias.Demote(u.PC)
+					s.tc.InvalidateContaining(u.PC)
+				}
+			}
+			_, wasPromoted := s.pred.Bias.Promoted(u.PC)
+			nowPromoted := s.pred.Bias.Observe(u.PC, u.ActualTaken)
+			if nowPromoted && !wasPromoted {
+				// The branch just crossed the promotion threshold: drop
+				// the trace lines that embed it un-promoted so the fill
+				// unit rebuilds them with the static prediction (and the
+				// extra packing headroom promotion buys).
+				s.tc.InvalidateContaining(u.PC)
+			}
+			if u.PredValid {
+				s.pred.Update(u.PredTok, u.ActualTaken)
+			}
+		}
+		if op.IsIndirect() {
+			s.stats.IndirectRetired++
+			if !u.Orig.IsReturn() {
+				s.pred.ITB.Update(u.PC, u.ActualNext)
+			}
+		}
+
+		// Feed the fill unit with the architectural record.
+		rec, ok := s.oracle.At(u.OracleIdx)
+		if !ok || rec.PC != u.PC {
+			panic(fmt.Sprintf("pipeline: oracle desync at retirement: uop pc %#x seq %d oracle idx %d (ok=%v)",
+				u.PC, u.Seq, u.OracleIdx, ok))
+		}
+		s.fill.Collect(rec, c)
+		s.oracle.Release(u.OracleIdx + 1)
+
+		if op == isa.HALT {
+			s.done = true
+			return
+		}
+		if op.IsSerializing() {
+			s.serializeWait = false
+		}
+		if s.cfg.MaxInsts > 0 && s.stats.Retired >= s.cfg.MaxInsts {
+			s.done = true
+			return
+		}
+		if mispromoted {
+			s.retireFlush(u, c)
+			return
+		}
+
+		n++
+		if n >= s.cfg.RetireWidth {
+			return
+		}
+	}
+}

@@ -1,0 +1,197 @@
+// Package trace defines trace segments — the multi-block instruction
+// groups the fill unit constructs — and the trace cache that stores them
+// (paper configuration: 2K entries, 4-way set associative, up to 16
+// instructions and 3 non-promoted conditional branches per line;
+// unconditional branches and calls do not terminate segments; returns,
+// indirect jumps and serializing instructions do).
+package trace
+
+import (
+	"fmt"
+
+	"tcsim/internal/isa"
+)
+
+// Limits from the paper's trace cache configuration.
+const (
+	MaxInsts      = 16 // instructions per trace line
+	MaxCondBranch = 3  // non-promoted conditional branches per line
+	MaxBlocks     = 4  // block id fits the paper's 2-bit field
+	NoProducer    = -1 // SrcProducer value for live-in operands
+	NoSlot        = -1 // BrSlot value for non-branches
+)
+
+// SegInst is one instruction within a trace segment, carrying the
+// explicit dependency information and the per-instruction optimization
+// bits the paper adds (1 move bit + 2 scaled-add bits + 4 placement
+// bits, alongside the 7 dependency bits of the baseline fill unit).
+type SegInst struct {
+	PC   uint32
+	Inst isa.Inst // the (possibly rewritten) instruction to execute
+	Orig isa.Inst // the architectural instruction as fetched
+
+	Block int // checkpoint block number within the segment (2-bit field)
+
+	// CFBlock numbers architectural basic blocks: it increments after
+	// every control transfer, including promoted branches and direct
+	// jumps. The reassociation pass uses it for the paper's "only across
+	// a control flow boundary" restriction — a promoted branch is still
+	// a boundary a compiler could not easily optimize across, even
+	// though it no longer needs a checkpoint.
+	CFBlock int
+
+	// Explicit dependency marking: for each source operand position
+	// (matching Inst.Sources order), the index within the segment of the
+	// producing instruction, or NoProducer when the value is live-in.
+	// SrcReg is the architectural register the operand resolves through
+	// when live-in; the fill-unit optimizations may rewire it (e.g. a
+	// consumer of a move is re-pointed at the move's source register).
+	SrcProducer [3]int
+	SrcReg      [3]isa.Reg
+	SrcField    [3]isa.OperandField // which encoding field each operand occupies
+	NSrc        int
+	LiveOut     bool // destination is live-out of the segment
+
+	// Branch bookkeeping.
+	BrSlot      int  // conditional branch slot (0..2) or NoSlot
+	Promoted    bool // conditional branch carrying a static prediction
+	PromotedDir bool // the embedded static direction
+
+	// Optimization bits.
+	MoveBit    bool          // register move: executes in rename
+	DeadBit    bool          // dead write: eliminated (extension, paper §5)
+	ReassocBit bool          // immediate was recombined by reassociation
+	ScaleAmt   uint8         // scaled add/load/store: shift amount 1..3 (0 = none)
+	ScaleSrc   isa.ScaledUse // which operand is pre-shifted
+	Slot       int           // issue slot assigned by instruction placement
+}
+
+// IsCondBranch reports whether this entry is a conditional branch.
+func (si *SegInst) IsCondBranch() bool { return si.Inst.Op.IsCondBranch() }
+
+// Segment is a trace cache line: a sequence of instructions along one
+// dynamic path, plus the metadata fetch needs to follow or diverge from
+// that path.
+type Segment struct {
+	StartPC uint32
+	Insts   []SegInst
+
+	CondBranches int // non-promoted conditional branches contained
+	Blocks       int // number of blocks (checkpoints needed <= this)
+	FillID       uint64
+
+	// Optimization provenance for statistics and tests.
+	NMoves, NReassoc, NScaled, NPlaced, NDead int
+}
+
+// Len returns the number of instructions in the segment.
+func (s *Segment) Len() int { return len(s.Insts) }
+
+// TakenInTrace reports the embedded direction of the control-flow
+// instruction at index i: whether the segment's next instruction is at
+// the branch target (taken) rather than the fall-through. hasNext is
+// false for the last instruction (the embedded path ends there).
+func (s *Segment) TakenInTrace(i int) (taken, hasNext bool) {
+	if i >= len(s.Insts)-1 {
+		return false, false
+	}
+	si := &s.Insts[i]
+	next := s.Insts[i+1].PC
+	return next != si.PC+isa.InstBytes, true
+}
+
+// Validate checks the structural invariants of a finished segment. The
+// fill unit's optimizers must preserve all of them; property tests lean
+// on this.
+func (s *Segment) Validate() error {
+	n := len(s.Insts)
+	if n == 0 {
+		return fmt.Errorf("trace: empty segment")
+	}
+	if n > MaxInsts {
+		return fmt.Errorf("trace: %d instructions exceeds %d", n, MaxInsts)
+	}
+	if s.Insts[0].PC != s.StartPC {
+		return fmt.Errorf("trace: start pc %#x != first inst pc %#x", s.StartPC, s.Insts[0].PC)
+	}
+	cond := 0
+	block := 0
+	for i := range s.Insts {
+		si := &s.Insts[i]
+		if si.Block != block {
+			return fmt.Errorf("trace: inst %d block %d, want %d", i, si.Block, block)
+		}
+		if si.IsCondBranch() && !si.Promoted {
+			cond++
+			if i < n-1 {
+				block++
+			}
+		}
+		if block >= MaxBlocks {
+			return fmt.Errorf("trace: block id %d exceeds 2-bit field", block)
+		}
+		if si.BrSlot != NoSlot && !si.IsCondBranch() {
+			return fmt.Errorf("trace: inst %d has branch slot but is not a branch", i)
+		}
+		// Embedded path consistency.
+		if i < n-1 {
+			next := s.Insts[i+1].PC
+			op := si.Inst.Op
+			switch {
+			case op.IsCondBranch():
+				if next != si.PC+isa.InstBytes && next != si.Orig.BranchTarget(si.PC) {
+					return fmt.Errorf("trace: inst %d branch successor %#x is neither fall-through nor target", i, next)
+				}
+			case op.IsUncondJump():
+				if next != si.Orig.BranchTarget(si.PC) {
+					return fmt.Errorf("trace: inst %d jump successor %#x != target %#x", i, next, si.Orig.BranchTarget(si.PC))
+				}
+			case op == isa.JALR:
+				// Indirect calls may appear mid-segment (calls do not
+				// terminate traces); the callee address is dynamic, so
+				// any successor is structurally acceptable.
+			case op.IsIndirect(), op.IsSerializing():
+				return fmt.Errorf("trace: inst %d (%v) must terminate the segment", i, op)
+			default:
+				if next != si.PC+isa.InstBytes {
+					return fmt.Errorf("trace: inst %d sequential successor %#x != %#x", i, next, si.PC+isa.InstBytes)
+				}
+			}
+		}
+		// Dependency marking consistency: producers must precede.
+		for k := 0; k < si.NSrc; k++ {
+			p := si.SrcProducer[k]
+			if p != NoProducer && (p < 0 || p >= i) {
+				return fmt.Errorf("trace: inst %d source %d has invalid producer %d", i, k, p)
+			}
+		}
+		if si.Slot < 0 || si.Slot >= MaxInsts {
+			return fmt.Errorf("trace: inst %d slot %d out of range", i, si.Slot)
+		}
+		if si.ScaleAmt > isa.MaxScaledShift {
+			return fmt.Errorf("trace: inst %d scale amount %d exceeds %d", i, si.ScaleAmt, isa.MaxScaledShift)
+		}
+	}
+	if cond != s.CondBranches {
+		return fmt.Errorf("trace: counted %d cond branches, header says %d", cond, s.CondBranches)
+	}
+	if cond > MaxCondBranch {
+		return fmt.Errorf("trace: %d conditional branches exceeds %d", cond, MaxCondBranch)
+	}
+	// Placement must be a permutation prefix of the 16 issue slots.
+	var used [MaxInsts]bool
+	for i := range s.Insts {
+		sl := s.Insts[i].Slot
+		if used[sl] {
+			return fmt.Errorf("trace: slot %d assigned twice", sl)
+		}
+		used[sl] = true
+	}
+	return nil
+}
+
+// String summarizes the segment for debugging.
+func (s *Segment) String() string {
+	return fmt.Sprintf("segment@%#x{%d insts, %d cond br, %d blocks}",
+		s.StartPC, len(s.Insts), s.CondBranches, s.Blocks)
+}

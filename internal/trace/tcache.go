@@ -1,0 +1,191 @@
+package trace
+
+import "fmt"
+
+// CacheConfig sizes the trace cache. The zero value selects the paper's
+// configuration via DefaultCacheConfig.
+type CacheConfig struct {
+	Entries int // total lines; paper: 2K
+	Ways    int // associativity; paper: 4
+}
+
+// DefaultCacheConfig is the paper's 2K-entry, 4-way trace cache
+// (~156KB: 128KB of instructions + 28KB of pre-decode bits).
+func DefaultCacheConfig() CacheConfig {
+	return CacheConfig{Entries: 2 << 10, Ways: 4}
+}
+
+type tcLine struct {
+	valid bool
+	seg   *Segment
+	lru   uint64
+}
+
+// Cache is the trace cache: set-associative storage of Segments indexed
+// by their starting fetch address. Multiple ways may hold segments with
+// the same start address but different embedded paths (path
+// associativity); Lookup selects the way whose path agrees longest with
+// the supplied predictions.
+type Cache struct {
+	sets  int
+	ways  int
+	mask  uint32
+	lines [][]tcLine
+	clock uint64
+
+	Lookups     uint64
+	HitLines    uint64
+	MissLines   uint64
+	InstsServed uint64
+	Writes      uint64
+}
+
+// NewCache builds the trace cache; zero config fields take defaults.
+func NewCache(cfg CacheConfig) (*Cache, error) {
+	d := DefaultCacheConfig()
+	if cfg.Entries == 0 {
+		cfg.Entries = d.Entries
+	}
+	if cfg.Ways == 0 {
+		cfg.Ways = d.Ways
+	}
+	if cfg.Entries%cfg.Ways != 0 {
+		return nil, fmt.Errorf("trace: %d entries not divisible by %d ways", cfg.Entries, cfg.Ways)
+	}
+	sets := cfg.Entries / cfg.Ways
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("trace: %d sets not a power of two", sets)
+	}
+	c := &Cache{sets: sets, ways: cfg.Ways, mask: uint32(sets - 1)}
+	c.lines = make([][]tcLine, sets)
+	for s := range c.lines {
+		c.lines[s] = make([]tcLine, cfg.Ways)
+	}
+	return c, nil
+}
+
+func (c *Cache) set(pc uint32) []tcLine { return c.lines[(pc>>2)&c.mask] }
+
+// PathMatcher scores how well a segment's embedded path agrees with the
+// current predictions; Lookup uses it to pick among ways. It returns the
+// number of instructions that would issue active.
+type PathMatcher func(seg *Segment) int
+
+// Lookup probes the cache at pc. When several ways hold a segment
+// starting at pc, the one with the highest matcher score wins (ties go
+// to the most recently used). Returns nil on miss.
+func (c *Cache) Lookup(pc uint32, match PathMatcher) *Segment {
+	c.Lookups++
+	set := c.set(pc)
+	bestW := -1
+	bestScore := -1
+	for w := range set {
+		if !set[w].valid || set[w].seg.StartPC != pc {
+			continue
+		}
+		score := 0
+		if match != nil {
+			score = match(set[w].seg)
+		}
+		if score > bestScore || (score == bestScore && bestW >= 0 && set[w].lru > set[bestW].lru) {
+			bestScore, bestW = score, w
+		}
+	}
+	if bestW < 0 {
+		c.MissLines++
+		return nil
+	}
+	c.clock++
+	set[bestW].lru = c.clock
+	c.HitLines++
+	c.InstsServed += uint64(len(set[bestW].seg.Insts))
+	return set[bestW].seg
+}
+
+// Insert writes a finished segment, replacing an existing way with the
+// same start PC and identical embedded path if present (segment rebuild),
+// else the LRU way.
+func (c *Cache) Insert(seg *Segment) {
+	set := c.set(seg.StartPC)
+	c.clock++
+	c.Writes++
+	victim := 0
+	for w := range set {
+		if !set[w].valid {
+			victim = w
+			break
+		}
+		if set[w].seg.StartPC == seg.StartPC && samePath(set[w].seg, seg) {
+			victim = w
+			break
+		}
+		if set[w].lru < set[victim].lru {
+			victim = w
+		}
+	}
+	set[victim] = tcLine{valid: true, seg: seg, lru: c.clock}
+}
+
+// samePath reports whether two segments follow the identical dynamic path
+// (same instruction addresses in the same order).
+func samePath(a, b *Segment) bool {
+	if len(a.Insts) != len(b.Insts) {
+		return false
+	}
+	for i := range a.Insts {
+		if a.Insts[i].PC != b.Insts[i].PC {
+			return false
+		}
+	}
+	return true
+}
+
+// InvalidateContaining drops every segment that contains the instruction
+// at pc (used when a promoted branch is demoted: its embedded static
+// prediction is stale). Returns the number of lines dropped. The search
+// touches every line; hardware would keep an inclusion filter, but this
+// event is rare enough that the paper's machinery doesn't model it.
+func (c *Cache) InvalidateContaining(pc uint32) int {
+	dropped := 0
+	for s := range c.lines {
+		for w := range c.lines[s] {
+			l := &c.lines[s][w]
+			if !l.valid {
+				continue
+			}
+			for i := range l.seg.Insts {
+				if l.seg.Insts[i].PC == pc {
+					l.valid = false
+					dropped++
+					break
+				}
+			}
+		}
+	}
+	return dropped
+}
+
+// HitRate returns line hit rate over all lookups.
+func (c *Cache) HitRate() float64 {
+	if c.Lookups == 0 {
+		return 0
+	}
+	return float64(c.HitLines) / float64(c.Lookups)
+}
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for s := range c.lines {
+		for w := range c.lines[s] {
+			c.lines[s][w] = tcLine{}
+		}
+	}
+	c.clock = 0
+	c.Lookups, c.HitLines, c.MissLines, c.InstsServed, c.Writes = 0, 0, 0, 0, 0
+}
+
+// Sets reports the set count (test hook).
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways reports the associativity (test hook).
+func (c *Cache) Ways() int { return c.ways }

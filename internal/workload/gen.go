@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"fmt"
+
+	"tcsim/internal/asm"
+	"tcsim/internal/isa"
+)
+
+// gen wraps the assembler builder with unique-label generation and the
+// handful of idioms the workload kernels share.
+type gen struct {
+	*asm.Builder
+	n int
+}
+
+func newGen() *gen { return &gen{Builder: asm.NewBuilder()} }
+
+// lbl returns a fresh unique label with the given prefix.
+func (g *gen) lbl(prefix string) string {
+	g.n++
+	return fmt.Sprintf("%s_%d", prefix, g.n)
+}
+
+// lcg advances a 32-bit linear congruential state in-place:
+// state = state*20077 + 12345. Three instructions, mul-bound.
+func (g *gen) lcg(state, tmp isa.Reg) {
+	g.Li(tmp, 20077)
+	g.Mul(state, state, tmp)
+	g.Addi(state, state, 12345)
+}
+
+// push spills a register to the stack (call-heavy kernels).
+func (g *gen) push(r isa.Reg) {
+	g.Addi(isa.SP, isa.SP, -4)
+	g.Sw(r, isa.SP, 0)
+}
+
+// pop reloads a register from the stack.
+func (g *gen) pop(r isa.Reg) {
+	g.Lw(r, isa.SP, 0)
+	g.Addi(isa.SP, isa.SP, 4)
+}
+
+// counted opens a counted-down loop: it loads n into counter and defines
+// the loop head, returning the label to close with closeLoop.
+func (g *gen) counted(counter isa.Reg, n int32) string {
+	g.Li(counter, n)
+	l := g.lbl("loop")
+	g.Label(l)
+	return l
+}
+
+// closeLoop decrements the counter and branches back while positive.
+func (g *gen) closeLoop(counter isa.Reg, head string) {
+	g.Addi(counter, counter, -1)
+	g.Bgtz(counter, head)
+}
+
+// words emits n data words produced by f and returns their base address.
+func (g *gen) words(n int, f func(i int) int32) uint32 {
+	addr := g.Here()
+	for i := 0; i < n; i++ {
+		g.Word(f(i))
+	}
+	return addr
+}
+
+// filler emits k three-register ALU instructions seeded from src. The
+// chain is iteration-local (the first op overwrites regs[0] from src), so
+// filler never creates loop-carried recurrences, and it avoids every
+// idiom the fill unit optimizes (no moves, no add-immediates, no short
+// left shifts) so workloads can dilute their idiom density to the
+// paper's per-benchmark levels.
+func (g *gen) filler(k int, src isa.Reg, regs ...isa.Reg) {
+	if len(regs) < 2 {
+		panic("filler needs two scratch registers")
+	}
+	// Two independent chains, interleaved the way a compiler's scheduler
+	// emits them for a superscalar — adjacent instructions are usually
+	// NOT dependent, so cluster assignment matters (paper Fig 6/7).
+	if k > 0 {
+		g.Srli(regs[0], src, 1)
+	}
+	if k > 1 {
+		g.Srli(regs[1], src, 2)
+	}
+	for i := 2; i < k; i++ {
+		chain := regs[i%2]
+		switch (i / 2) % 4 {
+		case 0:
+			g.Add(chain, chain, src)
+		case 1:
+			g.Xor(chain, chain, src)
+		case 2:
+			g.Srli(chain, chain, 1)
+		case 3:
+			g.Or(chain, chain, src)
+		}
+	}
+}
+
+// noiseReg is the register holding the global xorshift state: it is
+// never reset, so noise-driven branches are aperiodic across all loops
+// (real inputs are not periodic either — this is what keeps the branch
+// predictor honest).
+const noiseReg = isa.K0
+
+// noiseInit seeds the xorshift state.
+func (g *gen) noiseInit() { g.Li(noiseReg, 0x2545F491) }
+
+// noiseStep advances the xorshift32 state (x^=x<<13; x^=x>>17; x^=x<<5).
+// Six instructions, none of them fill-unit idioms.
+func (g *gen) noiseStep(tmp isa.Reg) {
+	g.Slli(tmp, noiseReg, 13)
+	g.Xor(noiseReg, noiseReg, tmp)
+	g.Srli(tmp, noiseReg, 17)
+	g.Xor(noiseReg, noiseReg, tmp)
+	g.Slli(tmp, noiseReg, 5)
+	g.Xor(noiseReg, noiseReg, tmp)
+}
+
+// noiseBranch advances the noise state and branches to skip with
+// probability ~(1 - 1/2^bits): callers place a rare block between the
+// branch and the skip label. The branch is mostly taken but surprises
+// aperiodically — the realistic hard-to-predict kind.
+func (g *gen) noiseBranch(tmp isa.Reg, bits int, skip string) {
+	g.noiseStep(tmp)
+	g.Andi(tmp, noiseReg, int32(1<<bits)-1)
+	g.Bne(tmp, isa.R0, skip)
+}
+
+// buildErr panics with context if assembly fails; workload programs are
+// constructed correct so this is a programming-error guard.
+func (g *gen) mustAssemble(name string) *asm.Program {
+	p, err := g.Assemble()
+	if err != nil {
+		panic(fmt.Sprintf("workload %s: %v", name, err))
+	}
+	return p
+}

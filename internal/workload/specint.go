@@ -1,0 +1,698 @@
+package workload
+
+import (
+	"tcsim/internal/asm"
+	"tcsim/internal/isa"
+)
+
+// The eight SPECint95 stand-ins. Each kernel is a real algorithm whose
+// dynamic idiom mix is tuned toward the paper's Table 2 row for the
+// benchmark it replaces; aperiodic xorshift "input noise" keeps the
+// data-dependent branches honestly mispredictable where the original
+// programs were. Outer-loop trip counts make every program run for tens
+// of millions of instructions; experiment runs cut off at the budget.
+
+func init() {
+	register(Workload{
+		Name:         "compress",
+		PaperName:    "compress",
+		PaperInput:   "test.in",
+		PaperInsts:   "95M",
+		Description:  "LZW-style hash-table compressor over a pseudorandom byte stream",
+		DefaultInsts: 300_000,
+		Table2:       [3]float64{3.0, 1.5, 3.8},
+		Build:        buildCompress,
+	})
+	register(Workload{
+		Name:         "gcc",
+		PaperName:    "gcc",
+		PaperInput:   "jump.i",
+		PaperInsts:   "157M",
+		Description:  "compiler-like token dispatch over many small functions",
+		DefaultInsts: 300_000,
+		Table2:       [3]float64{6.4, 2.2, 3.1},
+		Build:        buildGCC,
+	})
+	register(Workload{
+		Name:         "go",
+		PaperName:    "go",
+		PaperInput:   "2stone9.in",
+		PaperInsts:   "151M",
+		Description:  "board scanning with neighbor arithmetic (scaled addressing heavy)",
+		DefaultInsts: 300_000,
+		Table2:       [3]float64{2.5, 0.7, 9.6},
+		Build:        buildGo,
+	})
+	register(Workload{
+		Name:         "ijpeg",
+		PaperName:    "ijpeg",
+		PaperInput:   "penguin.ppm",
+		PaperInsts:   "500M",
+		Description:  "blocked integer transform over 8x8 tiles (parallel chains)",
+		DefaultInsts: 300_000,
+		Table2:       [3]float64{4.6, 2.1, 5.9},
+		Build:        buildIjpeg,
+	})
+	register(Workload{
+		Name:         "li",
+		PaperName:    "li",
+		PaperInput:   "train.lsp",
+		PaperInsts:   "500M",
+		Description:  "lisp-style cons-cell list walking and tag dispatch",
+		DefaultInsts: 300_000,
+		Table2:       [3]float64{8.0, 2.1, 1.3},
+		Build:        buildLi,
+	})
+	register(Workload{
+		Name:         "m88ksim",
+		PaperName:    "m88ksim",
+		PaperInput:   "dhry.test",
+		PaperInsts:   "493M",
+		Description:  "CPU emulator with pointer-offset chains across branches",
+		DefaultInsts: 300_000,
+		Table2:       [3]float64{8.2, 12.9, 1.2},
+		Build:        buildM88ksim,
+	})
+	register(Workload{
+		Name:         "perl",
+		PaperName:    "perl",
+		PaperInput:   "scrabbl.pl",
+		PaperInsts:   "41M",
+		Description:  "string hashing and associative lookup",
+		DefaultInsts: 300_000,
+		Table2:       [3]float64{6.3, 1.1, 3.3},
+		Build:        buildPerl,
+	})
+	register(Workload{
+		Name:         "vortex",
+		PaperName:    "vortex",
+		PaperInput:   "vortex.in",
+		PaperInsts:   "214M",
+		Description:  "object store with virtual dispatch and field copying",
+		DefaultInsts: 300_000,
+		Table2:       [3]float64{9.4, 3.9, 1.9},
+		Build:        buildVortex,
+	})
+}
+
+// buildCompress: LZW-flavored. Per input byte: hash the (prev,char)
+// pair, probe a 4K-entry table, insert on miss. Table indexing uses a
+// short shift feeding an indexed access (scaled-add candidates); the
+// input pointer ADDI at the bottom of the loop is consumed by the next
+// iteration's load across the loop branch (reassociation candidate).
+// Hash-table hits/misses and a rare "emit code" path driven by the noise
+// source keep branches imperfectly predictable.
+func buildCompress() *asm.Program {
+	g := newGen()
+	g.DataLabel("input")
+	seed := int32(12345)
+	for i := 0; i < 4096; i++ {
+		seed = seed*1103515245 + 12345
+		g.Byte(byte(seed >> 16))
+	}
+	g.Align(4)
+	g.DataLabel("table")
+	g.Space(4096 * 4)
+
+	g.Label("main")
+	g.noiseInit()
+	g.La(isa.S1, "input")
+	g.La(isa.S2, "table")
+	outer := g.counted(isa.S7, 50000)
+	{
+		g.Move(isa.S3, isa.S1) // p = input
+		g.Li(isa.S5, 0)        // prev
+		inner := g.counted(isa.S4, 4096)
+		{
+			g.Lbu(isa.T0, isa.S3, 0) // c = *p (folds with the p++ below)
+			// hash = (c ^ (prev rotated)) & 4095
+			g.Srli(isa.T1, isa.S5, 3)
+			g.Xor(isa.T1, isa.T1, isa.T0)
+			g.Andi(isa.T1, isa.T1, 4095)
+			g.Slli(isa.T2, isa.T1, 2)
+			g.Lwx(isa.T3, isa.S2, isa.T2) // probe (scaled)
+			g.Addi(isa.T8, isa.S3, 1)     // lookahead pointer (producer)
+			miss, cont := g.lbl("miss"), g.lbl("cont")
+			g.Bne(isa.T3, isa.T0, miss)
+			g.Addi(isa.S6, isa.S6, 1) // hit count
+			g.J(cont)
+			g.Label(miss)
+			g.Swx(isa.T0, isa.S2, isa.T2) // insert (scaled)
+			g.Lbu(isa.T4, isa.T8, 0)      // lookahead (folds across the branch)
+			g.Xor(isa.S5, isa.S5, isa.T4)
+			g.Label(cont)
+			g.Move(isa.A0, isa.T0)        // stage char for the "emitter"
+			g.Xor(isa.S5, isa.S5, isa.A0) // prev mix
+			g.Add(isa.S0, isa.S0, isa.T0)
+			// Rare emit path (~6%), aperiodic.
+			skip := g.lbl("noemit")
+			g.noiseBranch(isa.K1, 5, skip)
+			g.Addi(isa.S6, isa.S6, 2)
+			g.Xor(isa.S5, isa.S5, isa.S6)
+			g.Label(skip)
+			g.filler(6, isa.T0, isa.T5, isa.T6, isa.T7)
+			g.Addi(isa.S3, isa.S3, 1) // p++
+		}
+		g.closeLoop(isa.S4, inner)
+	}
+	g.closeLoop(isa.S7, outer)
+	g.Halt()
+	return g.mustAssemble("compress")
+}
+
+// buildGCC: a token loop. The two most common tokens are handled inline
+// (a compiler's hot paths); the rest dispatch through a function-pointer
+// table to small handlers. The node pointer is staged with an ADDI that
+// the handler's first load folds into across the call boundary, and
+// arguments/results move through registers — the gcc idiom mix.
+func buildGCC() *asm.Program {
+	g := newGen()
+	g.DataLabel("tokens")
+	seed := int32(777)
+	for i := 0; i < 1024; i++ {
+		seed = seed*1103515245 + 12345
+		v := (seed >> 12) & 15
+		tok := int32(0)
+		switch { // biased distribution: 0 and 1 dominate
+		case v < 8:
+			tok = 0
+		case v < 12:
+			tok = 1
+		default:
+			tok = 2 + (v & 3)
+		}
+		g.Word(tok)
+	}
+	g.DataLabel("nodes")
+	g.Space(8 * 16 * 4)
+	g.DataLabel("handlers")
+	g.Space(8 * 4)
+
+	g.Label("main")
+	g.noiseInit()
+	for i, h := range []string{"h_cmp", "h_sh", "h_mix", "h_st", "h_cmp", "h_sh"} {
+		g.La(isa.T0, h)
+		g.La(isa.T1, "handlers")
+		g.Sw(isa.T0, isa.T1, int32(i*4))
+	}
+	g.La(isa.S1, "tokens")
+	g.La(isa.S2, "nodes")
+	g.La(isa.S3, "handlers")
+
+	outer := g.counted(isa.S7, 100000)
+	{
+		g.Move(isa.S5, isa.S1) // token pointer (move)
+		inner := g.counted(isa.S4, 1024)
+		{
+			g.Lw(isa.T0, isa.S5, 0) // token (folds with pointer bump)
+			// node = nodes + ((tok & 7) << 4 words)
+			g.Andi(isa.T2, isa.T0, 7)
+			g.Slli(isa.T3, isa.T2, 6)
+			g.Add(isa.T3, isa.S2, isa.T3)
+			g.Addi(isa.A0, isa.T3, 4) // field base (folds into handler loads)
+			tok1, disp, join := g.lbl("tok1"), g.lbl("disp"), g.lbl("join")
+			g.Bne(isa.T0, isa.R0, tok1)
+			// token 0 inline: constant fold bookkeeping
+			g.Lw(isa.T4, isa.A0, 0) // folds with the field-base ADDI
+			g.Move(isa.T6, isa.T4)  // propagate the constant (move)
+			g.Add(isa.S6, isa.S6, isa.T6)
+			g.J(join)
+			g.Label(tok1)
+			g.Li(isa.T5, 1)
+			g.Bne(isa.T0, isa.T5, disp)
+			// token 1 inline: copy propagation bookkeeping
+			g.Lw(isa.T4, isa.A0, 4)
+			g.Move(isa.T6, isa.T4) // propagate (move)
+			g.Xor(isa.S6, isa.S6, isa.T6)
+			g.J(join)
+			g.Label(disp)
+			// cold tokens: indirect dispatch
+			g.Andi(isa.T7, isa.T0, 7)
+			g.Slli(isa.T7, isa.T7, 2)
+			g.Lwx(isa.T9, isa.S3, isa.T7) // handler (scaled)
+			g.Move(isa.A1, isa.S6)        // argument (move)
+			g.Jalr(isa.RA, isa.T9)
+			g.Move(isa.S6, isa.V0) // result (move)
+			g.Label(join)
+			skip := g.lbl("skiprare")
+			g.noiseBranch(isa.K1, 5, skip)
+			g.Sw(isa.S6, isa.A0, 8) // rare spill
+			g.Label(skip)
+			g.filler(4, isa.T0, isa.T5, isa.T8)
+			g.Addi(isa.S5, isa.S5, 4)
+		}
+		g.closeLoop(isa.S4, inner)
+	}
+	g.closeLoop(isa.S7, outer)
+	g.Halt()
+
+	g.Label("h_cmp")
+	g.Lw(isa.T0, isa.A0, 0) // folds with the caller's ADDI
+	g.Slt(isa.T1, isa.T0, isa.A1)
+	ret := g.lbl("cmp_done")
+	g.Move(isa.V0, isa.A1)
+	g.Beq(isa.T1, isa.R0, ret)
+	g.Addi(isa.V0, isa.T0, 1)
+	g.Label(ret)
+	g.Ret()
+
+	g.Label("h_sh")
+	g.Lw(isa.T0, isa.A0, 8)
+	g.Srli(isa.T1, isa.A1, 2)
+	g.Xor(isa.V0, isa.T0, isa.T1)
+	g.Ret()
+
+	g.Label("h_mix")
+	g.Lw(isa.T0, isa.A0, 12)
+	g.Xor(isa.T1, isa.T0, isa.A1)
+	g.Srli(isa.T2, isa.T1, 3)
+	g.Or(isa.V0, isa.T2, isa.T1)
+	g.Sw(isa.V0, isa.A0, 12)
+	g.Ret()
+
+	g.Label("h_st")
+	g.Sw(isa.A1, isa.A0, 16)
+	g.Move(isa.V0, isa.A1)
+	g.Ret()
+
+	return g.mustAssemble("gcc")
+}
+
+// buildGo: scans a 16x16 board counting neighbor matches. Addresses are
+// base + ((y<<3)+... )<<2 — short shifts feeding adds and indexed
+// loads, the scaled-add-heavy profile (9.6%). Captured scan results are
+// written back with noise mixed in so the board evolves and the
+// stone-comparison branches stay data-dependent.
+func buildGo() *asm.Program {
+	g := newGen()
+	g.DataLabel("board")
+	seed := int32(42)
+	for i := 0; i < 256; i++ {
+		seed = seed*1103515245 + 12345
+		g.Word((seed >> 20) & 3)
+	}
+
+	g.Label("main")
+	g.noiseInit()
+	g.La(isa.S1, "board")
+	outer := g.counted(isa.S7, 200000)
+	{
+		g.Li(isa.S2, 14) // y
+		yl := g.lbl("yloop")
+		g.Label(yl)
+		{
+			g.Li(isa.S3, 14) // x
+			xl := g.lbl("xloop")
+			g.Label(xl)
+			{
+				// idx = y*16 + x
+				g.Slli(isa.T0, isa.S2, 4)
+				g.Add(isa.T1, isa.T0, isa.S3)
+				g.Slli(isa.T2, isa.T1, 2)
+				g.Lwx(isa.T3, isa.S1, isa.T2) // center (scaled)
+				// two neighbors
+				g.Addi(isa.T4, isa.T1, 1)
+				g.Slli(isa.T4, isa.T4, 2)
+				g.Lwx(isa.T5, isa.S1, isa.T4) // east (scaled)
+				g.Addi(isa.T6, isa.T1, 16)
+				g.Slli(isa.T6, isa.T6, 2)
+				g.Lwx(isa.T7, isa.S1, isa.T6) // south (scaled)
+				for _, n := range []isa.Reg{isa.T5, isa.T7} {
+					skip := g.lbl("skipn")
+					g.Bne(n, isa.T3, skip)
+					g.Addi(isa.S0, isa.S0, 1)
+					g.Label(skip)
+				}
+				g.Move(isa.A0, isa.T3) // stage the stone under test (move)
+				g.Xor(isa.S0, isa.S0, isa.A0)
+				// Occasionally mutate the board so scans never repeat.
+				skipm := g.lbl("skipmut")
+				g.noiseBranch(isa.K1, 4, skipm)
+				g.Andi(isa.T8, isa.K0, 3)
+				g.Swx(isa.T8, isa.S1, isa.T2)
+				g.Label(skipm)
+				g.filler(5, isa.T3, isa.S5, isa.S6)
+			}
+			g.closeLoop(isa.S3, xl)
+		}
+		g.closeLoop(isa.S2, yl)
+	}
+	g.closeLoop(isa.S7, outer)
+	g.Halt()
+	return g.mustAssemble("go")
+}
+
+// buildIjpeg: blocked integer butterfly transform with quantization
+// table lookups. Wide independent chains inside each row iteration make
+// this the placement-sensitive benchmark (paper: +11% from placement);
+// loops are long and predictable like image code.
+func buildIjpeg() *asm.Program {
+	g := newGen()
+	g.DataLabel("img")
+	seed := int32(99)
+	for i := 0; i < 1024; i++ {
+		seed = seed*1103515245 + 12345
+		g.Word((seed >> 16) & 255)
+	}
+	g.DataLabel("quant")
+	for i := 0; i < 64; i++ {
+		g.Word(int32(16 + (i*7)%48))
+	}
+	g.DataLabel("out")
+	g.Space(1024 * 4)
+
+	g.Label("main")
+	g.noiseInit()
+	g.La(isa.S1, "img")
+	g.La(isa.S2, "out")
+	g.La(isa.S3, "quant")
+	outer := g.counted(isa.S7, 100000)
+	{
+		g.Li(isa.S4, 0)  // byte offset walks the image
+		g.Li(isa.A2, 3)  // running DC predictor (chain A)
+		g.Li(isa.A3, 11) // running energy (chain B)
+		rows := g.counted(isa.S5, 96)
+		{
+			// Fresh coefficients feed two loop-carried predictor chains
+			// (DPCM-style): each chain is short and serial, so the
+			// machine is dependence- and bypass-bound — placement keeps
+			// each chain inside one cluster.
+			// The two predictor chains are interleaved as a compiler
+			// scheduler would emit them: adjacent instructions belong to
+			// different chains, so the fill unit's placement (not fetch
+			// order) decides which cluster each chain lives in.
+			g.Lwx(isa.T0, isa.S1, isa.S4)
+			g.Addi(isa.T1, isa.S4, 32)
+			g.Srai(isa.T3, isa.A2, 2) // chain A
+			g.Lwx(isa.T2, isa.S1, isa.T1)
+			g.Sub(isa.T4, isa.T0, isa.T3) // chain A
+			g.Slli(isa.T5, isa.A3, 1)     // chain B (scaled pair)
+			g.Add(isa.A2, isa.A2, isa.T4) // chain A
+			g.Add(isa.T6, isa.T5, isa.T2) // chain B
+			g.Mul(isa.T7, isa.T4, isa.A3) // chain C head
+			g.Srai(isa.A3, isa.T6, 1)     // chain B
+			g.Srai(isa.T7, isa.T7, 6)     // chain C
+			g.Move(isa.A0, isa.T7)        // stage the sample (move)
+			g.Swx(isa.T7, isa.S2, isa.S4) // chain C
+			g.Add(isa.S0, isa.S0, isa.A0)
+			g.Addi(isa.S4, isa.S4, 4)
+		}
+		g.closeLoop(isa.S5, rows)
+	}
+	g.closeLoop(isa.S7, outer)
+	g.Halt()
+	return g.mustAssemble("ijpeg")
+}
+
+// buildLi: walks precomputed cons-cell lists (pointer chasing through
+// cdr), dispatching on a noise-perturbed type tag; environment values
+// are staged through argument-register moves (8.0%), and the vector-ref
+// path exercises the occasional scaled access (1.3%).
+func buildLi() *asm.Program {
+	g := newGen()
+	g.DataLabel("cells")
+	base := g.Here()
+	for l := 0; l < 8; l++ {
+		for i := 0; i < 32; i++ {
+			idx := l*32 + i
+			next := int32(0)
+			if i < 31 {
+				next = int32(base) + int32((idx+1)*12)
+			}
+			g.Word(int32(idx%3), int32(idx*7+l), next)
+		}
+	}
+	g.DataLabel("vec")
+	for i := 0; i < 16; i++ {
+		g.Word(int32(i * 11))
+	}
+
+	g.Label("main")
+	g.noiseInit()
+	g.La(isa.S1, "cells")
+	g.La(isa.S2, "vec")
+	outer := g.counted(isa.S7, 300000)
+	{
+		lists := g.counted(isa.S4, 8)
+		{
+			g.Addi(isa.T0, isa.S4, -1)
+			g.Li(isa.T1, 32*12)
+			g.Mul(isa.T0, isa.T0, isa.T1)
+			g.Add(isa.S3, isa.S1, isa.T0) // p = head of list
+			walk, done := g.lbl("walk"), g.lbl("done")
+			g.Label(walk)
+			g.Beq(isa.S3, isa.R0, done)
+			g.Lw(isa.T2, isa.S3, 0) // tag
+			g.Lw(isa.T3, isa.S3, 4) // value
+			g.Move(isa.A3, isa.T3)  // stage the datum (move)
+			// Rare tag perturbation: "input-dependent" dispatch surprises.
+			skipt := g.lbl("skiptag")
+			g.noiseBranch(isa.K1, 5, skipt)
+			g.Xori(isa.T2, isa.T2, 1)
+			g.Label(skipt)
+			g.Andi(isa.T2, isa.T2, 3)
+			tag1, tag2, next := g.lbl("tag1"), g.lbl("tag2"), g.lbl("next")
+			g.Bne(isa.T2, isa.R0, tag1)
+			// tag 0: accumulate through an argument move
+			g.Move(isa.A0, isa.A3)
+			g.Add(isa.S0, isa.S0, isa.A0)
+			g.J(next)
+			g.Label(tag1)
+			g.Slti(isa.T5, isa.T2, 2)
+			g.Beq(isa.T5, isa.R0, tag2)
+			// tag 1: environment staging moves
+			g.Move(isa.A1, isa.T3)
+			g.Move(isa.A2, isa.A1)
+			g.Xor(isa.S0, isa.S0, isa.A2)
+			g.J(next)
+			g.Label(tag2)
+			// tags 2,3: vector-ref (scaled) on the value's low bits
+			g.Andi(isa.T6, isa.T3, 15)
+			g.Slli(isa.T6, isa.T6, 2)
+			g.Lwx(isa.T7, isa.S2, isa.T6)
+			g.Add(isa.S0, isa.S0, isa.T7)
+			g.Label(next)
+			g.Lw(isa.S3, isa.S3, 8) // p = cdr
+			g.J(walk)
+			g.Label(done)
+		}
+		g.closeLoop(isa.S4, lists)
+	}
+	g.closeLoop(isa.S7, outer)
+	g.Halt()
+	return g.mustAssemble("li")
+}
+
+// buildM88ksim: a toy CPU emulator whose handlers walk an emulated
+// register file through *serial* ADDI pointer chains, each link
+// separated from its consumer by a control transfer. Reassociation
+// collapses the chain (every link re-bases on the chain head), the
+// paper's signature m88ksim effect (12.9% of instructions, +23% IPC);
+// operands stage through moves (8.2%). The emulated instruction stream
+// is a fixed Dhrystone-like trace, so branches are predictable and the
+// kernel is dependence-limited — exactly when chain collapsing pays.
+func buildM88ksim() *asm.Program {
+	g := newGen()
+	g.DataLabel("iram")
+	seed := int32(31415)
+	for i := 0; i < 512; i++ {
+		seed = seed*1103515245 + 12345
+		g.Word(seed & 0x3FFFF)
+	}
+	g.DataLabel("cpu")
+	g.Space(64 * 4)
+
+	g.Label("main")
+	g.noiseInit()
+	g.La(isa.S1, "iram")
+	g.La(isa.S2, "cpu")
+	// Seed the cpu record file so the pointer walk reads varied values.
+	for i := 0; i < 16; i++ {
+		g.Li(isa.T0, int32(i*13+7))
+		g.La(isa.T1, "cpu")
+		g.Sw(isa.T0, isa.T1, int32(i*4))
+	}
+	outer := g.counted(isa.S7, 200000)
+	{
+		g.Move(isa.S3, isa.S1) // epc = iram (move)
+		g.Move(isa.S5, isa.S2) // record pointer (loop-carried through the walk)
+		inner := g.counted(isa.S4, 512)
+		{
+			g.Lw(isa.T0, isa.S3, 0)   // iw
+			g.Andi(isa.T1, isa.T0, 1) // opcode bit (fixed trace: predictable)
+			// The emulated operand fetch walks the register record via a
+			// *serial* ADDI chain whose links and memory uses each sit
+			// past a control transfer (compiled emulator switch bodies
+			// are jump-threaded like this). The walk's result computes
+			// the next iteration's record pointer, so this chain IS the
+			// critical path — reassociation collapses every link onto
+			// the chain head.
+			g.Addi(isa.T2, isa.S5, 8) // link 1 (collapses)
+			op1 := g.lbl("op1")
+			g.Bne(isa.T1, isa.R0, op1)
+			g.Xor(isa.S6, isa.S6, isa.T0) // op-0 bookkeeping
+			g.Label(op1)
+			g.Lw(isa.T3, isa.T2, 0)   // fold across the opcode branch
+			g.Addi(isa.T4, isa.T2, 8) // link 2 (collapses)
+			l2 := g.lbl("thread")
+			g.J(l2)
+			g.Label(l2)
+			g.Lw(isa.T5, isa.T4, 0)   // fold
+			g.Addi(isa.T7, isa.T4, 8) // link 3 (collapses)
+			g.Add(isa.T6, isa.T5, isa.T3)
+			l3 := g.lbl("thread")
+			g.J(l3)
+			g.Label(l3)
+			g.Move(isa.A0, isa.T6)  // stage result (move)
+			g.Sw(isa.A0, isa.T7, 0) // fold
+			// Next record pointer depends on the walk's result.
+			g.Andi(isa.T8, isa.T6, 0x1C)
+			g.Add(isa.S5, isa.S2, isa.T8)
+			g.Move(isa.A1, isa.T8) // stage index (move)
+			g.Add(isa.S0, isa.S0, isa.A1)
+			g.Addi(isa.S3, isa.S3, 4) // epc++
+		}
+		g.closeLoop(isa.S4, inner)
+	}
+	g.closeLoop(isa.S7, outer)
+	g.Halt()
+	return g.mustAssemble("m88ksim")
+}
+
+// buildPerl: hashes 8-byte strings and probes an associative table with
+// a noise-perturbed key so probes keep missing aperiodically, like hash
+// workloads on live data.
+func buildPerl() *asm.Program {
+	g := newGen()
+	g.DataLabel("strs")
+	seed := int32(271828)
+	for i := 0; i < 64*8; i++ {
+		seed = seed*1103515245 + 12345
+		g.Byte(byte(seed>>18)&0x3F + 32)
+	}
+	g.Align(4)
+	g.DataLabel("htab")
+	g.Space(512 * 4)
+
+	g.Label("main")
+	g.noiseInit()
+	g.La(isa.S1, "strs")
+	g.La(isa.S2, "htab")
+	g.Li(isa.S6, 1) // pointer stride (3-register bumps avoid folds)
+	outer := g.counted(isa.S7, 200000)
+	{
+		strs := g.counted(isa.S3, 64)
+		{
+			g.Addi(isa.T0, isa.S3, -1)
+			g.Slli(isa.T0, isa.T0, 3)
+			g.Add(isa.S4, isa.S1, isa.T0)
+			g.Move(isa.A0, isa.S4) // argument staging (move)
+			g.Li(isa.S5, 0)
+			hl := g.counted(isa.T9, 8)
+			{
+				g.Lbu(isa.T1, isa.A0, 0)
+				g.Srli(isa.T2, isa.S5, 9)
+				g.Xor(isa.T3, isa.S5, isa.T1)
+				g.Xor(isa.S5, isa.T3, isa.T2)
+				g.Add(isa.A0, isa.A0, isa.S6) // non-folding bump
+			}
+			g.closeLoop(isa.T9, hl)
+			// Perturb the key: aperiodic probe outcomes.
+			g.noiseStep(isa.K1)
+			g.Andi(isa.T4, isa.K0, 63)
+			g.Xor(isa.S5, isa.S5, isa.T4)
+			g.Andi(isa.T5, isa.S5, 511)
+			g.Slli(isa.T5, isa.T5, 2)
+			g.Lwx(isa.T6, isa.S2, isa.T5) // probe (scaled)
+			hit := g.lbl("hit")
+			g.Beq(isa.T6, isa.S5, hit)
+			g.Swx(isa.S5, isa.S2, isa.T5) // insert (scaled)
+			g.Label(hit)
+			g.Move(isa.A1, isa.T6) // stage the binding (move)
+			g.Move(isa.V0, isa.S5) // return value (move)
+			g.Add(isa.S0, isa.S0, isa.V0)
+			g.Xor(isa.S0, isa.S0, isa.A1)
+			g.filler(6, isa.S5, isa.T7, isa.T8)
+		}
+		g.closeLoop(isa.S3, strs)
+	}
+	g.closeLoop(isa.S7, outer)
+	g.Halt()
+	return g.mustAssemble("perl")
+}
+
+// buildVortex: an object store. Method selection mixes in noise bits
+// (live query streams), dispatch is through per-object method slots, and
+// self/argument/result all stage through register moves (9.4%); the
+// handler's first field access folds into the caller's ADDI across the
+// call (3.9% reassociation).
+func buildVortex() *asm.Program {
+	g := newGen()
+	g.DataLabel("objs")
+	g.Space(32 * 16 * 4)
+	g.DataLabel("vtab")
+	g.Space(4 * 4)
+
+	g.Label("main")
+	g.noiseInit()
+	for i, m := range []string{"m_get", "m_set", "m_copy", "m_sum"} {
+		g.La(isa.T0, m)
+		g.La(isa.T1, "vtab")
+		g.Sw(isa.T0, isa.T1, int32(i*4))
+	}
+	g.La(isa.S1, "objs")
+	g.La(isa.S2, "vtab")
+	outer := g.counted(isa.S7, 200000)
+	{
+		objs := g.counted(isa.S3, 32)
+		{
+			g.Addi(isa.T0, isa.S3, -1)
+			g.Slli(isa.T0, isa.T0, 6)
+			g.Add(isa.T1, isa.S1, isa.T0)
+			g.Addi(isa.A0, isa.T1, 4) // self.fields (folds into methods)
+			// method = obj & 3, with rare query-driven surprises
+			g.Move(isa.T2, isa.S3) // stage the selector (move)
+			skipf := g.lbl("skipflip")
+			g.noiseBranch(isa.K1, 4, skipf)
+			g.Xori(isa.T2, isa.T2, 1)
+			g.Label(skipf)
+			g.Andi(isa.T2, isa.T2, 3)
+			g.Slli(isa.T2, isa.T2, 2)
+			g.Lwx(isa.T9, isa.S2, isa.T2) // method slot (scaled)
+			g.Move(isa.A1, isa.S0)        // argument (move)
+			g.Jalr(isa.RA, isa.T9)
+			g.Move(isa.S0, isa.V0) // result (move)
+			g.filler(7, isa.S0, isa.S5, isa.S6)
+		}
+		g.closeLoop(isa.S3, objs)
+	}
+	g.closeLoop(isa.S7, outer)
+	g.Halt()
+
+	g.Label("m_get")
+	g.Lw(isa.T0, isa.A0, 0) // folds with caller ADDI
+	g.Move(isa.V0, isa.T0)
+	g.Ret()
+
+	g.Label("m_set")
+	g.Sw(isa.A1, isa.A0, 4) // folds
+	g.Move(isa.V0, isa.A1)
+	g.Ret()
+
+	g.Label("m_copy")
+	g.Lw(isa.T0, isa.A0, 8) // folds
+	g.Move(isa.T1, isa.T0)
+	g.Sw(isa.T1, isa.A0, 12)
+	g.Move(isa.V0, isa.T1)
+	g.Ret()
+
+	g.Label("m_sum")
+	g.Lw(isa.T0, isa.A0, 16) // folds
+	g.Lw(isa.T1, isa.A0, 20)
+	g.Add(isa.V0, isa.T0, isa.T1)
+	g.Add(isa.V0, isa.V0, isa.A1)
+	g.Sw(isa.V0, isa.A0, 16)
+	g.Ret()
+
+	return g.mustAssemble("vortex")
+}

@@ -1,0 +1,529 @@
+package workload
+
+import (
+	"tcsim/internal/asm"
+	"tcsim/internal/isa"
+)
+
+// The seven UNIX-application stand-ins from the paper's Table 1.
+
+func init() {
+	register(Workload{
+		Name:         "chess",
+		PaperName:    "gnuchess (ch)",
+		PaperInsts:   "119M",
+		Description:  "piece move generation with cross-block square offset chains",
+		DefaultInsts: 300_000,
+		Table2:       [3]float64{3.4, 10.4, 5.7},
+		Build:        buildChess,
+	})
+	register(Workload{
+		Name:         "gs",
+		PaperName:    "ghostscript (gs)",
+		PaperInsts:   "180M",
+		Description:  "fixed-point span rasterizer with dependent immediate chains",
+		DefaultInsts: 300_000,
+		Table2:       [3]float64{4.6, 7.9, 1.9},
+		Build:        buildGS,
+	})
+	register(Workload{
+		Name:         "pgp",
+		PaperName:    "pgp",
+		PaperInsts:   "322M",
+		Description:  "multi-word modular arithmetic with carry staging moves",
+		DefaultInsts: 300_000,
+		Table2:       [3]float64{7.9, 4.0, 1.0},
+		Build:        buildPGP,
+	})
+	register(Workload{
+		Name:         "plot",
+		PaperName:    "gnuplot (plot)",
+		PaperInsts:   "284M",
+		Description:  "fixed-point function evaluation with min/max tracking moves",
+		DefaultInsts: 300_000,
+		Table2:       [3]float64{11.3, 1.4, 2.3},
+		Build:        buildPlot,
+	})
+	register(Workload{
+		Name:         "python",
+		PaperName:    "python",
+		PaperInsts:   "220M",
+		Description:  "stack bytecode interpreter with jump-table dispatch",
+		DefaultInsts: 300_000,
+		Table2:       [3]float64{6.3, 2.8, 2.8},
+		Build:        buildPython,
+	})
+	register(Workload{
+		Name:         "ss",
+		PaperName:    "sim-outorder (ss)",
+		PaperInsts:   "100M",
+		Description:  "circular event queue with bit-field decoding",
+		DefaultInsts: 300_000,
+		Table2:       [3]float64{4.9, 1.1, 3.1},
+		Build:        buildSS,
+	})
+	register(Workload{
+		Name:         "tex",
+		PaperName:    "tex",
+		PaperInsts:   "164M",
+		Description:  "character classification over scaled table lookups",
+		DefaultInsts: 300_000,
+		Table2:       [3]float64{3.1, 0.6, 5.2},
+		Build:        buildTex,
+	})
+}
+
+// buildChess: sliding-piece move generation on a 16x8 "0x88-style"
+// board. Ray walking accumulates square offsets through dependent ADDIs
+// whose consumers sit past the on-board/blocked branches — the
+// reassociation-heavy profile (10.4%) — and board lookups use shifted
+// indices (5.7% scaled). Rare noise-driven board mutations keep the
+// blocking tests from becoming perfectly predictable.
+func buildChess() *asm.Program {
+	g := newGen()
+	g.DataLabel("board")
+	seed := int32(8888)
+	for i := 0; i < 128; i++ {
+		seed = seed*1103515245 + 12345
+		occ := int32(0)
+		if (seed>>22)&7 == 0 { // ~1/8 occupancy: rays run several squares
+			occ = 1
+		}
+		g.Word(occ)
+	}
+	g.DataLabel("pieces")
+	for i := 0; i < 16; i++ {
+		g.Word(int32((i*5 + 17) & 0x77))
+	}
+
+	g.Label("main")
+	g.noiseInit()
+	g.La(isa.S1, "board")
+	g.La(isa.S2, "pieces")
+	outer := g.counted(isa.S7, 200000)
+	{
+		pieces := g.counted(isa.S3, 16)
+		{
+			g.Addi(isa.T0, isa.S3, -1)
+			g.Slli(isa.T0, isa.T0, 2)
+			g.Lwx(isa.S4, isa.S2, isa.T0) // sq = pieces[i] (scaled)
+			g.Move(isa.A0, isa.S4)        // stage piece square (move)
+			for _, off := range []int32{1, 16} {
+				// Serial ray walk: the square register steps by the ray
+				// offset each iteration — a loop-carried ADDI chain that
+				// trace packing unrolls into the segment, where
+				// reassociation collapses the steps onto the ray origin.
+				done := g.lbl("ray_done")
+				step := g.lbl("ray_step")
+				g.Move(isa.T1, isa.A0) // walk cursor (move)
+				g.Li(isa.T9, 6)        // max ray length
+				g.Label(step)
+				g.Addi(isa.T1, isa.T1, off) // step (collapses across iterations)
+				g.Slli(isa.T4, isa.T1, 2)
+				g.Lwx(isa.T5, isa.S1, isa.T4) // board[sq] (scaled)
+				g.Andi(isa.T2, isa.T1, 0x88)  // off-board bits
+				g.Or(isa.T6, isa.T2, isa.T5)  // single combined exit test
+				g.Bne(isa.T6, isa.R0, done)   // off board or blocked?
+				g.Add(isa.S0, isa.S0, isa.T1) // record the move
+				g.Addi(isa.T9, isa.T9, -1)
+				g.Bgtz(isa.T9, step)
+				g.Label(done)
+			}
+			// Rare board mutation: captures/unmoves.
+			skipm := g.lbl("skipmut")
+			g.noiseBranch(isa.K1, 5, skipm)
+			g.Andi(isa.T8, isa.S4, 127)
+			g.Slli(isa.T8, isa.T8, 2)
+			g.Andi(isa.T9, isa.K0, 7)
+			g.Sltiu(isa.T9, isa.T9, 1) // keep ~1/8 occupancy as pieces move
+			g.Swx(isa.T9, isa.S1, isa.T8)
+			g.Label(skipm)
+			g.filler(3, isa.S4, isa.S5, isa.S6)
+		}
+		g.closeLoop(isa.S3, pieces)
+	}
+	g.closeLoop(isa.S7, outer)
+	g.Halt()
+	return g.mustAssemble("chess")
+}
+
+// buildGS: rasterizes fixed-point spans. The span pointer advances with
+// ADDIs whose loads sit past the per-pixel coverage branches (7.9%
+// reassociation); stores go through an indexed path so only the loads
+// fold.
+func buildGS() *asm.Program {
+	g := newGen()
+	g.DataLabel("scanline")
+	g.Space(1024 * 4)
+	g.DataLabel("edges")
+	seed := int32(1234)
+	for i := 0; i < 128; i++ {
+		seed = seed*1103515245 + 12345
+		g.Word((seed>>20)&255 + 1)
+	}
+
+	g.Label("main")
+	g.noiseInit()
+	g.La(isa.S1, "scanline")
+	g.La(isa.S2, "edges")
+	outer := g.counted(isa.S7, 200000)
+	{
+		edges := g.counted(isa.S3, 64)
+		{
+			g.Addi(isa.T0, isa.S3, -1)
+			g.Slli(isa.T0, isa.T0, 2)
+			g.Lwx(isa.T1, isa.S2, isa.T0) // x0 (scaled)
+			// Perturb coverage bits: antialiasing of live geometry.
+			g.noiseStep(isa.K1)
+			g.Xor(isa.T1, isa.T1, isa.K0)
+			g.Andi(isa.T2, isa.T1, 255)
+			g.Slli(isa.T2, isa.T2, 2)
+			g.Add(isa.S4, isa.S1, isa.T2) // span pointer
+			for px := 0; px < 3; px++ {
+				skip := g.lbl("skippx")
+				g.Addi(isa.S4, isa.S4, 4) // p++ (producer)
+				g.Andi(isa.T3, isa.T1, 3)
+				g.Beq(isa.T3, isa.R0, skip)
+				g.Lw(isa.T4, isa.S4, 0) // folds into the p++ ADDI
+				g.Addi(isa.T5, isa.T4, 1)
+				g.Sw(isa.T5, isa.S4, 0) // folds as well
+				g.Label(skip)
+				g.Srli(isa.T1, isa.T1, 2)
+			}
+			g.Move(isa.A0, isa.T1) // residue (move)
+			g.Add(isa.S0, isa.S0, isa.A0)
+			g.filler(6, isa.T1, isa.S5, isa.S6)
+		}
+		g.closeLoop(isa.S3, edges)
+	}
+	g.closeLoop(isa.S7, outer)
+	g.Halt()
+	return g.mustAssemble("gs")
+}
+
+// buildPGP: 8-limb multiple-precision multiply-accumulate with the
+// carry staged through register moves (7.9%) and multiplier pressure;
+// limb pointers advance with ADDIs placed next to their loads so almost
+// nothing folds (pgp reassociates little) and nothing is scaled (1.0%).
+func buildPGP() *asm.Program {
+	g := newGen()
+	g.DataLabel("bignum_a")
+	seed := int32(5)
+	for i := 0; i < 8; i++ {
+		seed = seed*1103515245 + 12345
+		g.Word(seed)
+	}
+	g.DataLabel("bignum_b")
+	for i := 0; i < 8; i++ {
+		seed = seed*1103515245 + 12345
+		g.Word(seed)
+	}
+
+	g.Label("main")
+	g.noiseInit()
+	outer := g.counted(isa.S7, 400000)
+	{
+		g.La(isa.S1, "bignum_a")
+		g.La(isa.S2, "bignum_b")
+		g.Li(isa.S5, 0) // carry
+		limbs := g.counted(isa.S3, 8)
+		{
+			g.Lw(isa.T1, isa.S1, 0)
+			g.Lw(isa.T2, isa.S2, 0)
+			g.Mul(isa.T3, isa.T1, isa.T2)
+			g.Move(isa.A0, isa.S5) // carry in (move)
+			g.Add(isa.T4, isa.T3, isa.A0)
+			g.Sltu(isa.T5, isa.T4, isa.T3)
+			g.Move(isa.S5, isa.T5) // carry out (move)
+			g.Sw(isa.T4, isa.S1, 0)
+			g.Addi(isa.T8, isa.S2, 4) // next-limb pointer (producer)
+			nocarry := g.lbl("nocarry")
+			g.Beq(isa.T5, isa.R0, nocarry)
+			g.Lw(isa.T7, isa.T8, 0) // carry propagation peek (folds)
+			g.Add(isa.S0, isa.S0, isa.T7)
+			g.Label(nocarry)
+			g.Add(isa.S0, isa.S0, isa.T4)
+			g.Addi(isa.S1, isa.S1, 4)
+			g.Addi(isa.S2, isa.S2, 4)
+			g.filler(8, isa.T4, isa.S6, isa.T6)
+		}
+		g.closeLoop(isa.S3, limbs)
+	}
+	g.closeLoop(isa.S7, outer)
+	g.Halt()
+	return g.mustAssemble("pgp")
+}
+
+// buildPlot: evaluates a fixed-point cubic while tracking running
+// minima/maxima and a sample window — registers shuffle constantly, the
+// heaviest move profile of the suite (11.3%).
+func buildPlot() *asm.Program {
+	g := newGen()
+	g.Label("main")
+	g.noiseInit()
+	g.Li(isa.S1, 3)  // a
+	g.Li(isa.S2, -5) // b
+	g.Li(isa.S3, 7)  // c
+	outer := g.counted(isa.S7, 300000)
+	{
+		g.Li(isa.S4, -1000000) // max
+		g.Li(isa.S5, 1000000)  // min
+		g.Li(isa.T9, 0)        // prev sample
+		xs := g.counted(isa.S6, 32)
+		{
+			g.Mul(isa.T0, isa.S1, isa.S6)
+			g.Add(isa.T0, isa.T0, isa.S2)
+			g.Mul(isa.T0, isa.T0, isa.S6)
+			g.Add(isa.T0, isa.T0, isa.S3)
+			g.Srai(isa.T1, isa.T0, 4)
+			// Jitter the sample: measured data series.
+			g.noiseStep(isa.K1)
+			g.Andi(isa.T2, isa.K0, 63)
+			g.Add(isa.T1, isa.T1, isa.T2)
+			skipMax := g.lbl("skipmax")
+			g.Slt(isa.T3, isa.S4, isa.T1)
+			g.Beq(isa.T3, isa.R0, skipMax)
+			g.Move(isa.S4, isa.T1) // new max (move)
+			g.Label(skipMax)
+			skipMin := g.lbl("skipmin")
+			g.Slt(isa.T4, isa.T1, isa.S5)
+			g.Beq(isa.T4, isa.R0, skipMin)
+			g.Move(isa.S5, isa.T1) // new min (move)
+			g.Label(skipMin)
+			g.Move(isa.A0, isa.T9) // prev (move)
+			g.Sub(isa.T5, isa.T1, isa.A0)
+			g.Slli(isa.T6, isa.T5, 1)
+			g.Add(isa.T7, isa.T6, isa.S0) // scaled accumulate
+			g.Move(isa.A1, isa.T7)        // stage (move)
+			g.Add(isa.S0, isa.S0, isa.A1)
+			g.Move(isa.T9, isa.T1) // rotate window (move)
+			g.filler(4, isa.T1, isa.T6, isa.T7)
+		}
+		g.closeLoop(isa.S6, xs)
+		g.Add(isa.S0, isa.S0, isa.S4)
+		g.Sub(isa.S0, isa.S0, isa.S5)
+	}
+	g.closeLoop(isa.S7, outer)
+	g.Halt()
+	return g.mustAssemble("plot")
+}
+
+// buildPython: a stack bytecode interpreter. Opcodes come from the
+// program text but are perturbed aperiodically (live operand types), so
+// the jump-table dispatch mispredicts realistically; handlers adjust the
+// VM stack pointer with ADDIs whose memory uses sit past the
+// under/overflow checks (2.8% reassociation).
+func buildPython() *asm.Program {
+	g := newGen()
+	g.DataLabel("bytecode")
+	seed := int32(2718)
+	for i := 0; i < 256; i++ {
+		seed = seed*1103515245 + 12345
+		g.Word((seed >> 13) & 3)
+	}
+	g.DataLabel("vmstack")
+	g.Space(4096 * 4)
+	g.DataLabel("optable")
+	g.Space(4 * 4)
+
+	g.Label("main")
+	g.noiseInit()
+	for i, op := range []string{"op_push", "op_add", "op_dup", "op_xor"} {
+		g.La(isa.T0, op)
+		g.La(isa.T1, "optable")
+		g.Sw(isa.T0, isa.T1, int32(i*4))
+	}
+	g.La(isa.S1, "bytecode")
+	g.La(isa.S2, "optable")
+	g.La(isa.S6, "vmstack")      // stack bounds base
+	g.Addi(isa.S3, isa.S6, 8192) // vm sp mid-stack
+
+	outer := g.counted(isa.S7, 300000)
+	{
+		g.Move(isa.S4, isa.S1) // ip = bytecode (move)
+		inner := g.counted(isa.S5, 256)
+		{
+			g.Lw(isa.T0, isa.S4, 0) // opcode (folds with ip bump)
+			// Perturb opcode stream occasionally.
+			skipp := g.lbl("skipperturb")
+			g.noiseBranch(isa.K1, 3, skipp)
+			g.Xori(isa.T0, isa.T0, 1)
+			g.Label(skipp)
+			g.Andi(isa.T1, isa.T0, 3)
+			g.Move(isa.T0, isa.T1) // stage the operand byte (move)
+			g.Slli(isa.T1, isa.T1, 2)
+			g.Lwx(isa.T9, isa.S2, isa.T1) // handler (scaled)
+			g.Jalr(isa.RA, isa.T9)
+			g.filler(3, isa.T0, isa.T5, isa.T6)
+			g.Addi(isa.S4, isa.S4, 4) // ip++
+		}
+		g.closeLoop(isa.S5, inner)
+		// Recenter the VM stack between "functions".
+		g.Addi(isa.S3, isa.S6, 8192)
+	}
+	g.closeLoop(isa.S7, outer)
+	g.Halt()
+
+	g.Label("op_push")
+	g.Addi(isa.S3, isa.S3, -4) // push (producer)
+	low := g.lbl("push_ok")
+	g.Sltu(isa.T2, isa.S3, isa.S6)
+	g.Beq(isa.T2, isa.R0, low)
+	g.Addi(isa.S3, isa.S6, 8192) // reset on overflow
+	g.Label(low)
+	g.Sw(isa.T0, isa.S3, 0) // folds across the bound check
+	g.Ret()
+
+	g.Label("op_add")
+	g.Lw(isa.T1, isa.S3, 0)
+	g.Addi(isa.S3, isa.S3, 4) // pop (producer)
+	ok := g.lbl("add_ok")
+	g.Bgtz(isa.T1, ok)
+	g.Xor(isa.T1, isa.T1, isa.K0)
+	g.Label(ok)
+	g.Lw(isa.T2, isa.S3, 0) // folds across the value check
+	g.Add(isa.T3, isa.T1, isa.T2)
+	g.Sw(isa.T3, isa.S3, 0)
+	g.Move(isa.V0, isa.T3) // TOS cache (move)
+	g.Add(isa.S0, isa.S0, isa.V0)
+	g.Ret()
+
+	g.Label("op_dup")
+	g.Lw(isa.T1, isa.S3, 0)
+	g.Move(isa.T2, isa.T1) // dup (move)
+	g.Addi(isa.S3, isa.S3, -4)
+	g.Sw(isa.T2, isa.S3, 0)
+	g.Ret()
+
+	g.Label("op_xor")
+	g.Lw(isa.T1, isa.S3, 0)
+	g.Addi(isa.S3, isa.S3, 4)
+	g.Lw(isa.T2, isa.S3, 0)
+	g.Xor(isa.T3, isa.T1, isa.T2)
+	g.Sw(isa.T3, isa.S3, 0)
+	g.Add(isa.S0, isa.S0, isa.T3)
+	g.Ret()
+
+	return g.mustAssemble("python")
+}
+
+// buildSS: models an event-driven simulator: a circular event queue
+// whose packed entries are decoded with shifts and masks; reschedule
+// decisions depend on event contents that evolve with noise.
+func buildSS() *asm.Program {
+	g := newGen()
+	g.DataLabel("queue")
+	seed := int32(606)
+	for i := 0; i < 256; i++ {
+		seed = seed*1103515245 + 12345
+		g.Word(seed)
+	}
+
+	g.Label("main")
+	g.noiseInit()
+	g.La(isa.S1, "queue")
+	g.Li(isa.S2, 0) // head
+	g.Li(isa.S3, 5) // tail
+	outer := g.counted(isa.S7, 400000)
+	{
+		events := g.counted(isa.S4, 64)
+		{
+			g.Andi(isa.T0, isa.S2, 255)
+			g.Slli(isa.T1, isa.T0, 2)
+			g.Lwx(isa.T2, isa.S1, isa.T1) // event (scaled)
+			g.Srli(isa.T3, isa.T2, 24)    // kind
+			g.Andi(isa.T4, isa.T2, 0xFFFF)
+			g.Srli(isa.T5, isa.T2, 16)
+			g.Andi(isa.T5, isa.T5, 0xFF) // unit
+			sched := g.lbl("sched")
+			g.Andi(isa.T6, isa.T3, 1)
+			g.Beq(isa.T6, isa.R0, sched)
+			// Reschedule: write an evolved event at the tail through a
+			// pointer (not scaled — the original uses struct pointers).
+			g.Add(isa.T7, isa.T4, isa.T5)
+			g.Xor(isa.T7, isa.T7, isa.K0)
+			g.Andi(isa.T8, isa.S3, 255)
+			g.Slli(isa.T8, isa.T8, 2)
+			g.Add(isa.T8, isa.S1, isa.T8)
+			g.Sw(isa.T7, isa.T8, 0)
+			g.Addi(isa.S3, isa.S3, 1)
+			g.Label(sched)
+			g.noiseStep(isa.K1)
+			g.Move(isa.A1, isa.T5) // unit staging (move)
+			g.Xor(isa.S0, isa.S0, isa.A1)
+			g.Move(isa.A0, isa.T4) // latency staging (move)
+			g.Add(isa.S0, isa.S0, isa.A0)
+			g.Addi(isa.S2, isa.S2, 1)
+			g.filler(5, isa.T2, isa.S5, isa.S6)
+		}
+		g.closeLoop(isa.S4, events)
+	}
+	g.closeLoop(isa.S7, outer)
+	g.Halt()
+	return g.mustAssemble("ss")
+}
+
+// buildTex: classifies text through a word-sized transition table
+// indexed with short shifts (5.2% scaled adds), driving a small
+// hyphenation-like state machine over noise-refreshed text.
+func buildTex() *asm.Program {
+	g := newGen()
+	g.DataLabel("text")
+	seed := int32(1066)
+	for i := 0; i < 2048; i++ {
+		seed = seed*1103515245 + 12345
+		g.Byte(byte(seed>>17)&0x3F + 32)
+	}
+	g.Align(4)
+	g.DataLabel("cat")
+	for i := 0; i < 128; i++ {
+		g.Byte(byte(i & 7))
+	}
+	g.Align(4)
+	g.DataLabel("trans")
+	for i := 0; i < 64; i++ {
+		g.Word(int32((i * 3) & 7))
+	}
+
+	g.Label("main")
+	g.noiseInit()
+	g.La(isa.S1, "text")
+	g.La(isa.S2, "cat")
+	g.La(isa.S3, "trans")
+	outer := g.counted(isa.S7, 100000)
+	{
+		g.Move(isa.S4, isa.S1) // p = text (move)
+		g.Li(isa.S5, 0)        // state
+		chars := g.counted(isa.S6, 2048)
+		{
+			g.Lbu(isa.T0, isa.S4, 0)
+			g.Andi(isa.T0, isa.T0, 127)
+			g.Add(isa.T1, isa.S2, isa.T0)
+			g.Lbu(isa.T2, isa.T1, 0) // cat[c] (byte table: unscaled)
+			// state = trans[(state<<3) + cat]
+			g.Slli(isa.T3, isa.S5, 3)
+			g.Add(isa.T4, isa.T3, isa.T2) // scaled pair
+			g.Slli(isa.T4, isa.T4, 2)
+			g.Lwx(isa.S5, isa.S3, isa.T4) // (scaled)
+			word := g.lbl("word")
+			g.Bne(isa.S5, isa.R0, word)
+			g.Addi(isa.S0, isa.S0, 1)
+			g.Move(isa.A1, isa.S5) // stage hyphen state (move)
+			g.Xor(isa.S0, isa.S0, isa.A1)
+			g.Label(word)
+			// Rare text refresh: new paragraphs arrive.
+			skipw := g.lbl("skipwr")
+			g.noiseBranch(isa.K1, 6, skipw)
+			g.Andi(isa.T5, isa.K0, 0x3F)
+			g.Addi(isa.T5, isa.T5, 32)
+			g.Sb(isa.T5, isa.S4, 0)
+			g.Label(skipw)
+			g.filler(5, isa.T2, isa.T6, isa.T7)
+			g.Addi(isa.S4, isa.S4, 1)
+		}
+		g.closeLoop(isa.S6, chars)
+	}
+	g.closeLoop(isa.S7, outer)
+	g.Halt()
+	return g.mustAssemble("tex")
+}

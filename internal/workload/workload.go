@@ -1,0 +1,85 @@
+// Package workload provides the benchmark programs the experiment
+// harness runs: 15 synthetic TCR programs standing in for the paper's
+// SPECint95 benchmarks and UNIX applications (compress, gcc, go, ijpeg,
+// li, m88ksim, perl, vortex, gnuchess, ghostscript, pgp, gnuplot, python,
+// sim-outorder, tex).
+//
+// We cannot ship the original binaries, so each program is a real
+// algorithmic kernel (hashing, board scanning, interpreter dispatch,
+// pointer chasing, blocked integer transforms, ...) written against the
+// asm.Builder and tuned so its *dynamic idiom mix* matches what the paper
+// measures for that benchmark: the fraction of register-move idioms
+// (paper Table 2 column 1), of cross-block reassociable add-immediate
+// pairs (column 2), of short shift + add/load/store pairs (column 3),
+// plus branch bias (promotion rate), call depth, and indirect-branch
+// content. The paper's results are relative IPC deltas driven by those
+// idiom frequencies, so matching the mix preserves the shape of every
+// figure.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"tcsim/internal/asm"
+)
+
+// Workload is one registered benchmark.
+type Workload struct {
+	Name        string
+	Description string
+	PaperName   string // row label used in the paper's tables
+	PaperInput  string // input set listed in paper Table 1 ("" if none)
+	PaperInsts  string // instruction count listed in paper Table 1
+
+	// DefaultInsts is the default simulation budget (retired
+	// instructions) for experiment runs; programs run much longer than
+	// any budget and the simulator cuts off cleanly.
+	DefaultInsts uint64
+
+	// Table2 is the paper's measured transformation percentages for this
+	// benchmark {moves, reassociation, scaled adds}, recorded here so the
+	// harness can print paper-vs-measured side by side.
+	Table2 [3]float64
+
+	// Build constructs the program.
+	Build func() *asm.Program
+}
+
+var registry = map[string]Workload{}
+var order []string
+
+func register(w Workload) {
+	if _, dup := registry[w.Name]; dup {
+		panic(fmt.Sprintf("workload %q registered twice", w.Name))
+	}
+	registry[w.Name] = w
+	order = append(order, w.Name)
+}
+
+// All returns every workload in registration (paper Table 1) order.
+func All() []Workload {
+	out := make([]Workload, 0, len(order))
+	for _, n := range order {
+		out = append(out, registry[n])
+	}
+	return out
+}
+
+// Names returns the registered workload names in order.
+func Names() []string {
+	return append([]string(nil), order...)
+}
+
+// ByName looks a workload up.
+func ByName(name string) (Workload, bool) {
+	w, ok := registry[name]
+	return w, ok
+}
+
+// SortedNames returns names alphabetically (for stable CLI help output).
+func SortedNames() []string {
+	ns := Names()
+	sort.Strings(ns)
+	return ns
+}
