@@ -194,12 +194,39 @@ func RunWorkload(cfg Config, name string) (Result, error) {
 	return Run(cfg, &Program{p: w.Build()})
 }
 
+// Suite reproduces the paper's tables and figures while sharing one
+// memoized simulation runner, so sweeps common to several figures (the
+// baseline most of all) simulate exactly once per suite. Figures may be
+// reproduced concurrently; duplicate work is collapsed by singleflight.
+type Suite struct {
+	r *experiments.Runner
+}
+
+// NewSuite returns a figure-reproduction suite. insts bounds each
+// simulation (0 = the workloads' defaults).
+func NewSuite(insts uint64) *Suite {
+	return &Suite{r: experiments.NewRunner(insts)}
+}
+
+// Simulations reports how many simulations the suite has actually
+// executed so far (memoized reuse excluded).
+func (s *Suite) Simulations() uint64 { return s.r.SimCount() }
+
 // ReproduceFigure regenerates one of the paper's tables or figures and
 // returns it formatted. Valid ids: "table1", "fig3", "fig4", "fig5",
 // "fig6", "fig7", "fig8", "table2", "ablations". insts bounds each
-// simulation (0 = the workloads' defaults).
+// simulation (0 = the workloads' defaults). Each call builds a fresh
+// Suite; callers reproducing several figures should share one Suite so
+// common sweeps are simulated only once.
 func ReproduceFigure(id string, insts uint64) (string, error) {
-	r := experiments.NewRunner(insts)
+	return NewSuite(insts).Reproduce(id)
+}
+
+// Reproduce regenerates one table or figure (ids as ReproduceFigure),
+// reusing every simulation the suite has already run.
+func (s *Suite) Reproduce(id string) (string, error) {
+	r := s.r
+	insts := r.Insts
 	switch id {
 	case "table1":
 		return experiments.FormatTable1(insts), nil

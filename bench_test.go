@@ -5,6 +5,7 @@ import (
 
 	"tcsim"
 	"tcsim/internal/experiments"
+	"tcsim/internal/pipeline"
 	"tcsim/internal/workload"
 )
 
@@ -139,16 +140,50 @@ func BenchmarkAblations(b *testing.B) {
 	}
 }
 
+// BenchmarkCycleLoop measures the steady-state per-cycle path in
+// isolation: one warm simulator advanced one cycle per iteration. The
+// allocs/op report pins the allocation-free invariant (uop pool, reused
+// fetch latch, recycled checkpoints and trace lines); any regression
+// shows up as a non-zero count.
+func BenchmarkCycleLoop(b *testing.B) {
+	w, _ := workload.ByName("compress")
+	cfg := pipeline.DefaultConfig()
+	cfg.MaxInsts = 0 // run until the benchmark stops it
+	warm := func() *pipeline.Simulator {
+		sim, err := pipeline.New(cfg, w.Build())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 30_000; i++ {
+			sim.Step()
+		}
+		return sim
+	}
+	sim := warm()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sim.Done() {
+			b.StopTimer()
+			sim = warm()
+			b.StartTimer()
+		}
+		sim.Step()
+	}
+}
+
 // BenchmarkFillUnitOnly isolates the fill unit itself (no pipeline): how
 // fast segment construction plus all four optimization passes run over a
 // retired instruction stream.
 func BenchmarkFillUnitOnly(b *testing.B) {
 	w, _ := workload.ByName("m88ksim")
 	prog := w.Build()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := experiments.FillOnly(prog, 50_000); err != nil {
 			b.Fatal(err)
 		}
 	}
+	b.ReportMetric(float64(b.N)*50_000/b.Elapsed().Seconds(), "fill-inst/s")
 }

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"tcsim"
+)
+
+// benchReport is the BENCH_sweep.json schema: per-workload simulation
+// throughput and allocation rates under the combined configuration, the
+// geometric-mean throughput, and per-figure wall time for the full
+// reproduction suite (which shares one memoized runner).
+type benchReport struct {
+	Insts     uint64  `json:"insts_per_workload"`
+	GoMaxProc int     `json:"gomaxprocs"`
+	TotalSecs float64 `json:"total_wall_secs"`
+
+	Workloads  []workloadBench `json:"workloads"`
+	GeomeanIPS float64         `json:"geomean_sim_inst_per_sec"`
+
+	Figures     []figureBench `json:"figures"`
+	Simulations uint64        `json:"suite_simulations"`
+}
+
+type workloadBench struct {
+	Name        string  `json:"name"`
+	Retired     uint64  `json:"retired"`
+	Cycles      uint64  `json:"cycles"`
+	WallSecs    float64 `json:"wall_secs"`
+	InstPerSec  float64 `json:"sim_inst_per_sec"`
+	AllocsPerK  float64 `json:"allocs_per_1k_insts"`
+	BytesPerK   float64 `json:"bytes_per_1k_insts"`
+	CyclePerSec float64 `json:"sim_cycles_per_sec"`
+}
+
+type figureBench struct {
+	ID       string  `json:"id"`
+	WallSecs float64 `json:"wall_secs"`
+}
+
+// runBench sweeps every bundled workload under the combined
+// configuration, measuring wall time and allocation deltas, then times
+// each figure of the reproduction suite, and writes the JSON report.
+func runBench(insts uint64, outPath string) error {
+	rep := benchReport{Insts: insts, GoMaxProc: runtime.GOMAXPROCS(0)}
+	start := time.Now()
+
+	cfg := tcsim.DefaultConfig()
+	cfg.Opt = tcsim.AllOptions()
+	cfg.MaxInsts = insts
+
+	var ms0, ms1 runtime.MemStats
+	for _, name := range tcsim.Workloads() {
+		// Warm run: touches lazily built program images so the measured
+		// run is pure simulation.
+		warm := cfg
+		warm.MaxInsts = 1000
+		if _, err := tcsim.RunWorkload(warm, name); err != nil {
+			return fmt.Errorf("bench %s: %w", name, err)
+		}
+
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		t0 := time.Now()
+		res, err := tcsim.RunWorkload(cfg, name)
+		if err != nil {
+			return fmt.Errorf("bench %s: %w", name, err)
+		}
+		wall := time.Since(t0)
+		runtime.ReadMemStats(&ms1)
+
+		k := float64(res.Retired) / 1000
+		if k == 0 {
+			k = 1
+		}
+		wb := workloadBench{
+			Name:        name,
+			Retired:     res.Retired,
+			Cycles:      res.Cycles,
+			WallSecs:    wall.Seconds(),
+			InstPerSec:  float64(res.Retired) / wall.Seconds(),
+			AllocsPerK:  float64(ms1.Mallocs-ms0.Mallocs) / k,
+			BytesPerK:   float64(ms1.TotalAlloc-ms0.TotalAlloc) / k,
+			CyclePerSec: float64(res.Cycles) / wall.Seconds(),
+		}
+		rep.Workloads = append(rep.Workloads, wb)
+		fmt.Printf("bench %-10s %9.0f inst/s  %7.1f allocs/kinst  %6.2fs\n",
+			name, wb.InstPerSec, wb.AllocsPerK, wb.WallSecs)
+	}
+	if n := len(rep.Workloads); n > 0 {
+		sumLog := 0.0
+		for _, wb := range rep.Workloads {
+			sumLog += math.Log(wb.InstPerSec)
+		}
+		rep.GeomeanIPS = math.Exp(sumLog / float64(n))
+	}
+
+	suite := tcsim.NewSuite(insts)
+	for _, id := range tcsim.ExperimentIDs() {
+		t0 := time.Now()
+		if _, err := suite.Reproduce(id); err != nil {
+			return fmt.Errorf("bench %s: %w", id, err)
+		}
+		fb := figureBench{ID: id, WallSecs: secs(time.Since(t0))}
+		rep.Figures = append(rep.Figures, fb)
+		fmt.Printf("bench %-10s %6.2fs\n", id, fb.WallSecs)
+	}
+	rep.Simulations = suite.Simulations()
+	rep.TotalSecs = secs(time.Since(start))
+
+	b, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(outPath, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("bench: geomean %.0f inst/s over %d workloads, %d suite simulations, wrote %s\n",
+		rep.GeomeanIPS, len(rep.Workloads), rep.Simulations, outPath)
+	return nil
+}

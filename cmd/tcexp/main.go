@@ -1,9 +1,16 @@
-// Command tcexp regenerates the paper's tables and figures.
+// Command tcexp regenerates the paper's tables and figures, or runs the
+// performance benchmark sweep.
 //
 // Usage:
 //
 //	tcexp -exp fig8 -insts 200000
 //	tcexp -exp all
+//	tcexp -exp bench -bench-out BENCH_sweep.json
+//	tcexp -exp all -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// All figure reproductions in one invocation share a memoized runner, so
+// sweeps common to several figures (the baseline above all) simulate
+// exactly once.
 package main
 
 import (
@@ -11,27 +18,63 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"tcsim"
+	"tcsim/internal/prof"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id: "+strings.Join(tcsim.ExperimentIDs(), ", ")+", or 'all'")
-		insts = flag.Uint64("insts", 200_000, "retired-instruction budget per simulation (0 = workload defaults)")
+		exp      = flag.String("exp", "all", "experiment id: "+strings.Join(tcsim.ExperimentIDs(), ", ")+", 'all', or 'bench'")
+		insts    = flag.Uint64("insts", 200_000, "retired-instruction budget per simulation (0 = workload defaults)")
+		benchOut = flag.String("bench-out", "BENCH_sweep.json", "output path for -exp bench")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		trc      = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
 
-	ids := []string{*exp}
-	if *exp == "all" {
+	stop, err := prof.Start(*cpuProf, *memProf, *trc)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if *exp == "bench" {
+		err = runBench(*insts, *benchOut)
+	} else {
+		err = runFigures(*exp, *insts)
+	}
+	if perr := stop(); err == nil {
+		err = perr
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func runFigures(exp string, insts uint64) error {
+	ids := []string{exp}
+	if exp == "all" {
 		ids = tcsim.ExperimentIDs()
 	}
+	suite := tcsim.NewSuite(insts)
 	for _, id := range ids {
-		out, err := tcsim.ReproduceFigure(id, *insts)
+		out, err := suite.Reproduce(id)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "tcexp: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Println(out)
 	}
+	return nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tcexp: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// secs rounds a duration to milliseconds for stable JSON output.
+func secs(d time.Duration) float64 {
+	return float64(d.Round(time.Millisecond)) / float64(time.Second)
 }

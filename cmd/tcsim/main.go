@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"tcsim"
+	"tcsim/internal/prof"
 )
 
 func main() {
@@ -31,6 +32,9 @@ func main() {
 		clusters = flag.Int("clusters", 4, "execution clusters")
 		fus      = flag.Int("fus-per-cluster", 4, "functional units per cluster")
 		list     = flag.Bool("list", false, "list bundled workloads and exit")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		trc      = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
 
@@ -39,6 +43,11 @@ func main() {
 			fmt.Println(n)
 		}
 		return
+	}
+
+	stopProf, err := prof.Start(*cpuProf, *memProf, *trc)
+	if err != nil {
+		fatalf("%v", err)
 	}
 
 	cfg := tcsim.DefaultConfig()
@@ -68,10 +77,7 @@ func main() {
 		}
 	}
 
-	var (
-		res tcsim.Result
-		err error
-	)
+	var res tcsim.Result
 	switch {
 	case *wl != "" && *asmFile != "":
 		fatalf("pass either -workload or -asm, not both")
@@ -91,6 +97,9 @@ func main() {
 		fatalf("pass -workload <name> or -asm <file> (or -list)")
 	}
 	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := stopProf(); err != nil {
 		fatalf("%v", err)
 	}
 

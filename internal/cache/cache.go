@@ -7,6 +7,16 @@ package cache
 
 import "fmt"
 
+// line is one cache way's state; lines are stored flat ([set*ways+way])
+// so a set's ways share a cache line of host memory and construction is
+// a single allocation.
+type line struct {
+	tag   uint32
+	valid bool
+	dirty bool
+	lru   uint64 // larger = more recently used
+}
+
 // Cache is a set-associative cache with true LRU replacement. It tracks
 // tags only (the simulator never needs cached data — values come from the
 // functional oracle), which matches how timing simulators model caches.
@@ -17,12 +27,10 @@ type Cache struct {
 	lineBytes int
 
 	lineShift uint
+	setShift  uint
 	setMask   uint32
 
-	tag   [][]uint32 // [set][way]
-	valid [][]bool
-	dirty [][]bool
-	lru   [][]uint64 // larger = more recently used
+	lines []line // [set*ways + way]
 	clock uint64
 
 	Hits   uint64
@@ -45,18 +53,9 @@ func New(name string, totalBytes, ways, lineBytes int) (*Cache, error) {
 	}
 	c := &Cache{
 		name: name, sets: sets, ways: ways, lineBytes: lineBytes,
-		lineShift: log2(lineBytes), setMask: uint32(sets - 1),
+		lineShift: log2(lineBytes), setShift: log2(sets), setMask: uint32(sets - 1),
 	}
-	c.tag = make([][]uint32, sets)
-	c.valid = make([][]bool, sets)
-	c.dirty = make([][]bool, sets)
-	c.lru = make([][]uint64, sets)
-	for s := 0; s < sets; s++ {
-		c.tag[s] = make([]uint32, ways)
-		c.valid[s] = make([]bool, ways)
-		c.dirty[s] = make([]bool, ways)
-		c.lru[s] = make([]uint64, ways)
-	}
+	c.lines = make([]line, sets*ways)
 	return c, nil
 }
 
@@ -81,22 +80,25 @@ func log2(n int) uint {
 	return s
 }
 
-func (c *Cache) index(addr uint32) (set int, tag uint32) {
-	line := addr >> c.lineShift
-	return int(line & c.setMask), line >> log2(c.sets)
+// set returns the ways of the set containing addr, plus the line's tag.
+func (c *Cache) set(addr uint32) ([]line, uint32) {
+	l := addr >> c.lineShift
+	s := int(l & c.setMask)
+	return c.lines[s*c.ways : s*c.ways+c.ways], l >> c.setShift
 }
 
 // Access performs a demand access: on a miss the line is allocated,
 // evicting the LRU way. It returns true on hit. isStore marks the line
 // dirty (write-allocate, write-back).
 func (c *Cache) Access(addr uint32, isStore bool) bool {
-	set, tag := c.index(addr)
+	set, tag := c.set(addr)
 	c.clock++
-	for w := 0; w < c.ways; w++ {
-		if c.valid[set][w] && c.tag[set][w] == tag {
-			c.lru[set][w] = c.clock
+	for w := range set {
+		l := &set[w]
+		if l.valid && l.tag == tag {
+			l.lru = c.clock
 			if isStore {
-				c.dirty[set][w] = true
+				l.dirty = true
 			}
 			c.Hits++
 			return true
@@ -104,27 +106,24 @@ func (c *Cache) Access(addr uint32, isStore bool) bool {
 	}
 	c.Misses++
 	victim := 0
-	for w := 1; w < c.ways; w++ {
-		if !c.valid[set][w] {
+	for w := 1; w < len(set); w++ {
+		if !set[w].valid {
 			victim = w
 			break
 		}
-		if c.lru[set][w] < c.lru[set][victim] {
+		if set[w].lru < set[victim].lru {
 			victim = w
 		}
 	}
-	c.tag[set][victim] = tag
-	c.valid[set][victim] = true
-	c.dirty[set][victim] = isStore
-	c.lru[set][victim] = c.clock
+	set[victim] = line{tag: tag, valid: true, dirty: isStore, lru: c.clock}
 	return false
 }
 
 // Probe reports whether addr currently hits without updating any state.
 func (c *Cache) Probe(addr uint32) bool {
-	set, tag := c.index(addr)
-	for w := 0; w < c.ways; w++ {
-		if c.valid[set][w] && c.tag[set][w] == tag {
+	set, tag := c.set(addr)
+	for w := range set {
+		if set[w].valid && set[w].tag == tag {
 			return true
 		}
 	}
@@ -133,10 +132,10 @@ func (c *Cache) Probe(addr uint32) bool {
 
 // Invalidate drops the line containing addr if present.
 func (c *Cache) Invalidate(addr uint32) {
-	set, tag := c.index(addr)
-	for w := 0; w < c.ways; w++ {
-		if c.valid[set][w] && c.tag[set][w] == tag {
-			c.valid[set][w] = false
+	set, tag := c.set(addr)
+	for w := range set {
+		if set[w].valid && set[w].tag == tag {
+			set[w].valid = false
 			return
 		}
 	}
@@ -144,12 +143,8 @@ func (c *Cache) Invalidate(addr uint32) {
 
 // Reset invalidates the whole cache and clears statistics.
 func (c *Cache) Reset() {
-	for s := 0; s < c.sets; s++ {
-		for w := 0; w < c.ways; w++ {
-			c.valid[s][w] = false
-			c.dirty[s][w] = false
-			c.lru[s][w] = 0
-		}
+	for i := range c.lines {
+		c.lines[i] = line{}
 	}
 	c.clock, c.Hits, c.Misses = 0, 0, 0
 }

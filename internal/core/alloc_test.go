@@ -1,0 +1,47 @@
+package core
+
+import (
+	"testing"
+
+	"tcsim/internal/bpred"
+	"tcsim/internal/emu"
+	"tcsim/internal/workload"
+)
+
+// TestFillSteadyStateAllocs pins the fill unit's allocation discipline:
+// with segment storage recycled (as the pipeline does for evicted trace
+// lines), the Collect/Drain loop — segment construction plus all four
+// optimization passes — allocates nothing in steady state.
+func TestFillSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	w, ok := workload.ByName("compress")
+	if !ok {
+		t.Fatal("no workload compress")
+	}
+	m := emu.New(w.Build())
+	cfg := DefaultConfig()
+	cfg.Opt = AllOptimizations()
+	f := New(cfg, bpred.NewBiasTable(8<<10, 64))
+
+	seq := uint64(0)
+	step := func() {
+		rec, err := m.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Collect(rec, seq)
+		for _, seg := range f.Drain(seq) {
+			f.RecycleSegment(seg)
+		}
+		seq++
+	}
+	for i := 0; i < 30_000; i++ {
+		step()
+	}
+	avg := testing.AllocsPerRun(5000, step)
+	if avg > 0.01 {
+		t.Errorf("steady-state Collect/Drain allocates %.4f allocs/inst, want ~0", avg)
+	}
+}

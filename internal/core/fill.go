@@ -19,17 +19,91 @@ type FillUnit struct {
 	block  []pendInst     // current block buffer (packing disabled only)
 	nextID uint64
 
-	armed     map[uint32]struct{} // fetch addresses that missed in the TC
-	armedFIFO []uint32
-	cfBlock   int // architectural basic-block counter within cur
+	armed   armedBuffer // fetch addresses that missed in the TC
+	cfBlock int         // architectural basic-block counter within cur
 
-	pipe []pendingSeg // finished segments waiting out the fill latency
+	pipe     []pendingSeg // finished segments waiting out the fill latency
+	pipeHead int
+	drainOut []*trace.Segment // Drain's reused result slice
+
+	segFree []*trace.Segment // recycled segment storage
 
 	Stats Stats
 }
 
 // maxArmed bounds the pending-miss address buffer.
 const maxArmed = 16
+
+// armedBuffer is a fixed-capacity FIFO of armed miss addresses with O(1)
+// arm, disarm and oldest-eviction: a doubly-linked list threaded through
+// fixed node arrays, plus an index map for membership tests. It replaces
+// the map + slice pair whose disarm path memmoved the FIFO on every
+// consumed arm.
+type armedBuffer struct {
+	idx        map[uint32]int8
+	pc         [maxArmed]uint32
+	next, prev [maxArmed]int8
+	head, tail int8 // FIFO order: head is oldest
+	free       int8 // free-node list through next[]
+}
+
+func (a *armedBuffer) init() {
+	a.idx = make(map[uint32]int8, maxArmed)
+	for i := range a.next {
+		a.next[i] = int8(i) + 1
+	}
+	a.next[maxArmed-1] = -1
+	a.head, a.tail, a.free = -1, -1, 0
+}
+
+// add arms pc, evicting the oldest entry when full. No-op if present.
+func (a *armedBuffer) add(pc uint32) {
+	if _, ok := a.idx[pc]; ok {
+		return
+	}
+	if a.free < 0 {
+		a.remove(a.head)
+	}
+	n := a.free
+	a.free = a.next[n]
+	a.pc[n] = pc
+	a.next[n] = -1
+	a.prev[n] = a.tail
+	if a.tail >= 0 {
+		a.next[a.tail] = n
+	} else {
+		a.head = n
+	}
+	a.tail = n
+	a.idx[pc] = n
+}
+
+// take disarms pc, reporting whether it was armed.
+func (a *armedBuffer) take(pc uint32) bool {
+	n, ok := a.idx[pc]
+	if !ok {
+		return false
+	}
+	a.remove(n)
+	return true
+}
+
+func (a *armedBuffer) remove(n int8) {
+	delete(a.idx, a.pc[n])
+	p, x := a.prev[n], a.next[n]
+	if p >= 0 {
+		a.next[p] = x
+	} else {
+		a.head = x
+	}
+	if x >= 0 {
+		a.prev[x] = p
+	} else {
+		a.tail = p
+	}
+	a.next[n] = a.free
+	a.free = n
+}
 
 type pendInst struct {
 	rec      emu.Record
@@ -45,11 +119,12 @@ type pendingSeg struct {
 // New builds a fill unit. bias may be nil to disable promotion lookups
 // regardless of cfg.Promotion.
 func New(cfg Config, bias *bpred.BiasTable) *FillUnit {
-	return &FillUnit{
-		cfg:   cfg.normalize(),
-		bias:  bias,
-		armed: make(map[uint32]struct{}),
+	f := &FillUnit{
+		cfg:  cfg.normalize(),
+		bias: bias,
 	}
+	f.armed.init()
+	return f
 }
 
 // NoteMiss arms segment construction at a fetch address that missed in
@@ -61,29 +136,11 @@ func (f *FillUnit) NoteMiss(pc uint32) {
 	if !f.cfg.FillOnMiss {
 		return
 	}
-	if _, ok := f.armed[pc]; ok {
-		return
-	}
-	if len(f.armedFIFO) >= maxArmed {
-		delete(f.armed, f.armedFIFO[0])
-		f.armedFIFO = f.armedFIFO[1:]
-	}
-	f.armed[pc] = struct{}{}
-	f.armedFIFO = append(f.armedFIFO, pc)
+	f.armed.add(pc)
 }
 
 func (f *FillUnit) consumeArm(pc uint32) bool {
-	if _, ok := f.armed[pc]; !ok {
-		return false
-	}
-	delete(f.armed, pc)
-	for i, a := range f.armedFIFO {
-		if a == pc {
-			f.armedFIFO = append(f.armedFIFO[:i], f.armedFIFO[i+1:]...)
-			break
-		}
-	}
-	return true
+	return f.armed.take(pc)
 }
 
 // Config returns the normalized configuration.
@@ -170,8 +227,7 @@ func (f *FillUnit) appendInst(pi pendInst, cycle uint64) {
 		if f.cfg.FillOnMiss && !f.consumeArm(rec.PC) {
 			return
 		}
-		f.cur = &trace.Segment{StartPC: rec.PC, FillID: f.nextID}
-		f.nextID++
+		f.cur = f.newSegment(rec.PC)
 		f.cfBlock = 0
 	}
 
@@ -226,9 +282,40 @@ func validSuccessor(last trace.SegInst, pc uint32) bool {
 	}
 }
 
+// newSegment draws segment storage from the recycle pool (or allocates
+// a fresh one with full backing capacity) and stamps the header.
+func (f *FillUnit) newSegment(startPC uint32) *trace.Segment {
+	var seg *trace.Segment
+	if n := len(f.segFree); n > 0 {
+		seg = f.segFree[n-1]
+		f.segFree[n-1] = nil
+		f.segFree = f.segFree[:n-1]
+		seg.Reset()
+	} else {
+		seg = &trace.Segment{Insts: make([]trace.SegInst, 0, trace.MaxInsts)}
+	}
+	seg.StartPC = startPC
+	seg.FillID = f.nextID
+	f.nextID++
+	return seg
+}
+
+// RecycleSegment hands back segment storage (an evicted trace line) for
+// reuse. The caller must guarantee nothing still reads the segment: the
+// pipeline only recycles an evicted line when the fetch latch is not
+// holding instructions decoded from it.
+func (f *FillUnit) RecycleSegment(seg *trace.Segment) {
+	if seg != nil {
+		f.segFree = append(f.segFree, seg)
+	}
+}
+
 // abandon drops the segment under construction (pipeline flush).
 func (f *FillUnit) abandon() {
-	f.cur = nil
+	if f.cur != nil {
+		f.RecycleSegment(f.cur)
+		f.cur = nil
+	}
 	f.block = f.block[:0]
 }
 
@@ -241,6 +328,9 @@ func (f *FillUnit) Abandon() { f.abandon() }
 // optimization passes, then entry into the fill pipeline.
 func (f *FillUnit) finalize(cycle uint64) {
 	if f.cur == nil || len(f.cur.Insts) == 0 {
+		if f.cur != nil {
+			f.RecycleSegment(f.cur)
+		}
 		f.cur = nil
 		return
 	}
@@ -276,32 +366,41 @@ func (f *FillUnit) finalize(cycle uint64) {
 }
 
 // Drain returns the segments whose fill latency has elapsed by cycle.
+// The returned slice is reused by the next Drain/Flush call; callers
+// must consume (or copy out) the segments before then.
 func (f *FillUnit) Drain(cycle uint64) []*trace.Segment {
-	var out []*trace.Segment
-	i := 0
-	for ; i < len(f.pipe) && f.pipe[i].ready <= cycle; i++ {
-		out = append(out, f.pipe[i].seg)
+	out := f.drainOut[:0]
+	for f.pipeHead < len(f.pipe) && f.pipe[f.pipeHead].ready <= cycle {
+		out = append(out, f.pipe[f.pipeHead].seg)
+		f.pipe[f.pipeHead] = pendingSeg{}
+		f.pipeHead++
 	}
-	if i > 0 {
-		f.pipe = append(f.pipe[:0], f.pipe[i:]...)
+	if f.pipeHead == len(f.pipe) {
+		f.pipe = f.pipe[:0]
+		f.pipeHead = 0
 	}
+	f.drainOut = out
 	return out
 }
 
 // Pending reports how many segments are waiting in the fill pipeline
 // (test hook).
-func (f *FillUnit) Pending() int { return len(f.pipe) }
+func (f *FillUnit) Pending() int { return len(f.pipe) - f.pipeHead }
 
 // Flush finalizes any partial segment (end of simulation) and returns
-// every queued segment regardless of latency.
+// every queued segment regardless of latency. Like Drain, the returned
+// slice is reused by subsequent calls.
 func (f *FillUnit) Flush(cycle uint64) []*trace.Segment {
 	f.flushBlock(cycle)
 	f.finalize(cycle)
-	var out []*trace.Segment
-	for _, p := range f.pipe {
-		out = append(out, p.seg)
+	out := f.drainOut[:0]
+	for ; f.pipeHead < len(f.pipe); f.pipeHead++ {
+		out = append(out, f.pipe[f.pipeHead].seg)
+		f.pipe[f.pipeHead] = pendingSeg{}
 	}
 	f.pipe = f.pipe[:0]
+	f.pipeHead = 0
+	f.drainOut = out
 	return out
 }
 
@@ -319,5 +418,12 @@ func CheckInvariants(seg *trace.Segment) {
 	}
 }
 
-// ArmedDebug exposes the armed miss addresses (debug/test hook).
-func (f *FillUnit) ArmedDebug() []uint32 { return f.armedFIFO }
+// ArmedDebug exposes the armed miss addresses in FIFO order (debug/test
+// hook; allocates).
+func (f *FillUnit) ArmedDebug() []uint32 {
+	var out []uint32
+	for n := f.armed.head; n >= 0; n = f.armed.next[n] {
+		out = append(out, f.armed.pc[n])
+	}
+	return out
+}

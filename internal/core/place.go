@@ -26,7 +26,8 @@ func (f *FillUnit) placeInstructions(seg *trace.Segment) {
 
 	slotCluster := func(slot int) int { return slot / f.cfg.FUsPerCluster }
 
-	assigned := make([]int, n) // inst -> slot, -1 = unplaced
+	var assignedArr [trace.MaxInsts]int // n <= MaxInsts: stack scratch
+	assigned := assignedArr[:n]         // inst -> slot, -1 = unplaced
 	for i := range assigned {
 		assigned[i] = -1
 	}

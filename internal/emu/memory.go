@@ -17,8 +17,14 @@ const (
 // Memory is a sparse, paged, little-endian 32-bit address space. Reads of
 // unmapped addresses return zero without allocating; writes allocate the
 // containing page.
+//
+// A one-entry last-hit cache fronts the page map: accesses are strongly
+// page-local (sequential code, stack, streaming data), so the common case
+// skips the map lookup entirely.
 type Memory struct {
-	pages map[uint32]*[pageSize]byte
+	pages    map[uint32]*[pageSize]byte
+	lastPN   uint32
+	lastPage *[pageSize]byte
 }
 
 // NewMemory returns an empty address space.
@@ -28,10 +34,16 @@ func NewMemory() *Memory {
 
 func (m *Memory) page(addr uint32, alloc bool) *[pageSize]byte {
 	pn := addr >> pageShift
+	if p := m.lastPage; p != nil && pn == m.lastPN {
+		return p
+	}
 	p := m.pages[pn]
 	if p == nil && alloc {
 		p = new([pageSize]byte)
 		m.pages[pn] = p
+	}
+	if p != nil {
+		m.lastPN, m.lastPage = pn, p
 	}
 	return p
 }

@@ -6,17 +6,41 @@ import "fmt"
 // timing simulator by random access over a sliding window. The window
 // grows forward on demand (At steps the underlying machine lazily) and is
 // trimmed from the back by Release as the pipeline retires instructions.
+//
+// The window is a power-of-two ring buffer: Release advances the head
+// pointer instead of memmoving the live records down, which the per-cycle
+// retire loop used to pay on every retired instruction.
 type Oracle struct {
 	m       *Machine
-	base    uint64   // Seq of window[0]
-	window  []Record // records [base, base+len)
-	done    bool     // machine has halted; no records past the window
+	base    uint64   // Seq of the oldest buffered record
+	buf     []Record // power-of-two ring
+	head    int
+	n       int
+	done    bool // machine has halted; no records past the window
 	stepErr error
 }
 
 // NewOracle wraps a freshly constructed machine.
 func NewOracle(m *Machine) *Oracle {
 	return &Oracle{m: m}
+}
+
+func (o *Oracle) push(rec Record) {
+	if o.n == len(o.buf) {
+		size := 1024
+		if len(o.buf) > 0 {
+			size = 2 * len(o.buf)
+		}
+		nb := make([]Record, size)
+		mask := len(o.buf) - 1
+		for i := 0; i < o.n; i++ {
+			nb[i] = o.buf[(o.head+i)&mask]
+		}
+		o.buf = nb
+		o.head = 0
+	}
+	o.buf[(o.head+o.n)&(len(o.buf)-1)] = rec
+	o.n++
 }
 
 // At returns the correct-path record with dynamic sequence number seq.
@@ -27,7 +51,7 @@ func (o *Oracle) At(seq uint64) (Record, bool) {
 	if seq < o.base {
 		panic(fmt.Sprintf("emu: oracle record %d already released (base %d)", seq, o.base))
 	}
-	for seq >= o.base+uint64(len(o.window)) {
+	for seq >= o.base+uint64(o.n) {
 		if o.done {
 			return Record{}, false
 		}
@@ -37,12 +61,12 @@ func (o *Oracle) At(seq uint64) (Record, bool) {
 			o.done = true
 			return Record{}, false
 		}
-		o.window = append(o.window, rec)
+		o.push(rec)
 		if o.m.Halted {
 			o.done = true
 		}
 	}
-	return o.window[seq-o.base], true
+	return o.buf[(o.head+int(seq-o.base))&(len(o.buf)-1)], true
 }
 
 // Err reports an execution error encountered while extending the window
@@ -56,18 +80,18 @@ func (o *Oracle) Release(upTo uint64) {
 		return
 	}
 	n := upTo - o.base
-	if n >= uint64(len(o.window)) {
-		o.window = o.window[:0]
+	if n >= uint64(o.n) {
+		o.head, o.n = 0, 0
 		o.base = upTo
 		return
 	}
-	copy(o.window, o.window[n:])
-	o.window = o.window[:uint64(len(o.window))-n]
+	o.head = (o.head + int(n)) & (len(o.buf) - 1)
+	o.n -= int(n)
 	o.base = upTo
 }
 
 // WindowLen reports the number of buffered records (test hook).
-func (o *Oracle) WindowLen() int { return len(o.window) }
+func (o *Oracle) WindowLen() int { return o.n }
 
 // Machine exposes the underlying architectural machine (for final-state
 // checks and program output).

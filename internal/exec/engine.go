@@ -76,12 +76,31 @@ type Stats struct {
 // Engine is the out-of-order backend: the instruction window, the
 // clustered reservation stations and functional units, and the memory
 // scheduler.
+//
+// The window is a power-of-two ring buffer in fetch order, so the
+// per-cycle head pruning is O(retired) instead of an O(window) memmove,
+// and occupancy/RS/branch counts are maintained incrementally instead
+// of recounted by scanning.
 type Engine struct {
 	cfg  Config
 	hier *cache.Hierarchy
 
-	window  []*UOp // fetch order; pruned as the head retires/dies
-	rsCount []int  // occupied RS entries per FU
+	buf  []*UOp // power-of-two ring; fetch (Seq) order
+	head int
+	n    int
+
+	live         int // issued, not yet retired or dead
+	inRS         int // uops currently holding a reservation-station entry
+	movesWaiting int // marked moves that have not adopted a result yet
+	inactive     int // live inactive-issued uops
+	unresolved   int // live unresolved control transfers
+
+	rsCount    []int
+	dispatched []bool // per-FU per-cycle scratch
+	rsNeed     []int  // per-FU scratch for RSSpaceFor
+
+	stores    []*UOp // live stores in fetch order (compacted each prune)
+	waitLoads []*UOp // loads past AGEN waiting on the memory scheduler
 
 	Stats Stats
 }
@@ -89,10 +108,18 @@ type Engine struct {
 // NewEngine builds a backend over the given memory hierarchy.
 func NewEngine(cfg Config, hier *cache.Hierarchy) *Engine {
 	cfg = cfg.normalize()
+	ringCap := 64
+	for ringCap < 2*cfg.WindowSize {
+		ringCap *= 2
+	}
+	nFU := cfg.Clusters * cfg.FUsPerCluster
 	return &Engine{
-		cfg:     cfg,
-		hier:    hier,
-		rsCount: make([]int, cfg.Clusters*cfg.FUsPerCluster),
+		cfg:        cfg,
+		hier:       hier,
+		buf:        make([]*UOp, ringCap),
+		rsCount:    make([]int, nFU),
+		dispatched: make([]bool, nFU),
+		rsNeed:     make([]int, nFU),
 	}
 }
 
@@ -102,32 +129,47 @@ func (e *Engine) Config() Config { return e.cfg }
 // FUs returns the number of functional units (= issue slots).
 func (e *Engine) FUs() int { return e.cfg.Clusters * e.cfg.FUsPerCluster }
 
-// WindowSpace reports how many more uops fit in the window.
-func (e *Engine) WindowSpace() int { return e.cfg.WindowSize - e.liveCount() }
+// Len reports the window occupancy including not-yet-pruned retired and
+// dead entries.
+func (e *Engine) Len() int { return e.n }
 
-func (e *Engine) liveCount() int {
-	n := 0
-	for _, u := range e.window {
-		if !u.Dead && !u.Retired {
-			n++
+// At returns the i-th window entry in fetch order (0 = oldest).
+func (e *Engine) At(i int) *UOp { return e.buf[(e.head+i)&(len(e.buf)-1)] }
+
+func (e *Engine) push(u *UOp) {
+	if e.n == len(e.buf) {
+		nb := make([]*UOp, 2*len(e.buf))
+		mask := len(e.buf) - 1
+		for i := 0; i < e.n; i++ {
+			nb[i] = e.buf[(e.head+i)&mask]
 		}
+		e.buf = nb
+		e.head = 0
 	}
-	return n
+	e.buf[(e.head+e.n)&(len(e.buf)-1)] = u
+	e.n++
 }
+
+// WindowSpace reports how many more uops fit in the window.
+func (e *Engine) WindowSpace() int { return e.cfg.WindowSize - e.live }
 
 // RSSpaceFor reports whether the reservation stations can absorb a group
 // of uops destined for the given FU slots.
 func (e *Engine) RSSpaceFor(slots []int) bool {
-	need := make(map[int]int, len(slots))
 	for _, s := range slots {
-		need[s]++
+		e.rsNeed[s]++
 	}
-	for s, n := range need {
-		if e.rsCount[s]+n > e.cfg.RSPerFU {
-			return false
+	ok := true
+	for _, s := range slots {
+		if e.rsCount[s]+e.rsNeed[s] > e.cfg.RSPerFU {
+			ok = false
+			break
 		}
 	}
-	return true
+	for _, s := range slots {
+		e.rsNeed[s] = 0
+	}
+	return ok
 }
 
 // Issue adds a renamed uop to the window (and its FU's reservation
@@ -140,6 +182,9 @@ func (e *Engine) Issue(u *UOp, cycle uint64) {
 		// Executes in rename; result adopted from the producer.
 		u.State = StateInRS // no RS entry; tracked for adoption
 		e.tryAdoptMove(u)
+		if !u.HasResult {
+			e.movesWaiting++
+		}
 	case !u.NeedsFU():
 		u.State = StateComplete
 		u.Resolved = true // direct jumps never mispredict
@@ -150,8 +195,19 @@ func (e *Engine) Issue(u *UOp, cycle uint64) {
 		u.State = StateInRS
 		u.InRS = true
 		e.rsCount[u.FU]++
+		e.inRS++
 	}
-	e.window = append(e.window, u)
+	e.live++
+	if u.IsBranch && !u.Resolved {
+		e.unresolved++
+	}
+	if u.Inactive {
+		e.inactive++
+	}
+	if u.IsStore() {
+		e.stores = append(e.stores, u)
+	}
+	e.push(u)
 }
 
 // tryAdoptMove completes a rename-executed move once its producer has a
@@ -197,53 +253,79 @@ func (e *Engine) latency(op isa.Op) int {
 // availability, and runs the memory scheduler.
 func (e *Engine) Cycle(c uint64) {
 	// Dispatch: oldest ready uop per FU. The window is in Seq order, so
-	// the first ready candidate per FU is the oldest.
-	nFU := e.FUs()
-	dispatched := make([]bool, nFU)
-	for _, u := range e.window {
-		if u.Dead || !u.InRS || dispatched[u.FU] {
-			continue
+	// the first ready candidate per FU is the oldest. The scan stops as
+	// soon as every RS-resident uop has been considered.
+	if e.inRS > 0 {
+		d := e.dispatched
+		for i := range d {
+			d[i] = false
 		}
-		ready, delayed, known := u.readyAt(u.Cluster, e.cfg.CrossClusterPenalty, u.IsMem())
-		if !known || ready > c {
-			continue
-		}
-		dispatched[u.FU] = true
-		u.InRS = false
-		e.rsCount[u.FU]--
-		u.DispatchCycle = c
-		u.BypassDelayed = delayed
-		u.HadOperands = u.NSrc > 0
-		e.Stats.Dispatched++
-
-		switch {
-		case u.IsMem():
-			u.AddrTime = c + uint64(e.cfg.AgenLatency)
-			u.AddrKnown = true
-			if u.IsLoad() {
-				u.State = StateWaitMem
-			} else {
-				u.State = StateExecuting // store: waits for data
+		remaining := e.inRS
+		for i := 0; i < e.n && remaining > 0; i++ {
+			u := e.At(i)
+			if u.Dead || !u.InRS {
+				continue
 			}
-		default:
-			u.HasResult = true
-			u.ResultTime = c + uint64(e.latency(u.Inst.Op))
-			u.ResultCluster = u.Cluster
-			u.State = StateComplete
+			remaining--
+			if d[u.FU] {
+				continue
+			}
+			ready, delayed, known := u.readyAt(u.Cluster, e.cfg.CrossClusterPenalty, u.IsMem())
+			if !known || ready > c {
+				continue
+			}
+			d[u.FU] = true
+			u.InRS = false
+			e.rsCount[u.FU]--
+			e.inRS--
+			u.DispatchCycle = c
+			u.BypassDelayed = delayed
+			u.HadOperands = u.NSrc > 0
+			e.Stats.Dispatched++
+
+			switch {
+			case u.IsMem():
+				u.AddrTime = c + uint64(e.cfg.AgenLatency)
+				u.AddrKnown = true
+				if u.IsLoad() {
+					u.State = StateWaitMem
+					// Keep the wait list in Seq order (loads dispatch out
+					// of order): the memory scheduler must touch the data
+					// cache oldest-load-first or same-cycle LRU updates
+					// and allocations reorder and later misses shift.
+					e.waitLoads = append(e.waitLoads, u)
+					for j := len(e.waitLoads) - 1; j > 0 && e.waitLoads[j-1].Seq > u.Seq; j-- {
+						e.waitLoads[j-1], e.waitLoads[j] = e.waitLoads[j], e.waitLoads[j-1]
+					}
+				} else {
+					u.State = StateExecuting // store: waits for data
+				}
+			default:
+				u.HasResult = true
+				u.ResultTime = c + uint64(e.latency(u.Inst.Op))
+				u.ResultCluster = u.Cluster
+				u.State = StateComplete
+			}
 		}
 	}
 
 	// Move adoption after dispatch: a move whose producer scheduled this
 	// cycle adopts the producer's result timing immediately.
-	for _, u := range e.window {
-		if u.MoveBit && !u.Dead && !u.HasResult {
-			e.tryAdoptMove(u)
+	if e.movesWaiting > 0 {
+		for i := 0; i < e.n; i++ {
+			u := e.At(i)
+			if u.MoveBit && !u.Dead && !u.HasResult {
+				e.tryAdoptMove(u)
+				if u.HasResult {
+					e.movesWaiting--
+				}
+			}
 		}
 	}
 
 	// Store data availability (data operands need not be ready at AGEN).
-	for _, u := range e.window {
-		if u.Dead || !u.IsStore() || !u.AddrKnown || u.State == StateComplete {
+	for _, u := range e.stores {
+		if u.Dead || u.Retired || !u.AddrKnown || u.State == StateComplete {
 			continue
 		}
 		t, ok := e.storeDataAvail(u)
@@ -281,36 +363,55 @@ func (e *Engine) storeDataAvail(u *UOp) (uint64, bool) {
 // Loads with a known address either forward from the youngest older
 // store to the same word (once its data is ready) or access the data
 // cache.
+//
+// Rather than rescanning the whole window, the scheduler walks the live
+// store list (fetch order) once to find the oldest store whose address
+// is still unknown, then serves each waiting load against that bound.
 func (e *Engine) memSchedule(c uint64) {
-	for _, u := range e.window {
-		if u.Dead || u.State != StateWaitMem || u.AddrTime > c {
+	if len(e.waitLoads) == 0 {
+		return
+	}
+	minUnknown := ^uint64(0)
+	for _, s := range e.stores {
+		if s.Dead || s.Retired {
 			continue
 		}
-		blocked := false
+		if !s.AddrKnown || s.AddrTime > c {
+			minUnknown = s.Seq
+			break // stores are in Seq order: the first unknown is the oldest
+		}
+	}
+	kept := e.waitLoads[:0]
+	for _, u := range e.waitLoads {
+		if u.Dead || u.State != StateWaitMem {
+			continue // completed or squashed: drop from the wait list
+		}
+		if u.AddrTime > c {
+			kept = append(kept, u)
+			continue
+		}
+		if minUnknown < u.Seq {
+			e.Stats.LoadsBlocked++
+			kept = append(kept, u)
+			continue
+		}
 		var match *UOp
-		for _, s := range e.window {
+		for _, s := range e.stores {
 			if s.Seq >= u.Seq {
 				break
 			}
-			if s.Dead || s.Retired || !s.IsStore() {
+			if s.Dead || s.Retired {
 				continue
-			}
-			if !s.AddrKnown || s.AddrTime > c {
-				blocked = true
-				break
 			}
 			if s.EA>>2 == u.EA>>2 {
 				match = s // youngest older matching store wins
 			}
 		}
-		if blocked {
-			e.Stats.LoadsBlocked++
-			continue
-		}
 		if match != nil {
 			// Forward once the store's data is ready.
 			t, ok := e.storeDataAvail(match)
 			if !ok || t > c {
+				kept = append(kept, u)
 				continue
 			}
 			u.HasResult = true
@@ -333,6 +434,10 @@ func (e *Engine) memSchedule(c uint64) {
 		u.State = StateComplete
 		e.Stats.LoadsAccessed++
 	}
+	for i := len(kept); i < len(e.waitLoads); i++ {
+		e.waitLoads[i] = nil
+	}
+	e.waitLoads = kept
 }
 
 // CompletedBy reports whether the uop has finished all execution it owes
@@ -355,29 +460,125 @@ func (e *Engine) RetireStore(u *UOp) {
 	}
 }
 
-// Window exposes the live window in fetch order (oldest first).
-func (e *Engine) Window() []*UOp { return e.window }
+// MarkRetired commits a uop: the caller (the pipeline's in-order retire
+// stage) has verified completion. Occupancy is tracked here so
+// WindowSpace stays O(1).
+func (e *Engine) MarkRetired(u *UOp) {
+	if u.Retired || u.Dead {
+		return
+	}
+	u.Retired = true
+	e.live--
+}
+
+// MarkResolved records that a branch finished execution and its
+// direction is known.
+func (e *Engine) MarkResolved(u *UOp) {
+	if !u.Resolved {
+		u.Resolved = true
+		if u.IsBranch && !u.Dead && !u.Retired {
+			e.unresolved--
+		}
+	}
+}
+
+// MarkActivated flips an inactive-issued uop to active (recovery found
+// it on the actual path).
+func (e *Engine) MarkActivated(u *UOp) {
+	if u.Inactive {
+		u.Inactive = false
+		if !u.Dead && !u.Retired {
+			e.inactive--
+		}
+	}
+}
+
+// HasUnresolvedBranches reports whether any live branch is still
+// unresolved (cheap gate for the per-cycle resolution scan).
+func (e *Engine) HasUnresolvedBranches() bool { return e.unresolved > 0 }
+
+// HasInactive reports whether any live inactive-issued uops remain.
+func (e *Engine) HasInactive() bool { return e.inactive > 0 }
+
+// Window exposes the live window in fetch order (oldest first). It
+// materializes a fresh slice per call; the cycle loop uses Len/At.
+func (e *Engine) Window() []*UOp {
+	out := make([]*UOp, e.n)
+	for i := 0; i < e.n; i++ {
+		out[i] = e.At(i)
+	}
+	return out
+}
 
 // Prune drops retired and dead uops from the head of the window.
-func (e *Engine) Prune() {
-	i := 0
-	for i < len(e.window) && (e.window[i].Retired || e.window[i].Dead) {
-		i++
+func (e *Engine) Prune() { e.PruneRecycle(nil, 0) }
+
+// PruneRecycle drops retired and dead uops from the head of the window,
+// handing them to the pool (when non-nil) for deferred reuse. watermark
+// must be the highest issued sequence number. It also purges dead and
+// retired entries from the store and load scheduler lists so no stale
+// pointer survives into a reclaimed uop's next life.
+func (e *Engine) PruneRecycle(pool *Pool, watermark uint64) {
+	e.compactMemLists()
+	mask := len(e.buf) - 1
+	for e.n > 0 {
+		u := e.buf[e.head]
+		if !u.Retired && !u.Dead {
+			break
+		}
+		e.buf[e.head] = nil
+		e.head = (e.head + 1) & mask
+		e.n--
+		if pool != nil {
+			pool.Defer(u, watermark)
+		}
 	}
-	if i > 0 {
-		e.window = append(e.window[:0], e.window[i:]...)
+}
+
+func (e *Engine) compactMemLists() {
+	keptS := e.stores[:0]
+	for _, s := range e.stores {
+		if !s.Dead && !s.Retired {
+			keptS = append(keptS, s)
+		}
 	}
+	for i := len(keptS); i < len(e.stores); i++ {
+		e.stores[i] = nil
+	}
+	e.stores = keptS
+
+	keptL := e.waitLoads[:0]
+	for _, u := range e.waitLoads {
+		if !u.Dead && u.State == StateWaitMem {
+			keptL = append(keptL, u)
+		}
+	}
+	for i := len(keptL); i < len(e.waitLoads); i++ {
+		e.waitLoads[i] = nil
+	}
+	e.waitLoads = keptL
 }
 
 // Kill marks a uop dead and releases its reservation-station entry.
 func (e *Engine) Kill(u *UOp) {
-	if u.Dead {
+	if u.Dead || u.Retired {
 		return
 	}
 	u.Dead = true
+	e.live--
 	if u.InRS {
 		u.InRS = false
 		e.rsCount[u.FU]--
+		e.inRS--
+	}
+	if u.IsBranch && !u.Resolved {
+		e.unresolved--
+	}
+	if u.Inactive {
+		e.inactive--
+	}
+	if u.MoveBit && !u.HasResult {
+		e.movesWaiting--
 	}
 }
 
@@ -387,7 +588,8 @@ func (e *Engine) Kill(u *UOp) {
 // group). It returns the number killed.
 func (e *Engine) SquashAfter(cutoff uint64, keep func(*UOp) bool) int {
 	n := 0
-	for _, u := range e.window {
+	for i := 0; i < e.n; i++ {
+		u := e.At(i)
 		if u.Seq <= cutoff || u.Dead || u.Retired {
 			continue
 		}

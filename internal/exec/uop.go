@@ -61,8 +61,11 @@ type UOp struct {
 	Resolved    bool
 
 	// Checkpoint repair state (branches that may trigger recovery).
+	// CkRAT points into the checkpoint pool's recycled snapshot storage
+	// rather than embedding the table: it keeps the UOp small enough
+	// that window scans stay cache-resident and pool reuse stays cheap.
 	HasCheckpoint bool
-	CkRAT         rename.Snapshot
+	CkRAT         *rename.Snapshot
 	CkRAS         bpred.RASSnapshot
 	CkHist        uint32
 
@@ -94,6 +97,10 @@ type UOp struct {
 	Dead    bool // squashed or discarded
 	Retired bool
 	InRS    bool // currently occupies a reservation-station entry
+
+	// freeAfter is the Pool's deferred-reclamation watermark: the
+	// highest sequence number issued when this uop left the window.
+	freeAfter uint64
 }
 
 // IsLoad reports whether the uop reads data memory.

@@ -6,9 +6,13 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"tcsim/internal/asm"
 	"tcsim/internal/bpred"
@@ -18,24 +22,39 @@ import (
 	"tcsim/internal/workload"
 )
 
-// Runner executes simulations with memoization so the figures can share
-// baseline runs. It is safe for concurrent use.
+// Runner executes simulations with singleflight memoization so the
+// figures can share baseline runs: when two figures concurrently ask for
+// the same workload/variant pair, one simulation runs and both wait on
+// it. Simulations are throttled by a worker pool sized GOMAXPROCS (or
+// Parallel). It is safe for concurrent use.
 type Runner struct {
 	// Insts overrides every workload's instruction budget when non-zero.
 	Insts uint64
 	// Workloads restricts the set (nil = all 15).
 	Workloads []string
-	// Parallel runs up to this many simulations concurrently (0 = 4).
+	// Parallel caps concurrent simulations (0 = GOMAXPROCS). Read once,
+	// when the first simulation starts.
 	Parallel int
 
-	mu    sync.Mutex
-	cache map[string]pipeline.Stats
+	mu      sync.Mutex
+	flights map[string]*flight
+	workers chan struct{} // worker-pool slots, built lazily from Parallel
+
+	simCount atomic.Uint64 // simulations actually executed (not memo hits)
+}
+
+// flight is one singleflight cell: the first caller for a key simulates
+// and closes done; everyone else blocks on done and reads st/err.
+type flight struct {
+	done chan struct{}
+	st   pipeline.Stats
+	err  error
 }
 
 // NewRunner returns a Runner with an instruction budget override
 // (0 keeps each workload's default).
 func NewRunner(insts uint64) *Runner {
-	return &Runner{Insts: insts, cache: make(map[string]pipeline.Stats)}
+	return &Runner{Insts: insts, flights: make(map[string]*flight)}
 }
 
 func (r *Runner) workloads() []workload.Workload {
@@ -81,23 +100,98 @@ func AllOptsLatency(lat int) ConfigVariant {
 
 // Run simulates one workload under one variant, memoized.
 func (r *Runner) Run(w workload.Workload, v ConfigVariant) (pipeline.Stats, error) {
+	return r.RunContext(context.Background(), w, v)
+}
+
+// RunContext is Run with cancellation: the simulation polls ctx and
+// aborts early when it is cancelled. A cancelled flight is forgotten so
+// a later caller can rerun the pair; completed results are memoized for
+// the Runner's lifetime.
+func (r *Runner) RunContext(ctx context.Context, w workload.Workload, v ConfigVariant) (pipeline.Stats, error) {
 	key := w.Name + "/" + v.Name
-	r.mu.Lock()
-	if r.cache == nil {
-		r.cache = make(map[string]pipeline.Stats)
-	}
-	if st, ok := r.cache[key]; ok {
+	for {
+		r.mu.Lock()
+		if r.flights == nil {
+			r.flights = make(map[string]*flight)
+		}
+		if f, ok := r.flights[key]; ok {
+			r.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return pipeline.Stats{}, ctx.Err()
+			}
+			if isCancel(f.err) {
+				// The owning caller was cancelled before finishing; its
+				// result is not a real answer for this key. Drop the
+				// cell and race to become the new owner.
+				r.forget(key, f)
+				continue
+			}
+			return f.st, f.err
+		}
+		f := &flight{done: make(chan struct{})}
+		r.flights[key] = f
 		r.mu.Unlock()
-		return st, nil
+
+		f.st, f.err = r.simulate(ctx, w, v)
+		if isCancel(f.err) {
+			r.forget(key, f)
+		}
+		close(f.done)
+		return f.st, f.err
+	}
+}
+
+func isCancel(err error) bool {
+	return err != nil && (errors.Is(err, pipeline.ErrCanceled) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+}
+
+// forget removes a flight cell if it is still the one registered for key.
+func (r *Runner) forget(key string, f *flight) {
+	r.mu.Lock()
+	if r.flights[key] == f {
+		delete(r.flights, key)
 	}
 	r.mu.Unlock()
+}
 
+// sem returns the worker-pool slot channel, sizing it from Parallel (or
+// GOMAXPROCS) on first use.
+func (r *Runner) sem() chan struct{} {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.workers == nil {
+		par := r.Parallel
+		if par <= 0 {
+			par = runtime.GOMAXPROCS(0)
+		}
+		r.workers = make(chan struct{}, par)
+	}
+	return r.workers
+}
+
+// simulate runs one actual simulation inside a worker-pool slot.
+func (r *Runner) simulate(ctx context.Context, w workload.Workload, v ConfigVariant) (pipeline.Stats, error) {
+	sem := r.sem()
+	select {
+	case sem <- struct{}{}:
+	case <-ctx.Done():
+		return pipeline.Stats{}, ctx.Err()
+	}
+	defer func() { <-sem }()
+	if err := ctx.Err(); err != nil {
+		return pipeline.Stats{}, err
+	}
+
+	r.simCount.Add(1)
 	cfg := pipeline.DefaultConfig()
 	cfg.MaxInsts = w.DefaultInsts
 	if r.Insts > 0 {
 		cfg.MaxInsts = r.Insts
 	}
 	v.Mut(&cfg)
+	cfg.Cancelled = func() bool { return ctx.Err() != nil }
 	sim, err := pipeline.New(cfg, w.Build())
 	if err != nil {
 		return pipeline.Stats{}, fmt.Errorf("%s/%s: %w", w.Name, v.Name, err)
@@ -106,20 +200,24 @@ func (r *Runner) Run(w workload.Workload, v ConfigVariant) (pipeline.Stats, erro
 	if err != nil {
 		return pipeline.Stats{}, fmt.Errorf("%s/%s: %w", w.Name, v.Name, err)
 	}
-	r.mu.Lock()
-	r.cache[key] = st
-	r.mu.Unlock()
 	return st, nil
 }
 
+// SimCount reports how many simulations have actually executed (memo
+// hits and singleflight waiters excluded) — a test and reporting hook.
+func (r *Runner) SimCount() uint64 { return r.simCount.Load() }
+
 // runAll executes the variant over every selected workload, in parallel.
+// The worker pool inside simulate bounds concurrency, so one goroutine
+// per workload is cheap; the first real error cancels the rest.
 func (r *Runner) runAll(v ConfigVariant) (map[string]pipeline.Stats, error) {
+	return r.runAllContext(context.Background(), v)
+}
+
+func (r *Runner) runAllContext(ctx context.Context, v ConfigVariant) (map[string]pipeline.Stats, error) {
 	ws := r.workloads()
-	par := r.Parallel
-	if par <= 0 {
-		par = 4
-	}
-	sem := make(chan struct{}, par)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	out := make(map[string]pipeline.Stats, len(ws))
@@ -127,21 +225,29 @@ func (r *Runner) runAll(v ConfigVariant) (map[string]pipeline.Stats, error) {
 	for _, w := range ws {
 		w := w
 		wg.Add(1)
-		sem <- struct{}{}
 		go func() {
 			defer wg.Done()
-			defer func() { <-sem }()
-			st, err := r.Run(w, v)
+			st, err := r.RunContext(ctx, w, v)
 			mu.Lock()
 			defer mu.Unlock()
-			if err != nil && firstErr == nil {
-				firstErr = err
+			if err != nil {
+				// Cancellation fallout from a sibling's failure is not
+				// the root cause; record only real errors.
+				if firstErr == nil && !isCancel(err) {
+					firstErr = err
+					cancel()
+				}
 				return
 			}
 			out[w.Name] = st
 		}()
 	}
 	wg.Wait()
+	if firstErr == nil {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+	}
 	return out, firstErr
 }
 
@@ -436,13 +542,20 @@ func (r *Runner) WorkloadNames() []string {
 	return ns
 }
 
-// CacheKeys lists memoized runs (test hook).
+// CacheKeys lists memoized runs — completed, successful flights only
+// (test hook).
 func (r *Runner) CacheKeys() []string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var ks []string
-	for k := range r.cache {
-		ks = append(ks, k)
+	for k, f := range r.flights {
+		select {
+		case <-f.done:
+			if f.err == nil {
+				ks = append(ks, k)
+			}
+		default:
+		}
 	}
 	sort.Strings(ks)
 	return ks

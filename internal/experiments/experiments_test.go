@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"context"
 	"strings"
+	"sync"
 	"testing"
 
 	"tcsim/internal/workload"
@@ -33,6 +35,56 @@ func TestRunnerMemoizes(t *testing.T) {
 	}
 	if len(r.CacheKeys()) != 1 {
 		t.Errorf("cache keys = %v", r.CacheKeys())
+	}
+}
+
+// TestSingleflightCountsSimulations runs figures that share sweeps from
+// several goroutines at once and asserts — by counting simulations that
+// actually executed, not memo lookups — that each workload/variant pair
+// simulated exactly once.
+func TestSingleflightCountsSimulations(t *testing.T) {
+	r := smallRunner()
+	var wg sync.WaitGroup
+	for _, fig := range []func() (*FigureResult, error){
+		r.Figure3, r.Figure4, r.Figure3, r.Figure4,
+	} {
+		fig := fig
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := fig(); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	// 3 workloads x {baseline, moves, reassoc} = 9 unique simulations.
+	if got := r.SimCount(); got != 9 {
+		t.Errorf("SimCount = %d, want 9 (singleflight must dedupe concurrent figures)", got)
+	}
+	if got := len(r.CacheKeys()); got != 9 {
+		t.Errorf("cache keys = %v", r.CacheKeys())
+	}
+}
+
+func TestRunContextCancel(t *testing.T) {
+	r := smallRunner()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	w, _ := workload.ByName("compress")
+	if _, err := r.RunContext(ctx, w, Baseline); err == nil {
+		t.Fatal("want error from cancelled context")
+	}
+	if n := r.SimCount(); n != 0 {
+		t.Errorf("cancelled before start, yet SimCount = %d", n)
+	}
+	// A cancelled flight must not be memoized: a fresh Run succeeds and
+	// performs the real simulation.
+	if _, err := r.Run(w, Baseline); err != nil {
+		t.Fatal(err)
+	}
+	if n := r.SimCount(); n != 1 {
+		t.Errorf("SimCount = %d, want 1", n)
 	}
 }
 

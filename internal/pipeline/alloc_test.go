@@ -1,0 +1,48 @@
+package pipeline
+
+import (
+	"testing"
+
+	"tcsim/internal/workload"
+)
+
+// TestStepSteadyStateAllocs pins the allocation-free cycle loop: once
+// the machine is warm (trace cache populated, uop pool filled, ring
+// buffers grown), advancing the pipeline allocates nothing. Every uop
+// comes from the deferred-reclamation pool, the fetch latch and issue
+// scratch are reused, checkpoint snapshots are recycled, and evicted
+// trace lines feed segment construction.
+func TestStepSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, name := range []string{"compress", "li", "m88ksim"} {
+		t.Run(name, func(t *testing.T) {
+			w, ok := workload.ByName(name)
+			if !ok {
+				t.Fatalf("no workload %s", name)
+			}
+			cfg := DefaultConfig()
+			cfg.MaxInsts = 0 // run past the measurement window
+			sim, err := New(cfg, w.Build())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 30_000; i++ {
+				sim.Step()
+			}
+			if sim.Done() {
+				t.Fatal("workload halted during warmup; cannot measure steady state")
+			}
+			avg := testing.AllocsPerRun(2000, sim.Step)
+			if sim.Done() {
+				t.Fatal("workload halted during measurement")
+			}
+			// The loop must be allocation-free apart from rare amortized
+			// growth (e.g. the program's output buffer doubling).
+			if avg > 0.01 {
+				t.Errorf("steady-state Step allocates %.4f allocs/cycle, want ~0", avg)
+			}
+		})
+	}
+}

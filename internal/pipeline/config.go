@@ -11,12 +11,17 @@
 package pipeline
 
 import (
+	"errors"
+
 	"tcsim/internal/bpred"
 	"tcsim/internal/cache"
 	"tcsim/internal/core"
 	"tcsim/internal/exec"
 	"tcsim/internal/trace"
 )
+
+// ErrCanceled is returned by Run when Config.Cancelled reports true.
+var ErrCanceled = errors.New("pipeline: simulation canceled")
 
 // Config aggregates the configuration of every component. Zero values
 // select the paper's machine.
@@ -45,6 +50,12 @@ type Config struct {
 	// (0: run to HALT). Used to bound long workloads like the paper
 	// bounds li and ijpeg.
 	MaxInsts uint64
+
+	// Cancelled, when non-nil, is polled periodically by Run (every 4096
+	// cycles, off the hot path); returning true aborts the simulation
+	// with ErrCanceled. The experiment runner uses it to cancel
+	// outstanding simulations once one workload fails.
+	Cancelled func() bool
 }
 
 // DefaultConfig returns the paper's baseline machine configuration (all

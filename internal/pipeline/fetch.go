@@ -7,16 +7,35 @@ import (
 )
 
 // fetchGroup is one cycle's worth of fetched instructions, waiting in
-// the fetch/issue latch.
+// the fetch/issue latch. The simulator owns a single group whose backing
+// slices are reused across cycles: a group is either issued wholesale or
+// dropped (squash) before the next fetch refills it.
 type fetchGroup struct {
 	uops       []*exec.UOp
 	segInsts   []*trace.SegInst // parallel to uops; nil entries on the IC path
 	fromTC     bool
 	readyCycle uint64
 	nextPC     uint32
+	seg        *trace.Segment // source trace line (TC path), for aliasing checks
 
 	guard         *exec.UOp // branch at the prediction/trace divergence
 	firstInactive int       // index of the first inactive uop, or -1
+}
+
+// reset clears the group for refill, keeping the backing arrays.
+func (g *fetchGroup) reset() {
+	for i := range g.uops {
+		g.uops[i] = nil
+		g.segInsts[i] = nil
+	}
+	g.uops = g.uops[:0]
+	g.segInsts = g.segInsts[:0]
+	g.fromTC = false
+	g.readyCycle = 0
+	g.nextPC = 0
+	g.seg = nil
+	g.guard = nil
+	g.firstInactive = -1
 }
 
 // fetchCycle runs the fetch stage: trace cache first, instruction cache
@@ -96,15 +115,15 @@ func (s *Simulator) pathMatch(seg *trace.Segment) int {
 	return n
 }
 
-// newUOp allocates the common uop fields.
+// newUOp draws a uop from the pool and fills the common fields.
 func (s *Simulator) newUOp(pc uint32, in, orig isa.Inst) *exec.UOp {
 	s.nextSeq++
-	return &exec.UOp{
-		Seq:  s.nextSeq,
-		PC:   pc,
-		Inst: in,
-		Orig: orig,
-	}
+	u := s.uops.Get()
+	u.Seq = s.nextSeq
+	u.PC = pc
+	u.Inst = in
+	u.Orig = orig
+	return u
 }
 
 // markOracle compares the fetched instruction against the correct-path
@@ -197,11 +216,11 @@ func needsCheckpoint(u *exec.UOp) bool {
 // suffix past the first divergence (issued inactively when inactive
 // issue is enabled, dropped otherwise).
 func (s *Simulator) buildTCGroup(seg *trace.Segment, c uint64) *fetchGroup {
-	g := &fetchGroup{
-		fromTC:        true,
-		readyCycle:    c + 1,
-		firstInactive: -1,
-	}
+	g := &s.fg
+	g.reset()
+	g.fromTC = true
+	g.readyCycle = c + 1
+	g.seg = seg
 	active := true
 	suffixTracking := false
 	for i := range seg.Insts {
@@ -283,7 +302,8 @@ func (s *Simulator) buildTCGroup(seg *trace.Segment, c uint64) *fetchGroup {
 // indirect or serializing instruction, the third conditional branch, or
 // an undecodable word.
 func (s *Simulator) buildICGroup(pc uint32, c uint64) *fetchGroup {
-	g := &fetchGroup{firstInactive: -1}
+	g := &s.fg
+	g.reset()
 	var extraLat int
 	var lastLine uint32 = ^uint32(0)
 	cond := 0

@@ -1,0 +1,78 @@
+package pipeline
+
+import "tcsim/internal/exec"
+
+// inflightEnt is one slot of the in-flight producer table.
+type inflightEnt struct {
+	seq uint64
+	u   *exec.UOp
+}
+
+// inflightTable maps sequence numbers to in-flight producing uops. It
+// replaces a map[uint64]*UOp on the rename fast path: sequence numbers
+// are dense and the live span is bounded by the window size, so a
+// power-of-two direct-index table (slot = seq & mask) almost never
+// collides. A collision — two live sequence numbers sharing a slot —
+// only happens when the live span exceeds the table size, and is handled
+// by doubling until every live entry has its own slot.
+type inflightTable struct {
+	ents []inflightEnt // power-of-two length
+}
+
+func newInflightTable() inflightTable {
+	return inflightTable{ents: make([]inflightEnt, 2048)}
+}
+
+// get returns the live producer with the given sequence number, or nil.
+func (t *inflightTable) get(seq uint64) *exec.UOp {
+	e := &t.ents[seq&uint64(len(t.ents)-1)]
+	if e.seq == seq {
+		return e.u
+	}
+	return nil
+}
+
+// put records a producer. Sequence numbers are unique, so an occupied
+// slot with a different seq means the table is too small for the live
+// span.
+func (t *inflightTable) put(seq uint64, u *exec.UOp) {
+	for {
+		e := &t.ents[seq&uint64(len(t.ents)-1)]
+		if e.u == nil || e.seq == seq {
+			e.seq, e.u = seq, u
+			return
+		}
+		t.grow()
+	}
+}
+
+// del removes a producer (retirement or squash).
+func (t *inflightTable) del(seq uint64) {
+	e := &t.ents[seq&uint64(len(t.ents)-1)]
+	if e.seq == seq {
+		*e = inflightEnt{}
+	}
+}
+
+// grow doubles the table until every live entry lands in its own slot.
+func (t *inflightTable) grow() {
+	size := 2 * len(t.ents)
+retry:
+	for {
+		ne := make([]inflightEnt, size)
+		mask := uint64(size - 1)
+		for _, e := range t.ents {
+			if e.u == nil {
+				continue
+			}
+			slot := &ne[e.seq&mask]
+			if slot.u != nil {
+				size *= 2
+				continue retry
+			}
+			*slot = e
+		}
+		t.ents = ne
+		return
+	}
+}

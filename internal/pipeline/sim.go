@@ -15,6 +15,11 @@ import (
 )
 
 // Simulator is one configured machine bound to one program.
+//
+// The per-cycle path is allocation-free in steady state: uops come from
+// a deferred-reclamation pool, the fetch latch and issue scratch are
+// reused across cycles, checkpoint snapshots are recycled, and the
+// in-flight producer table is a direct-indexed array rather than a map.
 type Simulator struct {
 	cfg  Config
 	prog *asm.Program
@@ -31,7 +36,8 @@ type Simulator struct {
 	rat  *rename.RAT
 	pool *rename.CheckpointPool
 
-	inflight map[uint64]*exec.UOp
+	inflight inflightTable
+	uops     exec.Pool
 
 	cycle           uint64
 	nextSeq         uint64
@@ -41,8 +47,12 @@ type Simulator struct {
 	fetchStallUntil uint64
 	serializeWait   bool
 	fetchBuf        *fetchGroup
+	fg              fetchGroup // reused latch storage fetchBuf points into
 	done            bool
 	lastRetire      uint64
+
+	slotScratch      []int        // tryIssue FU-slot list
+	activatedScratch []*exec.UOp  // recover's activated-suffix list
 
 	stats Stats
 }
@@ -75,10 +85,14 @@ func New(cfg Config, prog *asm.Program) (*Simulator, error) {
 		eng:         exec.NewEngine(cfg.Exec, hier),
 		rat:         rename.NewRAT(),
 		pool:        rename.NewCheckpointPool(cfg.Checkpoints),
-		inflight:    make(map[uint64]*exec.UOp),
+		inflight:    newInflightTable(),
 		fetchPC:     prog.Entry,
 		fetchOnPath: true,
 	}
+	s.fg.uops = make([]*exec.UOp, 0, trace.MaxInsts)
+	s.fg.segInsts = make([]*trace.SegInst, 0, trace.MaxInsts)
+	s.slotScratch = make([]int, 0, trace.MaxInsts)
+	s.activatedScratch = make([]*exec.UOp, 0, trace.MaxInsts)
 	s.textBase = prog.TextBase
 	s.textEnd = prog.TextEnd()
 	s.text = make([]isa.Inst, len(prog.Text))
@@ -91,6 +105,7 @@ func New(cfg Config, prog *asm.Program) (*Simulator, error) {
 // Run simulates until the program halts (or the retirement bound is
 // reached) and returns the statistics.
 func (s *Simulator) Run() (Stats, error) {
+	cancelled := s.cfg.Cancelled
 	for !s.done {
 		c := s.cycle
 		if c >= s.cfg.MaxCycles {
@@ -99,21 +114,10 @@ func (s *Simulator) Run() (Stats, error) {
 		if c-s.lastRetire > 500000 {
 			return s.stats, fmt.Errorf("pipeline: no retirement for 500000 cycles at cycle %d (deadlock)", c)
 		}
-		s.resolveBranches(c)
-		s.retire(c)
-		if s.done {
-			break
+		if cancelled != nil && c&4095 == 0 && cancelled() {
+			return s.stats, ErrCanceled
 		}
-		s.eng.Cycle(c)
-		s.tryIssue(c)
-		s.fetchCycle(c)
-		if s.cfg.UseTraceCache {
-			for _, seg := range s.fill.Drain(c) {
-				s.tc.Insert(seg)
-			}
-		}
-		s.eng.Prune()
-		s.cycle++
+		s.Step()
 	}
 	if err := s.oracle.Err(); err != nil {
 		return s.stats, err
@@ -121,6 +125,51 @@ func (s *Simulator) Run() (Stats, error) {
 	s.finalizeStats()
 	return s.stats, nil
 }
+
+// Step advances the machine exactly one cycle. Run loops over Step;
+// tests and benchmarks call it directly to measure the steady-state
+// cycle loop (it is the region the zero-allocation invariant covers).
+func (s *Simulator) Step() {
+	c := s.cycle
+	s.resolveBranches(c)
+	s.retire(c)
+	if s.done {
+		return
+	}
+	s.eng.Cycle(c)
+	s.tryIssue(c)
+	s.fetchCycle(c)
+	if s.cfg.UseTraceCache {
+		s.drainFill(c)
+	}
+	// Prune hands retired/dead uops to the pool; they become reusable
+	// once nothing issued before the watermark can still reference them.
+	s.eng.PruneRecycle(&s.uops, s.nextSeq)
+	oldestLive := s.nextSeq + 1
+	if s.eng.Len() > 0 {
+		oldestLive = s.eng.At(0).Seq
+	}
+	s.uops.Reclaim(oldestLive)
+	s.cycle++
+}
+
+// drainFill moves completed segments from the fill pipe into the trace
+// cache, recycling evicted lines' storage. An evicted line is only
+// recycled when the fetch latch is not holding instructions decoded from
+// it (the latch keeps SegInst pointers into the segment until issue).
+func (s *Simulator) drainFill(c uint64) {
+	for _, seg := range s.fill.Drain(c) {
+		if ev := s.tc.Insert(seg); ev != nil {
+			if s.fetchBuf == nil || s.fetchBuf.seg != ev {
+				s.fill.RecycleSegment(ev)
+			}
+		}
+	}
+}
+
+// Done reports whether the program has halted or hit its retirement
+// bound.
+func (s *Simulator) Done() bool { return s.done }
 
 // Stats returns the statistics accumulated so far.
 func (s *Simulator) Stats() Stats {
@@ -149,6 +198,19 @@ func (s *Simulator) finalizeStats() {
 	st.Fill = s.fill.Stats
 }
 
+// dropFetchBuf discards the fetch/issue latch (squash redirect). The
+// buffered uops were never issued, so nothing can reference them and
+// they go straight back to the pool.
+func (s *Simulator) dropFetchBuf() {
+	if s.fetchBuf == nil {
+		return
+	}
+	for _, u := range s.fetchBuf.uops {
+		s.uops.PutFresh(u)
+	}
+	s.fetchBuf = nil
+}
+
 // tryIssue runs the issue stage: rename the buffered fetch group and
 // insert it into the window, all-or-nothing on resources.
 func (s *Simulator) tryIssue(c uint64) {
@@ -159,7 +221,7 @@ func (s *Simulator) tryIssue(c uint64) {
 	if s.eng.WindowSpace() < len(g.uops) {
 		return
 	}
-	var slots []int
+	slots := s.slotScratch[:0]
 	ckpts := 0
 	for _, u := range g.uops {
 		if u.NeedsFU() {
@@ -169,6 +231,7 @@ func (s *Simulator) tryIssue(c uint64) {
 			ckpts++
 		}
 	}
+	s.slotScratch = slots // keep any grown backing array for reuse
 	if !s.eng.RSSpaceFor(slots) {
 		return
 	}
@@ -186,7 +249,7 @@ func (s *Simulator) tryIssue(c uint64) {
 		s.renameUOp(u, g, i, rat)
 		if needsCheckpoint(u) {
 			u.HasCheckpoint = true
-			u.CkRAT = rat.Snapshot()
+			u.CkRAT = s.pool.Grab(rat)
 		}
 		s.eng.Issue(u, c)
 	}
@@ -257,7 +320,7 @@ func (s *Simulator) renameUOp(u *exec.UOp, g *fetchGroup, i int, rat *rename.RAT
 	}
 	if d, ok := u.Inst.Dest(); ok {
 		rat.SetDest(d, u.Seq)
-		s.inflight[u.Seq] = u
+		s.inflight.put(u.Seq, u)
 	}
 }
 
@@ -268,7 +331,7 @@ func (s *Simulator) resolveLiveIn(u *exec.UOp, k int, reg isa.Reg, rat *rename.R
 	if e.Ready {
 		return
 	}
-	if pu, ok := s.inflight[e.Tag]; ok {
+	if pu := s.inflight.get(e.Tag); pu != nil {
 		u.SrcProd[k] = pu
 	}
 }
@@ -277,14 +340,18 @@ func (s *Simulator) resolveLiveIn(u *exec.UOp, k int, reg isa.Reg, rat *rename.R
 // execution finished this cycle, and triggers recovery on the oldest
 // misprediction.
 func (s *Simulator) resolveBranches(c uint64) {
-	for _, u := range s.eng.Window() {
+	if !s.eng.HasUnresolvedBranches() {
+		return
+	}
+	for i, n := 0, s.eng.Len(); i < n; i++ {
+		u := s.eng.At(i)
 		if u.Dead || u.Resolved || !u.IsBranch {
 			continue
 		}
 		if !u.HasResult || u.ResultTime > c {
 			continue
 		}
-		u.Resolved = true
+		s.eng.MarkResolved(u)
 		if !u.OnPath || u.Promoted {
 			// Wrong-path branches resolve as predicted; mispromoted
 			// branches recover with a retirement flush.
@@ -303,7 +370,11 @@ func (s *Simulator) resolveBranches(c uint64) {
 // discardInactive drops the inactive instructions guarded by a branch
 // whose prediction was confirmed.
 func (s *Simulator) discardInactive(u *exec.UOp) {
-	for _, w := range s.eng.Window() {
+	if !s.eng.HasInactive() {
+		return
+	}
+	for i, n := 0, s.eng.Len(); i < n; i++ {
+		w := s.eng.At(i)
 		if w.Inactive && !w.Dead && w.GuardSeq == u.Seq {
 			s.killUOp(w)
 			s.stats.InactiveDropped++
@@ -314,9 +385,11 @@ func (s *Simulator) discardInactive(u *exec.UOp) {
 // killUOp kills one uop and releases its bookkeeping.
 func (s *Simulator) killUOp(w *exec.UOp) {
 	s.eng.Kill(w)
-	delete(s.inflight, w.Seq)
+	s.inflight.del(w.Seq)
 	if w.HasCheckpoint {
 		s.pool.Release(1)
+		s.pool.PutBack(w.CkRAT)
+		w.CkRAT = nil
 		w.HasCheckpoint = false
 	}
 }
@@ -335,14 +408,15 @@ func (s *Simulator) recover(u *exec.UOp, c uint64) {
 
 	// Activate the oracle-matching prefix of the guarded suffix.
 	lastKept := u
-	var activated []*exec.UOp
-	if s.cfg.InactiveIssue {
-		for _, w := range s.eng.Window() {
+	activated := s.activatedScratch[:0]
+	if s.cfg.InactiveIssue && s.eng.HasInactive() {
+		for i, n := 0, s.eng.Len(); i < n; i++ {
+			w := s.eng.At(i)
 			if w.Dead || !w.Inactive || w.GuardSeq != u.Seq {
 				continue
 			}
 			if w.OnPath && w.Seq == lastKept.Seq+1 && w.OracleIdx == lastKept.OracleIdx+1 {
-				w.Inactive = false
+				s.eng.MarkActivated(w)
 				activated = append(activated, w)
 				lastKept = w
 				s.stats.InactiveKept++
@@ -351,14 +425,15 @@ func (s *Simulator) recover(u *exec.UOp, c uint64) {
 	}
 
 	// Squash everything younger than the recovery point.
-	for _, w := range s.eng.Window() {
+	for i, n := 0, s.eng.Len(); i < n; i++ {
+		w := s.eng.At(i)
 		if w.Seq > lastKept.Seq && !w.Dead && !w.Retired {
 			s.killUOp(w)
 		}
 	}
 
 	// Checkpoint repair.
-	s.rat.Restore(u.CkRAT)
+	s.rat.RestoreFrom(u.CkRAT)
 	s.pred.RAS.Restore(u.CkRAS)
 	s.pred.SetHistory(u.CkHist)
 	if u.Inst.Op.IsCondBranch() {
@@ -385,12 +460,13 @@ func (s *Simulator) recover(u *exec.UOp, c uint64) {
 			s.pred.PushOutcome(w.ActualTaken)
 		}
 	}
+	s.activatedScratch = activated[:0]
 
 	// Redirect fetch to the actual path.
 	s.fetchPC = lastKept.ActualNext
 	s.oracleIdx = lastKept.OracleIdx + 1
 	s.fetchOnPath = true
-	s.fetchBuf = nil
+	s.dropFetchBuf()
 	s.fetchStallUntil = c + 1
 	s.rescanSerialize()
 }
@@ -399,7 +475,8 @@ func (s *Simulator) recover(u *exec.UOp, c uint64) {
 // have killed the blocking instruction.
 func (s *Simulator) rescanSerialize() {
 	s.serializeWait = false
-	for _, w := range s.eng.Window() {
+	for i, n := 0, s.eng.Len(); i < n; i++ {
+		w := s.eng.At(i)
 		if !w.Dead && !w.Retired && w.Inst.Op.IsSerializing() {
 			s.serializeWait = true
 			return
@@ -420,7 +497,8 @@ func (s *Simulator) rescanSerialize() {
 // instruction is squashed and the machine restarts from architectural
 // state.
 func (s *Simulator) retireFlush(u *exec.UOp, c uint64) {
-	for _, w := range s.eng.Window() {
+	for i, n := 0, s.eng.Len(); i < n; i++ {
+		w := s.eng.At(i)
 		if w.Seq > u.Seq && !w.Dead && !w.Retired {
 			s.killUOp(w)
 		}
@@ -429,7 +507,7 @@ func (s *Simulator) retireFlush(u *exec.UOp, c uint64) {
 	s.fetchPC = u.ActualNext
 	s.oracleIdx = u.OracleIdx + 1
 	s.fetchOnPath = true
-	s.fetchBuf = nil
+	s.dropFetchBuf()
 	s.fetchStallUntil = c + 1
 	if u.Inst.Op.IsCondBranch() {
 		s.pred.PushOutcome(u.ActualTaken)
@@ -441,7 +519,8 @@ func (s *Simulator) retireFlush(u *exec.UOp, c uint64) {
 // fill unit and the trainers.
 func (s *Simulator) retire(c uint64) {
 	n := 0
-	for _, u := range s.eng.Window() {
+	for i, wn := 0, s.eng.Len(); i < wn; i++ {
+		u := s.eng.At(i)
 		if u.Dead || u.Retired {
 			continue
 		}
@@ -455,11 +534,13 @@ func (s *Simulator) retire(c uint64) {
 			break
 		}
 
-		u.Retired = true
+		s.eng.MarkRetired(u)
 		s.lastRetire = c
-		delete(s.inflight, u.Seq)
+		s.inflight.del(u.Seq)
 		if u.HasCheckpoint {
 			s.pool.Release(1)
+			s.pool.PutBack(u.CkRAT)
+			u.CkRAT = nil
 			u.HasCheckpoint = false
 		}
 		s.stats.Retired++

@@ -84,6 +84,9 @@ func (r *RAT) Snapshot() Snapshot { return Snapshot{e: r.e} }
 // Restore rewinds the table to a snapshot.
 func (r *RAT) Restore(s Snapshot) { r.e = s.e }
 
+// RestoreFrom rewinds the table to pooled snapshot storage.
+func (r *RAT) RestoreFrom(s *Snapshot) { r.e = s.e }
+
 // Clone returns an independent copy of the RAT; the fetch engine forks a
 // clone to rename inactive-issued blocks down the trace's embedded path
 // without disturbing the predicted path's table.
@@ -107,9 +110,13 @@ func (s Snapshot) Lookup(reg isa.Reg) Entry {
 
 // CheckpointPool bounds the number of in-flight checkpoints the way the
 // hardware's checkpoint storage does; fetch stalls when none are free.
+// It also recycles the snapshot storage itself: a Snapshot is ~1KB, so
+// letting each checkpointed branch heap-allocate one would dominate the
+// cycle loop's allocation profile.
 type CheckpointPool struct {
 	capacity int
 	inUse    int
+	free     []*Snapshot
 }
 
 // NewCheckpointPool creates a pool with the given capacity.
@@ -143,3 +150,27 @@ func (p *CheckpointPool) Release(n int) {
 
 // Reset frees everything.
 func (p *CheckpointPool) Reset() { p.inUse = 0 }
+
+// Grab returns recycled snapshot storage holding a copy of r. The caller
+// must hand the snapshot back with PutBack when the checkpoint is
+// released (retirement past the branch, or squash); until then the
+// pointer is stable and never rewritten by the pool.
+func (p *CheckpointPool) Grab(r *RAT) *Snapshot {
+	var s *Snapshot
+	if n := len(p.free); n > 0 {
+		s = p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+	} else {
+		s = new(Snapshot)
+	}
+	s.e = r.e
+	return s
+}
+
+// PutBack recycles snapshot storage obtained from Grab.
+func (p *CheckpointPool) PutBack(s *Snapshot) {
+	if s != nil {
+		p.free = append(p.free, s)
+	}
+}

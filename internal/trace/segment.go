@@ -87,6 +87,13 @@ type Segment struct {
 // Len returns the number of instructions in the segment.
 func (s *Segment) Len() int { return len(s.Insts) }
 
+// Reset clears the segment for reuse, keeping the Insts backing array
+// (the fill unit recycles evicted trace lines to keep segment
+// construction allocation-free).
+func (s *Segment) Reset() {
+	*s = Segment{Insts: s.Insts[:0]}
+}
+
 // TakenInTrace reports the embedded direction of the control-flow
 // instruction at index i: whether the segment's next instruction is at
 // the branch target (taken) rather than the fall-through. hasNext is

@@ -104,8 +104,9 @@ func (c *Cache) Lookup(pc uint32, match PathMatcher) *Segment {
 
 // Insert writes a finished segment, replacing an existing way with the
 // same start PC and identical embedded path if present (segment rebuild),
-// else the LRU way.
-func (c *Cache) Insert(seg *Segment) {
+// else the LRU way. It returns the evicted segment (nil when the way was
+// empty) so the caller can recycle its storage once no reader remains.
+func (c *Cache) Insert(seg *Segment) *Segment {
 	set := c.set(seg.StartPC)
 	c.clock++
 	c.Writes++
@@ -123,7 +124,12 @@ func (c *Cache) Insert(seg *Segment) {
 			victim = w
 		}
 	}
+	var evicted *Segment
+	if set[victim].valid {
+		evicted = set[victim].seg
+	}
 	set[victim] = tcLine{valid: true, seg: seg, lru: c.clock}
+	return evicted
 }
 
 // samePath reports whether two segments follow the identical dynamic path
