@@ -10,30 +10,64 @@ import (
 	"tcsim/internal/workload"
 )
 
-// Options selects the fill unit's dynamic trace optimizations.
-type Options struct {
-	Moves      bool // mark register moves; executed inside rename (paper §4.2)
-	Reassoc    bool // combine immediates of dependent ADDIs (paper §4.3)
-	ScaledAdds bool // collapse short shift + add/load/store pairs (paper §4.4)
-	Placement  bool // cluster-aware issue-slot assignment (paper §4.5)
-
-	// DeadWriteElim is the extension the paper's conclusion proposes
-	// (dead code elimination in the fill unit); experimental and not part
-	// of AllOptions.
-	DeadWriteElim bool
-}
+// Options selects the fill unit's dynamic trace optimizations. It is an
+// alias of the core type, not a copy: a pass added to the fill unit is
+// automatically selectable here, and the two can never drift apart.
+// Fields: Moves (paper §4.2), Reassoc (§4.3), ScaledAdds (§4.4),
+// Placement (§4.5), and DeadWriteElim — the extension the paper's
+// conclusion proposes, experimental and not part of AllOptions.
+type Options = core.Optimizations
 
 // AllOptions enables every optimization (the paper's combined
 // configuration).
-func AllOptions() Options {
-	return Options{Moves: true, Reassoc: true, ScaledAdds: true, Placement: true}
+func AllOptions() Options { return core.AllOptimizations() }
+
+// PassStat is one optimization pass's counters from a run: segments
+// processed and touched, instructions rewritten, dependency edges
+// removed, and (with Config.TimePasses) wall time spent in the pass.
+type PassStat = core.PassStats
+
+// PassDesc describes one registered fill-unit optimization pass.
+type PassDesc struct {
+	Name string // spec / -passes name
+	Desc string // one-line description
+	// Default marks passes in the paper's combined configuration (the
+	// dead-write extension is registered but not Default).
+	Default bool
 }
+
+// Passes lists every registered optimization pass in canonical order.
+func Passes() []PassDesc {
+	var out []PassDesc
+	for _, pi := range core.RegisteredPasses() {
+		out = append(out, PassDesc{Name: pi.Name, Desc: pi.Desc, Default: pi.Default})
+	}
+	return out
+}
+
+// DefaultPassSpec returns the paper's combined pipeline spec (every
+// Default pass in canonical order) — what Opt = AllOptions() runs.
+func DefaultPassSpec() []string { return core.DefaultPassSpec() }
+
+// ValidatePassSpec checks a pass spec: every name registered, no
+// duplicates, registered ordering constraints hold. The same validation
+// runs inside every simulator construction; use this to fail fast (e.g.
+// on CLI flag parsing).
+func ValidatePassSpec(spec []string) error { return core.ValidateSpec(spec) }
 
 // Config describes one simulated machine. Zero values select the
 // paper's baseline; construct with DefaultConfig and override fields.
 type Config struct {
 	// Opt selects the fill-unit optimizations (all off = baseline).
 	Opt Options
+	// Passes explicitly selects and orders the optimization pipeline by
+	// registered pass name (see Passes). Empty derives the paper's
+	// canonical order from Opt; non-empty overrides Opt. Illegal orders
+	// are rejected at simulator construction, never silently reordered.
+	Passes []string
+	// TimePasses collects per-pass wall time into Result.PassStats
+	// (off by default: it adds two clock reads per pass per segment).
+	TimePasses bool
 	// FillLatency is the fill pipeline depth in cycles (paper: 1/5/10).
 	FillLatency int
 	// TracePacking packs instructions across block boundaries (default on).
@@ -74,7 +108,9 @@ func DefaultConfig() Config {
 
 func (c Config) pipelineConfig() pipeline.Config {
 	pc := pipeline.DefaultConfig()
-	pc.Fill.Opt = core.Optimizations(c.Opt)
+	pc.Fill.Opt = c.Opt
+	pc.Fill.Passes = c.Passes
+	pc.Fill.TimePasses = c.TimePasses
 	if c.FillLatency > 0 {
 		pc.Fill.FillLatency = c.FillLatency
 	}
@@ -129,6 +165,10 @@ type Result struct {
 	// Fill-unit transformation coverage at retirement (Table 2).
 	MovesPct, ReassocPct, ScaledPct, OptimizedPct float64
 
+	// PassStats holds the fill unit's per-pass counters in pipeline run
+	// order (empty on the baseline, which runs no passes).
+	PassStats []PassStat
+
 	// Output is the program's OUT byte stream.
 	Output []byte
 }
@@ -151,6 +191,7 @@ func resultFrom(st pipeline.Stats, out []byte) Result {
 		ReassocPct:        pct(st.RetiredReassoc),
 		ScaledPct:         pct(st.RetiredScaled),
 		OptimizedPct:      pct(st.RetiredAnyOpt),
+		PassStats:         st.Passes,
 		Output:            out,
 	}
 }

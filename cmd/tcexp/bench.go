@@ -16,12 +16,17 @@ import (
 // geometric-mean throughput, and per-figure wall time for the full
 // reproduction suite (which shares one memoized runner).
 type benchReport struct {
-	Insts     uint64  `json:"insts_per_workload"`
-	GoMaxProc int     `json:"gomaxprocs"`
-	TotalSecs float64 `json:"total_wall_secs"`
+	Insts     uint64   `json:"insts_per_workload"`
+	GoMaxProc int      `json:"gomaxprocs"`
+	PassSpec  []string `json:"pass_spec"`
+	TotalSecs float64  `json:"total_wall_secs"`
 
 	Workloads  []workloadBench `json:"workloads"`
 	GeomeanIPS float64         `json:"geomean_sim_inst_per_sec"`
+
+	// Passes aggregates the fill unit's per-pass counters across every
+	// workload of the sweep, in pipeline run order.
+	Passes []tcsim.PassStat `json:"passes"`
 
 	Figures     []figureBench `json:"figures"`
 	Simulations uint64        `json:"suite_simulations"`
@@ -44,14 +49,18 @@ type figureBench struct {
 }
 
 // runBench sweeps every bundled workload under the combined
-// configuration, measuring wall time and allocation deltas, then times
-// each figure of the reproduction suite, and writes the JSON report.
-func runBench(insts uint64, outPath string) error {
-	rep := benchReport{Insts: insts, GoMaxProc: runtime.GOMAXPROCS(0)}
+// configuration (or an explicit -passes spec), measuring wall time and
+// allocation deltas, then times each figure of the reproduction suite,
+// and writes the JSON report.
+func runBench(insts uint64, outPath string, spec []string) error {
+	if spec == nil {
+		spec = tcsim.DefaultPassSpec()
+	}
+	rep := benchReport{Insts: insts, GoMaxProc: runtime.GOMAXPROCS(0), PassSpec: spec}
 	start := time.Now()
 
 	cfg := tcsim.DefaultConfig()
-	cfg.Opt = tcsim.AllOptions()
+	cfg.Passes = spec
 	cfg.MaxInsts = insts
 
 	var ms0, ms1 runtime.MemStats
@@ -89,6 +98,17 @@ func runBench(insts uint64, outPath string) error {
 			CyclePerSec: float64(res.Cycles) / wall.Seconds(),
 		}
 		rep.Workloads = append(rep.Workloads, wb)
+		for i, ps := range res.PassStats {
+			if i >= len(rep.Passes) {
+				rep.Passes = append(rep.Passes, tcsim.PassStat{Name: ps.Name})
+			}
+			agg := &rep.Passes[i]
+			agg.Segments += ps.Segments
+			agg.Touched += ps.Touched
+			agg.Rewritten += ps.Rewritten
+			agg.EdgesRemoved += ps.EdgesRemoved
+			agg.Nanos += ps.Nanos
+		}
 		fmt.Printf("bench %-10s %9.0f inst/s  %7.1f allocs/kinst  %6.2fs\n",
 			name, wb.InstPerSec, wb.AllocsPerK, wb.WallSecs)
 	}

@@ -6,7 +6,9 @@
 //	tcexp -exp fig8 -insts 200000
 //	tcexp -exp all
 //	tcexp -exp bench -bench-out BENCH_sweep.json
+//	tcexp -exp bench -passes reassoc,moves,place
 //	tcexp -exp all -cpuprofile cpu.pprof -memprofile mem.pprof
+//	tcexp -list-passes
 //
 // All figure reproductions in one invocation share a memoized runner, so
 // sweeps common to several figures (the baseline above all) simulate
@@ -29,11 +31,41 @@ func main() {
 		exp      = flag.String("exp", "all", "experiment id: "+strings.Join(tcsim.ExperimentIDs(), ", ")+", 'all', or 'bench'")
 		insts    = flag.Uint64("insts", 200_000, "retired-instruction budget per simulation (0 = workload defaults)")
 		benchOut = flag.String("bench-out", "BENCH_sweep.json", "output path for -exp bench")
+		passes   = flag.String("passes", "", "pass pipeline for the -exp bench sweep (default: the paper's combined configuration); figures always use their defined variants")
+		listPass = flag.Bool("list-passes", false, "list registered optimization passes and exit")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		trc      = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
+
+	if *listPass {
+		for _, p := range tcsim.Passes() {
+			def := " "
+			if p.Default {
+				def = "*"
+			}
+			fmt.Printf("%s %-10s %s\n", def, p.Name, p.Desc)
+		}
+		fmt.Println("(* = part of the paper's combined configuration; default order:",
+			strings.Join(tcsim.DefaultPassSpec(), ","), ")")
+		return
+	}
+
+	var spec []string
+	if *passes != "" {
+		for _, p := range strings.Split(*passes, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				spec = append(spec, p)
+			}
+		}
+		if err := tcsim.ValidatePassSpec(spec); err != nil {
+			fatalf("%v", err)
+		}
+		if *exp != "bench" {
+			fatalf("-passes only applies to -exp bench; figures reproduce their defined variants")
+		}
+	}
 
 	stop, err := prof.Start(*cpuProf, *memProf, *trc)
 	if err != nil {
@@ -41,7 +73,7 @@ func main() {
 	}
 
 	if *exp == "bench" {
-		err = runBench(*insts, *benchOut)
+		err = runBench(*insts, *benchOut, spec)
 	} else {
 		err = runFigures(*exp, *insts)
 	}

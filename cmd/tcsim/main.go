@@ -5,7 +5,9 @@
 //
 //	tcsim -workload m88ksim -insts 300000 -opt all
 //	tcsim -asm prog.s -opt moves,place
+//	tcsim -workload gcc -passes reassoc,moves,scadd,place -time-passes
 //	tcsim -list
+//	tcsim -list-passes
 package main
 
 import (
@@ -24,6 +26,9 @@ func main() {
 		asmFile  = flag.String("asm", "", "TCR assembly file to assemble and run")
 		insts    = flag.Uint64("insts", 0, "retired-instruction budget (0 = workload default / run to halt)")
 		opts     = flag.String("opt", "", "fill-unit optimizations: comma list of moves,reassoc,scadd,place, or 'all'")
+		passes   = flag.String("passes", "", "explicit pass pipeline, ordered (e.g. reassoc,moves,scadd,place); overrides -opt; see -list-passes")
+		listPass = flag.Bool("list-passes", false, "list registered optimization passes and exit")
+		timePass = flag.Bool("time-passes", false, "collect per-pass wall time (adds clock reads to the fill path)")
 		fillLat  = flag.Int("fill-latency", 1, "fill unit latency in cycles")
 		noTC     = flag.Bool("no-tcache", false, "disable the trace cache (instruction-cache front end only)")
 		noPack   = flag.Bool("no-packing", false, "disable trace packing")
@@ -44,6 +49,10 @@ func main() {
 		}
 		return
 	}
+	if *listPass {
+		listPasses()
+		return
+	}
 
 	stopProf, err := prof.Start(*cpuProf, *memProf, *trc)
 	if err != nil {
@@ -59,6 +68,16 @@ func main() {
 	cfg.InactiveIssue = !*noInact
 	cfg.Clusters = *clusters
 	cfg.FUsPerCluster = *fus
+	cfg.TimePasses = *timePass
+	if *passes != "" {
+		if *opts != "" {
+			fatalf("pass either -opt or -passes, not both")
+		}
+		cfg.Passes = splitSpec(*passes)
+		if err := tcsim.ValidatePassSpec(cfg.Passes); err != nil {
+			fatalf("%v", err)
+		}
+	}
 	for _, o := range strings.Split(*opts, ",") {
 		switch strings.TrimSpace(o) {
 		case "":
@@ -113,9 +132,42 @@ func main() {
 	fmt.Printf("reassociated        %.2f%%\n", res.ReassocPct)
 	fmt.Printf("scaled ops          %.2f%%\n", res.ScaledPct)
 	fmt.Printf("any transformation  %.2f%%\n", res.OptimizedPct)
+	for _, ps := range res.PassStats {
+		fmt.Printf("pass %-14s %9d segs  %9d touched  %9d rewritten  %9d edges removed",
+			ps.Name, ps.Segments, ps.Touched, ps.Rewritten, ps.EdgesRemoved)
+		if *timePass {
+			fmt.Printf("  %.3fms", float64(ps.Nanos)/1e6)
+		}
+		fmt.Println()
+	}
 	if len(res.Output) > 0 {
 		fmt.Printf("program output      %q\n", res.Output)
 	}
+}
+
+// splitSpec parses a comma-separated pass spec, trimming whitespace and
+// dropping empty elements.
+func splitSpec(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// listPasses prints the registered pass roster in canonical order.
+func listPasses() {
+	for _, p := range tcsim.Passes() {
+		def := " "
+		if p.Default {
+			def = "*"
+		}
+		fmt.Printf("%s %-10s %s\n", def, p.Name, p.Desc)
+	}
+	fmt.Println("(* = part of the paper's combined configuration; default order:",
+		strings.Join(tcsim.DefaultPassSpec(), ","), ")")
 }
 
 func fatalf(format string, args ...any) {

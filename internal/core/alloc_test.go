@@ -23,7 +23,7 @@ func TestFillSteadyStateAllocs(t *testing.T) {
 	m := emu.New(w.Build())
 	cfg := DefaultConfig()
 	cfg.Opt = AllOptimizations()
-	f := New(cfg, bpred.NewBiasTable(8<<10, 64))
+	f := MustNew(cfg, bpred.NewBiasTable(8<<10, 64))
 
 	seq := uint64(0)
 	step := func() {
@@ -43,5 +43,47 @@ func TestFillSteadyStateAllocs(t *testing.T) {
 	avg := testing.AllocsPerRun(5000, step)
 	if avg > 0.01 {
 		t.Errorf("steady-state Collect/Drain allocates %.4f allocs/inst, want ~0", avg)
+	}
+}
+
+// TestFinalizeAllocsPassManager pins the pass manager's allocation
+// discipline: under an explicit five-pass spec (with per-pass timing
+// enabled, the most work the pipeline can do per segment), finalize and
+// the pass pipeline allocate nothing in steady state.
+func TestFinalizeAllocsPassManager(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	w, ok := workload.ByName("gcc")
+	if !ok {
+		t.Fatal("no workload gcc")
+	}
+	m := emu.New(w.Build())
+	cfg := DefaultConfig()
+	cfg.Passes = []string{"reassoc", "moves", "scadd", "deadwrite", "place"}
+	cfg.TimePasses = true
+	f, err := New(cfg, bpred.NewBiasTable(8<<10, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seq := uint64(0)
+	step := func() {
+		rec, err := m.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Collect(rec, seq)
+		for _, seg := range f.Drain(seq) {
+			f.RecycleSegment(seg)
+		}
+		seq++
+	}
+	for i := 0; i < 30_000; i++ {
+		step()
+	}
+	avg := testing.AllocsPerRun(5000, step)
+	if avg > 0.01 {
+		t.Errorf("pass-manager finalize allocates %.4f allocs/inst, want 0", avg)
 	}
 }

@@ -41,6 +41,24 @@ func AllOptimizations() Optimizations {
 type Config struct {
 	Opt Optimizations
 
+	// Passes explicitly selects and orders the optimization pipeline by
+	// registered pass name (see RegisterPass; built-ins: reassoc, moves,
+	// scadd, deadwrite, place). Empty means "derive from Opt in the
+	// paper's canonical order", which preserves the paper's exact
+	// behavior. A non-empty spec overrides Opt; illegal orders are
+	// rejected by New, never silently reordered.
+	Passes []string
+
+	// TimePasses records per-pass wall time in the pipeline's PassStats.
+	// Off by default: the two clock reads per pass per segment are
+	// measurable on the fill path.
+	TimePasses bool
+
+	// CheckPasses validates the segment's structural invariants after
+	// every pass and panics, naming the offending pass, on a violation.
+	// A test/debug configuration.
+	CheckPasses bool
+
 	// FillLatency is the number of cycles a finished segment spends in
 	// the fill pipeline before it becomes visible in the trace cache.
 	// The paper evaluates 1, 5 and 10 and finds the impact negligible.

@@ -20,6 +20,33 @@ import "tcsim/internal/trace"
 // Eliminated instructions are marked rather than removed (the line's
 // layout and the 4-bit placement fields are unchanged); like marked
 // moves they complete at issue without visiting a functional unit.
+// deadwritePass adapts eliminateDeadWrites to the pass-manager
+// interface. A marked dead write is a rewritten instruction; no
+// dependency edges are removed (nothing consumed the value — that is
+// what made it dead).
+type deadwritePass struct{ f *FillUnit }
+
+func (p *deadwritePass) Name() string { return "deadwrite" }
+
+func (p *deadwritePass) Run(seg *trace.Segment, ps *PassStats) {
+	n0 := p.f.Stats.DeadWritesElim
+	p.f.eliminateDeadWrites(seg)
+	ps.Rewritten += p.f.Stats.DeadWritesElim - n0
+}
+
+func init() {
+	RegisterPass(PassInfo{
+		Name:  "deadwrite",
+		Desc:  "eliminate same-block dead register writes (extension, paper §5)",
+		Order: 40,
+		// Not Default: the paper's combined figures exclude the
+		// conclusion's proposed extension.
+		Enabled: func(o Optimizations) bool { return o.DeadWriteElim },
+		Enable:  func(o *Optimizations) { o.DeadWriteElim = true },
+		New:     func(f *FillUnit) OptPass { return &deadwritePass{f} },
+	})
+}
+
 func (f *FillUnit) eliminateDeadWrites(seg *trace.Segment) {
 	for i := range seg.Insts {
 		si := &seg.Insts[i]

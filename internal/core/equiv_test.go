@@ -202,6 +202,49 @@ func TestSemanticEquivalenceWithPromotionAndPacking(t *testing.T) {
 	}
 }
 
+// legalPermutations enumerates every ordering of the given passes that
+// ValidateSpec accepts.
+func legalPermutations(passes []string) [][]string {
+	var out [][]string
+	var permute func(cur, rest []string)
+	permute = func(cur, rest []string) {
+		if len(rest) == 0 {
+			spec := append([]string(nil), cur...)
+			if ValidateSpec(spec) == nil {
+				out = append(out, spec)
+			}
+			return
+		}
+		for i := range rest {
+			next := append(cur, rest[i])
+			var remaining []string
+			remaining = append(remaining, rest[:i]...)
+			remaining = append(remaining, rest[i+1:]...)
+			permute(next, remaining)
+		}
+	}
+	permute(nil, passes)
+	return out
+}
+
+// TestSemanticEquivalenceLegalPermutations sweeps every legal ordering
+// of the full five-pass pipeline: whatever order the pass manager
+// accepts must preserve program semantics. (With place pinned last and
+// reassoc constrained before moves, 12 of the 120 orderings are legal.)
+func TestSemanticEquivalenceLegalPermutations(t *testing.T) {
+	perms := legalPermutations([]string{"reassoc", "moves", "scadd", "deadwrite", "place"})
+	if len(perms) != 12 {
+		t.Fatalf("got %d legal permutations, want 12", len(perms))
+	}
+	for _, spec := range perms {
+		cfg := DefaultConfig()
+		cfg.Passes = spec
+		cfg.CheckPasses = true                // validate invariants between passes
+		cfg.ReassocCrossBlockOnly = false     // widest applicability
+		checkSemanticEquivalence(t, cfg, mixedProgram, 20000)
+	}
+}
+
 // Property: segments always validate and slots are a valid permutation,
 // under random programs and all optimizations.
 func TestSegmentInvariantsRandom(t *testing.T) {

@@ -28,6 +28,8 @@ type FillUnit struct {
 
 	segFree []*trace.Segment // recycled segment storage
 
+	opts *Pipeline // optimization pass pipeline, built once at New
+
 	Stats Stats
 }
 
@@ -118,12 +120,41 @@ type pendingSeg struct {
 
 // New builds a fill unit. bias may be nil to disable promotion lookups
 // regardless of cfg.Promotion.
-func New(cfg Config, bias *bpred.BiasTable) *FillUnit {
+//
+// The optimization pipeline is constructed here, once: an explicit
+// cfg.Passes spec selects and orders the passes (and overrides cfg.Opt);
+// an empty spec derives the paper's canonical order from the cfg.Opt
+// booleans. An invalid spec — unknown pass, duplicate, or an order that
+// violates a registered constraint — is an error, never a silent
+// reordering.
+func New(cfg Config, bias *bpred.BiasTable) (*FillUnit, error) {
 	f := &FillUnit{
 		cfg:  cfg.normalize(),
 		bias: bias,
 	}
 	f.armed.init()
+	spec := f.cfg.Passes
+	if len(spec) == 0 {
+		spec = f.cfg.Opt.PassSpec()
+	}
+	p, err := NewPipeline(f, spec)
+	if err != nil {
+		return nil, err
+	}
+	f.opts = p
+	// Keep the boolean view coherent with what actually runs, so
+	// Config() reports the effective selection under an explicit spec.
+	f.cfg.Opt = OptimizationsForSpec(spec)
+	return f, nil
+}
+
+// MustNew is New for configurations known to be valid (tests, examples,
+// derived-from-Opt specs); it panics on an invalid pass spec.
+func MustNew(cfg Config, bias *bpred.BiasTable) *FillUnit {
+	f, err := New(cfg, bias)
+	if err != nil {
+		panic(err)
+	}
 	return f
 }
 
@@ -342,24 +373,7 @@ func (f *FillUnit) finalize(cycle uint64) {
 	seg.Blocks = seg.Insts[len(seg.Insts)-1].Block + 1
 
 	markDependencies(seg)
-	// Reassociation runs before move marking: an unmarked move is itself
-	// a pairable ADDI, so immediate chains fold straight through moves;
-	// marking first would rewire the operands reassociation keys on.
-	if f.cfg.Opt.Reassoc {
-		f.reassociate(seg)
-	}
-	if f.cfg.Opt.Moves {
-		f.markMoves(seg)
-	}
-	if f.cfg.Opt.ScaledAdds {
-		f.createScaledAdds(seg)
-	}
-	if f.cfg.Opt.DeadWriteElim {
-		f.eliminateDeadWrites(seg)
-	}
-	if f.cfg.Opt.Placement {
-		f.placeInstructions(seg)
-	}
+	f.opts.Run(seg)
 
 	f.Stats.SegmentsBuilt++
 	f.pipe = append(f.pipe, pendingSeg{seg: seg, ready: cycle + uint64(f.cfg.FillLatency)})
@@ -404,11 +418,12 @@ func (f *FillUnit) Flush(cycle uint64) []*trace.Segment {
 	return out
 }
 
-// blockOf is a debugging helper mapping an instruction index to its
-// block id.
-func blockOf(seg *trace.Segment, i int) int { return seg.Insts[i].Block }
+// PassStats returns a copy of the per-pass counters, in pipeline run
+// order (allocates; read it at end of run, not on the fill path).
+func (f *FillUnit) PassStats() []PassStats { return f.opts.Stats() }
 
-var _ = blockOf // referenced by tests
+// PassSpec returns the optimization pipeline's pass names in run order.
+func (f *FillUnit) PassSpec() []string { return f.opts.Spec() }
 
 // CheckInvariants validates the segment and panics with context if the
 // fill unit produced an inconsistent line. Used in tests.

@@ -23,7 +23,7 @@ func runFill(t *testing.T, cfg Config, bias *bpred.BiasTable, maxSteps uint64,
 		t.Fatal(err)
 	}
 	m := emu.New(p)
-	f := New(cfg, bias)
+	f := MustNew(cfg, bias)
 
 	var recs []emu.Record
 	var regs [][isa.NumRegs]uint32
@@ -302,7 +302,7 @@ func TestPromotionDisabled(t *testing.T) {
 func TestFillLatencyPipeline(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.FillLatency = 5
-	f := New(cfg, nil)
+	f := MustNew(cfg, nil)
 	rec := emu.Record{PC: 0x400000, Inst: isa.Inst{Op: isa.JR, Rs: isa.RA}}
 	f.Collect(rec, 100) // return terminates: finalizes at cycle 100
 	if got := f.Drain(104); len(got) != 0 {
@@ -317,7 +317,7 @@ func TestFillLatencyPipeline(t *testing.T) {
 }
 
 func TestAbandonOnDiscontinuity(t *testing.T) {
-	f := New(DefaultConfig(), nil)
+	f := MustNew(DefaultConfig(), nil)
 	f.Collect(emu.Record{PC: 0x400000, Inst: isa.Inst{Op: isa.ADDI, Rt: isa.T0, Rs: isa.T0, Imm: 1}}, 0)
 	// Jump in retirement PC without a control transfer: stale partial
 	// segment must be dropped, new segment starts at the new PC.
@@ -332,7 +332,7 @@ func TestAbandonOnDiscontinuity(t *testing.T) {
 }
 
 func TestExplicitAbandon(t *testing.T) {
-	f := New(DefaultConfig(), nil)
+	f := MustNew(DefaultConfig(), nil)
 	f.Collect(emu.Record{PC: 0x400000, Inst: isa.Inst{Op: isa.ADDI, Rt: isa.T0, Rs: isa.T0, Imm: 1}}, 0)
 	f.Abandon()
 	if segs := f.Flush(1); len(segs) != 0 {
@@ -342,7 +342,7 @@ func TestExplicitAbandon(t *testing.T) {
 
 func TestStatsCounting(t *testing.T) {
 	segs, _, _, _ := runFill(t, DefaultConfig(), nil, 1000, straightLine(20))
-	f := New(DefaultConfig(), nil)
+	f := MustNew(DefaultConfig(), nil)
 	_ = f
 	total := 0
 	for _, s := range segs {

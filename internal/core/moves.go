@@ -19,6 +19,33 @@ import (
 // "The fill unit handles this by modifying instructions within the trace
 // cache line which are dependent upon the move operation to be dependent
 // upon the source of the move instead.").
+// movesPass adapts markMoves to the pass-manager interface. Every
+// marked move is a rewritten instruction; every consumer re-pointed
+// past a move is a removed dependency edge (the consumer no longer
+// serializes behind the move's rename-stage copy).
+type movesPass struct{ f *FillUnit }
+
+func (p *movesPass) Name() string { return "moves" }
+
+func (p *movesPass) Run(seg *trace.Segment, ps *PassStats) {
+	m0, r0 := p.f.Stats.MovesMarked, p.f.Stats.RewiredByMoves
+	p.f.markMoves(seg)
+	ps.Rewritten += p.f.Stats.MovesMarked - m0
+	ps.EdgesRemoved += p.f.Stats.RewiredByMoves - r0
+}
+
+func init() {
+	RegisterPass(PassInfo{
+		Name:    "moves",
+		Desc:    "mark register moves for rename-stage execution (paper §4.2)",
+		Order:   20,
+		Default: true,
+		Enabled: func(o Optimizations) bool { return o.Moves },
+		Enable:  func(o *Optimizations) { o.Moves = true },
+		New:     func(f *FillUnit) OptPass { return &movesPass{f} },
+	})
+}
+
 func (f *FillUnit) markMoves(seg *trace.Segment) {
 	for i := range seg.Insts {
 		si := &seg.Insts[i]

@@ -17,6 +17,34 @@ import "tcsim/internal/trace"
 //
 // Marked moves never visit a functional unit, so they are skipped by the
 // dependence search and placed last in whatever slots remain.
+// placePass adapts placeInstructions to the pass-manager interface.
+// Every instruction steered away from its fetch slot counts as
+// rewritten (its 4-bit placement field changed).
+type placePass struct{ f *FillUnit }
+
+func (p *placePass) Name() string { return "place" }
+
+func (p *placePass) Run(seg *trace.Segment, ps *PassStats) {
+	n0 := p.f.Stats.PlacedNonIdent
+	p.f.placeInstructions(seg)
+	ps.Rewritten += p.f.Stats.PlacedNonIdent - n0
+}
+
+func init() {
+	RegisterPass(PassInfo{
+		Name:    "place",
+		Desc:    "cluster-aware issue-slot assignment (paper §4.5)",
+		Order:   90,
+		Default: true,
+		// Placement assigns slots from the final dependence structure;
+		// any later rewrite would invalidate the assignment.
+		Last:    true,
+		Enabled: func(o Optimizations) bool { return o.Placement },
+		Enable:  func(o *Optimizations) { o.Placement = true },
+		New:     func(f *FillUnit) OptPass { return &placePass{f} },
+	})
+}
+
 func (f *FillUnit) placeInstructions(seg *trace.Segment) {
 	n := len(seg.Insts)
 	fus := f.cfg.Clusters * f.cfg.FUsPerCluster

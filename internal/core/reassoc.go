@@ -20,6 +20,37 @@ import (
 // is unchanged), and — matching the paper's methodology — pairs are only
 // reassociated when they cross a basic-block boundary, since the
 // compiler already reassociates within blocks.
+// reassocPass adapts reassociate to the pass-manager interface. Each
+// fold rewrites one consumer and removes one dependency-chain edge (the
+// consumer no longer waits on the folded producer).
+type reassocPass struct{ f *FillUnit }
+
+func (p *reassocPass) Name() string { return "reassoc" }
+
+func (p *reassocPass) Run(seg *trace.Segment, ps *PassStats) {
+	n0 := p.f.Stats.Reassociated
+	p.f.reassociate(seg)
+	d := p.f.Stats.Reassociated - n0
+	ps.Rewritten += d
+	ps.EdgesRemoved += d
+}
+
+func init() {
+	RegisterPass(PassInfo{
+		Name:    "reassoc",
+		Desc:    "combine immediates of dependent ADDIs across block boundaries (paper §4.3)",
+		Order:   10,
+		Default: true,
+		// A marked move is no longer a pairable ADDI and its consumers
+		// have been rewired past it, so reassociation must see the
+		// segment before move marking does.
+		Before:  []string{"moves"},
+		Enabled: func(o Optimizations) bool { return o.Reassoc },
+		Enable:  func(o *Optimizations) { o.Reassoc = true },
+		New:     func(f *FillUnit) OptPass { return &reassocPass{f} },
+	})
+}
+
 func (f *FillUnit) reassociate(seg *trace.Segment) {
 	for j := range seg.Insts {
 		cj := &seg.Insts[j]

@@ -21,6 +21,33 @@ import (
 // shift itself still executes — its result may be live elsewhere. The
 // shift distance is limited to 3 bits so the extra ALU path is ~2 gate
 // delays, and the trace cache stores only 2 extra bits per instruction.
+// scaddPass adapts createScaledAdds to the pass-manager interface.
+// Each collapsed pair rewrites one consumer and removes one dependency
+// edge (the consumer depends on the shift's source, not the shift).
+type scaddPass struct{ f *FillUnit }
+
+func (p *scaddPass) Name() string { return "scadd" }
+
+func (p *scaddPass) Run(seg *trace.Segment, ps *PassStats) {
+	n0 := p.f.Stats.ScaledCreated
+	p.f.createScaledAdds(seg)
+	d := p.f.Stats.ScaledCreated - n0
+	ps.Rewritten += d
+	ps.EdgesRemoved += d
+}
+
+func init() {
+	RegisterPass(PassInfo{
+		Name:    "scadd",
+		Desc:    "collapse short shift + add/load/store pairs into scaled operations (paper §4.4)",
+		Order:   30,
+		Default: true,
+		Enabled: func(o Optimizations) bool { return o.ScaledAdds },
+		Enable:  func(o *Optimizations) { o.ScaledAdds = true },
+		New:     func(f *FillUnit) OptPass { return &scaddPass{f} },
+	})
+}
+
 func (f *FillUnit) createScaledAdds(seg *trace.Segment) {
 	for j := range seg.Insts {
 		cj := &seg.Insts[j]

@@ -76,14 +76,44 @@ type ConfigVariant struct {
 	Mut  func(*pipeline.Config)
 }
 
-// Standard variants.
+// VariantFromPasses builds a variant that runs exactly the named passes
+// in the given order (a core pass spec; illegal specs surface as errors
+// from the simulator's constructor).
+func VariantFromPasses(name string, passes []string) ConfigVariant {
+	return ConfigVariant{Name: name, Mut: func(c *pipeline.Config) { c.Fill.Passes = passes }}
+}
+
+// VariantForPass is the one-optimization-at-a-time variant for a single
+// registered pass, named after it (Figures 3-7 sweep these). Unknown
+// passes are a programmer error and panic.
+func VariantForPass(pass string) ConfigVariant {
+	if _, ok := core.LookupPass(pass); !ok {
+		panic(fmt.Sprintf("experiments: unknown pass %q", pass))
+	}
+	return VariantFromPasses(pass, []string{pass})
+}
+
+// SinglePassVariants generates the one-pass-at-a-time sweep from the
+// pass registry, in canonical order: one variant per registered pass.
+// A newly registered pass joins the sweep with no edits here.
+func SinglePassVariants() []ConfigVariant {
+	var out []ConfigVariant
+	for _, name := range core.PassNames() {
+		out = append(out, VariantForPass(name))
+	}
+	return out
+}
+
+// Standard variants, generated from the pass registry: each single-pass
+// variant runs exactly that pass; AllOpts runs the paper's combined
+// pipeline (every Default pass in canonical order).
 var (
 	Baseline    = ConfigVariant{Name: "baseline", Mut: func(*pipeline.Config) {}}
-	MovesOnly   = ConfigVariant{Name: "moves", Mut: func(c *pipeline.Config) { c.Fill.Opt.Moves = true }}
-	ReassocOnly = ConfigVariant{Name: "reassoc", Mut: func(c *pipeline.Config) { c.Fill.Opt.Reassoc = true }}
-	ScaledOnly  = ConfigVariant{Name: "scadd", Mut: func(c *pipeline.Config) { c.Fill.Opt.ScaledAdds = true }}
-	PlaceOnly   = ConfigVariant{Name: "place", Mut: func(c *pipeline.Config) { c.Fill.Opt.Placement = true }}
-	AllOpts     = ConfigVariant{Name: "all", Mut: func(c *pipeline.Config) { c.Fill.Opt = core.AllOptimizations() }}
+	MovesOnly   = VariantForPass("moves")
+	ReassocOnly = VariantForPass("reassoc")
+	ScaledOnly  = VariantForPass("scadd")
+	PlaceOnly   = VariantForPass("place")
+	AllOpts     = VariantFromPasses("all", core.DefaultPassSpec())
 )
 
 // AllOptsLatency returns the combined configuration with a specific fill
@@ -92,7 +122,7 @@ func AllOptsLatency(lat int) ConfigVariant {
 	return ConfigVariant{
 		Name: fmt.Sprintf("all@lat%d", lat),
 		Mut: func(c *pipeline.Config) {
-			c.Fill.Opt = core.AllOptimizations()
+			c.Fill.Passes = core.DefaultPassSpec()
 			c.Fill.FillLatency = lat
 		},
 	}
@@ -506,10 +536,10 @@ func (r *Runner) Ablations() (*AblationResult, error) {
 		{Name: "no-packing", Mut: func(c *pipeline.Config) { c.Fill.TracePacking = false }},
 		{Name: "no-inactive", Mut: func(c *pipeline.Config) { c.InactiveIssue = false }},
 		{Name: "no-tcache", Mut: func(c *pipeline.Config) { c.UseTraceCache = false }},
-		{Name: "all+dwe", Mut: func(c *pipeline.Config) {
-			c.Fill.Opt = core.AllOptimizations()
-			c.Fill.Opt.DeadWriteElim = true
-		}},
+		// Every registered pass in canonical order: the combined
+		// configuration plus the dead-write extension — and any custom
+		// pass the embedding program registers, with no edits here.
+		VariantFromPasses("all+dwe", core.AllPassSpec()),
 		{Name: "1x16", Mut: func(c *pipeline.Config) {
 			c.Exec.Clusters, c.Exec.FUsPerCluster = 1, 16
 			c.Fill.Clusters, c.Fill.FUsPerCluster = 1, 16
@@ -569,7 +599,10 @@ func FillOnly(prog *asm.Program, insts uint64) error {
 	m := emu.New(prog)
 	cfg := core.DefaultConfig()
 	cfg.Opt = core.AllOptimizations()
-	f := core.New(cfg, bpred.NewBiasTable(8<<10, 64))
+	f, err := core.New(cfg, bpred.NewBiasTable(8<<10, 64))
+	if err != nil {
+		return err
+	}
 	for i := uint64(0); i < insts; i++ {
 		rec, err := m.Step()
 		if err != nil {

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestTable2Golden guards the pass-manager refactor (and any future
+// change to the fill path) against silent output drift: Table 2 under
+// the default pass spec must match the committed golden byte-for-byte.
+// The golden was captured from `tcexp -exp table2 -insts 25000`; that
+// command prints Format() via Println, so the file carries one extra
+// trailing newline which we strip before comparing.
+//
+// If an intentional simulator change shifts these numbers, regenerate
+// with:
+//
+//	go run ./cmd/tcexp -exp table2 -insts 25000 > internal/experiments/testdata/table2_golden.txt
+func TestTable2Golden(t *testing.T) {
+	raw, err := os.ReadFile("testdata/table2_golden.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strings.TrimSuffix(string(raw), "\n")
+
+	res, err := NewRunner(25000).Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Format()
+	if got != want {
+		t.Errorf("Table 2 output drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

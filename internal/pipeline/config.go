@@ -141,6 +141,9 @@ type Stats struct {
 
 	// Fill unit.
 	Fill core.Stats
+	// Passes holds the fill unit's per-pass counters in pipeline run
+	// order (empty on the baseline, which runs no passes).
+	Passes []core.PassStats
 }
 
 // BypassDelayRate returns the Figure 7 metric.

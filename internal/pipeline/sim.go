@@ -74,6 +74,10 @@ func New(cfg Config, prog *asm.Program) (*Simulator, error) {
 		return nil, err
 	}
 	pred := bpred.New(cfg.Pred)
+	fill, err := core.New(cfg.Fill, pred.Bias)
+	if err != nil {
+		return nil, err
+	}
 	s := &Simulator{
 		cfg:         cfg,
 		prog:        prog,
@@ -81,7 +85,7 @@ func New(cfg Config, prog *asm.Program) (*Simulator, error) {
 		pred:        pred,
 		hier:        hier,
 		tc:          tc,
-		fill:        core.New(cfg.Fill, pred.Bias),
+		fill:        fill,
 		eng:         exec.NewEngine(cfg.Exec, hier),
 		rat:         rename.NewRAT(),
 		pool:        rename.NewCheckpointPool(cfg.Checkpoints),
@@ -196,6 +200,7 @@ func (s *Simulator) finalizeStats() {
 	st.IL1Hits, st.IL1Misses = s.hier.L1I.Hits, s.hier.L1I.Misses
 	st.L2Hits, st.L2Misses = s.hier.L2.Hits, s.hier.L2.Misses
 	st.Fill = s.fill.Stats
+	st.Passes = s.fill.PassStats()
 }
 
 // dropFetchBuf discards the fetch/issue latch (squash redirect). The
