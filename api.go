@@ -1,6 +1,7 @@
 package tcsim
 
 import (
+	"context"
 	"fmt"
 
 	"tcsim/internal/asm"
@@ -9,6 +10,12 @@ import (
 	"tcsim/internal/pipeline"
 	"tcsim/internal/workload"
 )
+
+// ErrCanceled is returned by the *Context run functions when the
+// simulation stops early because its context was cancelled or timed out.
+// Callers should match it with errors.Is; the context's own error is
+// attached as well.
+var ErrCanceled = pipeline.ErrCanceled
 
 // Options selects the fill unit's dynamic trace optimizations. It is an
 // alias of the core type, not a copy: a pass added to the fill unit is
@@ -198,12 +205,27 @@ func resultFrom(st pipeline.Stats, out []byte) Result {
 
 // Run simulates a program on the configured machine.
 func Run(cfg Config, prog *Program) (Result, error) {
-	sim, err := pipeline.New(cfg.pipelineConfig(), prog.p)
+	return RunContext(context.Background(), cfg, prog)
+}
+
+// RunContext is Run with cancellation: the cycle loop polls ctx
+// periodically and aborts with an error matching both ErrCanceled and
+// the context's own error when it is cancelled or its deadline passes.
+// A completed run is bit-for-bit identical to Run with the same Config.
+func RunContext(ctx context.Context, cfg Config, prog *Program) (Result, error) {
+	pc := cfg.pipelineConfig()
+	if ctx.Done() != nil {
+		pc.Cancelled = func() bool { return ctx.Err() != nil }
+	}
+	sim, err := pipeline.New(pc, prog.p)
 	if err != nil {
 		return Result{}, err
 	}
 	st, err := sim.Run()
 	if err != nil {
+		if cerr := ctx.Err(); cerr != nil && err == pipeline.ErrCanceled {
+			err = fmt.Errorf("%w: %w", pipeline.ErrCanceled, cerr)
+		}
 		return Result{}, err
 	}
 	return resultFrom(st, sim.Output()), nil
@@ -225,6 +247,11 @@ func BuildWorkload(name string) (*Program, error) {
 // RunWorkload builds and runs a bundled benchmark. When cfg.MaxInsts is
 // zero the workload's default instruction budget applies.
 func RunWorkload(cfg Config, name string) (Result, error) {
+	return RunWorkloadContext(context.Background(), cfg, name)
+}
+
+// RunWorkloadContext is RunWorkload with cancellation (see RunContext).
+func RunWorkloadContext(ctx context.Context, cfg Config, name string) (Result, error) {
 	w, ok := workload.ByName(name)
 	if !ok {
 		return Result{}, fmt.Errorf("tcsim: unknown workload %q", name)
@@ -232,7 +259,19 @@ func RunWorkload(cfg Config, name string) (Result, error) {
 	if cfg.MaxInsts == 0 {
 		cfg.MaxInsts = w.DefaultInsts
 	}
-	return Run(cfg, &Program{p: w.Build()})
+	return RunContext(ctx, cfg, &Program{p: w.Build()})
+}
+
+// WorkloadDefaultInsts reports the bundled benchmark's default
+// retired-instruction budget — what a zero Config.MaxInsts resolves to
+// in RunWorkload. The serving layer uses it to canonicalize job specs so
+// "default budget" and "explicit default budget" hash identically.
+func WorkloadDefaultInsts(name string) (uint64, bool) {
+	w, ok := workload.ByName(name)
+	if !ok {
+		return 0, false
+	}
+	return w.DefaultInsts, true
 }
 
 // Suite reproduces the paper's tables and figures while sharing one

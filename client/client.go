@@ -1,0 +1,174 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// Client talks to a tcserved daemon.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New returns a client for the daemon at base (e.g.
+// "http://127.0.0.1:8080"). A trailing slash is trimmed.
+func New(base string) *Client {
+	for len(base) > 0 && base[len(base)-1] == '/' {
+		base = base[:len(base)-1]
+	}
+	return &Client{base: base, http: &http.Client{}}
+}
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, test doubles) and returns the receiver for chaining.
+func (c *Client) WithHTTPClient(h *http.Client) *Client {
+	c.http = h
+	return c
+}
+
+// Base returns the daemon base URL the client talks to.
+func (c *Client) Base() string { return c.base }
+
+// SubmitJob runs one job synchronously: the call blocks until the
+// simulation finishes and returns the terminal Job. A full queue
+// surfaces as an *APIError with Code "queue_full"; inspect RetryAfter
+// for the suggested backoff.
+func (c *Client) SubmitJob(ctx context.Context, req *JobRequest) (*Job, error) {
+	var job Job
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &job); err != nil {
+		return nil, err
+	}
+	return &job, nil
+}
+
+// SubmitJobAsync enqueues a job and returns immediately with its ID;
+// poll with GetJob or WaitJob.
+func (c *Client) SubmitJobAsync(ctx context.Context, req *JobRequest) (*Job, error) {
+	var job Job
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs?async=1", req, &job); err != nil {
+		return nil, err
+	}
+	return &job, nil
+}
+
+// GetJob fetches a job's current state.
+func (c *Client) GetJob(ctx context.Context, id string) (*Job, error) {
+	var job Job
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &job); err != nil {
+		return nil, err
+	}
+	return &job, nil
+}
+
+// WaitJob polls a job until it reaches a terminal state or ctx expires.
+// poll <= 0 selects a 20ms interval.
+func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (*Job, error) {
+	if poll <= 0 {
+		poll = 20 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		job, err := c.GetJob(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if job.Done() {
+			return job, nil
+		}
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return job, ctx.Err()
+		}
+	}
+}
+
+// Sweep runs a batch of (workload, config) cells and returns the
+// aggregated per-cell statistics.
+func (c *Client) Sweep(ctx context.Context, req *SweepRequest) (*SweepResponse, error) {
+	var resp SweepResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/sweeps", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Passes lists the registered fill-unit optimization passes.
+func (c *Client) Passes(ctx context.Context) ([]Pass, error) {
+	var ps []Pass
+	if err := c.do(ctx, http.MethodGet, "/v1/passes", nil, &ps); err != nil {
+		return nil, err
+	}
+	return ps, nil
+}
+
+// Metrics fetches the daemon's counter snapshot.
+func (c *Client) Metrics(ctx context.Context) (*Metrics, error) {
+	var m Metrics
+	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Health checks /healthz; nil means the daemon is serving.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// do issues one JSON request and decodes either the 2xx body into out or
+// the error body into an *APIError.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: encode request: %w", err)
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+
+	if resp.StatusCode/100 != 2 {
+		var eb ErrorBody
+		if derr := json.NewDecoder(resp.Body).Decode(&eb); derr != nil || eb.Error.Code == "" {
+			return &APIError{Status: resp.StatusCode, Code: "http_error",
+				Message: fmt.Sprintf("%s %s: %s", method, path, resp.Status)}
+		}
+		eb.Error.Status = resp.StatusCode
+		if eb.Error.RetryAfterSecs == 0 {
+			if s, _ := strconv.Atoi(resp.Header.Get("Retry-After")); s > 0 {
+				eb.Error.RetryAfterSecs = s
+			}
+		}
+		return &eb.Error
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decode %s %s response: %w", method, path, err)
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+// Package client is the Go client for tcserved, the simulation-as-a-
+// service daemon, and the home of the service's wire schema. The server
+// (internal/server) imports these types for its request and response
+// bodies, so client and daemon marshal the exact same JSON and cannot
+// drift apart.
+package client
+
+import (
+	"fmt"
+	"time"
+
+	"tcsim"
+)
+
+// Job states reported by the service.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// Presets name well-known pass pipelines a JobRequest can select without
+// spelling out a spec.
+const (
+	PresetBaseline = "baseline" // no fill-unit optimization passes
+	PresetAll      = "all"      // the paper's combined configuration
+)
+
+// JobRequest describes one simulation job: a bundled workload plus the
+// machine configuration. The zero value of every config field selects
+// the paper's baseline machine (the negative no_* fields exist so that
+// "absent" means "default on", mirroring tcsim.DefaultConfig).
+type JobRequest struct {
+	// Workload is the bundled benchmark name (see tcsim.Workloads).
+	Workload string `json:"workload"`
+	// Insts bounds retired instructions (0 = the workload's default).
+	Insts uint64 `json:"insts,omitempty"`
+
+	// Preset selects a named pipeline ("baseline" or "all"). Mutually
+	// exclusive with Passes; empty plus empty Passes means baseline.
+	Preset string `json:"preset,omitempty"`
+	// Passes is an explicit ordered pass spec (see GET /v1/passes).
+	Passes []string `json:"passes,omitempty"`
+	// TimePasses collects per-pass wall time into the result. Note that
+	// timed results are cached like any other: a cache hit returns the
+	// original run's timings.
+	TimePasses bool `json:"time_passes,omitempty"`
+
+	FillLatency   int    `json:"fill_latency,omitempty"` // 0 = 1 cycle
+	NoTraceCache  bool   `json:"no_trace_cache,omitempty"`
+	NoPacking     bool   `json:"no_packing,omitempty"`
+	NoPromotion   bool   `json:"no_promotion,omitempty"`
+	NoInactive    bool   `json:"no_inactive,omitempty"`
+	Clusters      int    `json:"clusters,omitempty"`        // 0 = 4
+	FUsPerCluster int    `json:"fus_per_cluster,omitempty"` // 0 = 4
+	MaxCycles     uint64 `json:"max_cycles,omitempty"`
+
+	// TimeoutMS caps the job's wall time (0 = the server default; the
+	// server also enforces a maximum). Timeouts do not affect the cache
+	// key: the same machine config always hashes the same.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Job is the service's view of one submitted job. Sync submissions
+// return it in the terminal state; async submissions return it queued
+// and GET /v1/jobs/{id} polls it forward.
+type Job struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// Key is the canonical config hash the result cache is keyed by;
+	// two jobs with the same Key are the same simulation.
+	Key string `json:"key"`
+	// Cached reports that the result came from the cache or was
+	// deduplicated onto a concurrent identical run.
+	Cached bool `json:"cached,omitempty"`
+	// Result is set once State is "done". It is bit-for-bit the value a
+	// direct tcsim.Run of the same config produces.
+	Result *tcsim.Result `json:"result,omitempty"`
+	Error  string        `json:"error,omitempty"`
+	WallMS float64       `json:"wall_ms,omitempty"`
+}
+
+// Done reports whether the job reached a terminal state.
+func (j *Job) Done() bool { return j.State == StateDone || j.State == StateFailed }
+
+// SweepRequest fans a batch over workloads x configs: every pair becomes
+// one simulation cell, run through the experiments runner, which
+// deduplicates identical cells (within and across sweeps) by config
+// hash. Sweeps return compact per-cell statistics; submit a job for the
+// full tcsim.Result of an interesting cell.
+type SweepRequest struct {
+	// Workloads lists benchmark names (empty = every bundled workload).
+	Workloads []string `json:"workloads,omitempty"`
+	// Configs are the machine configurations to cross with Workloads.
+	// The Workload field inside a sweep config must be empty; an empty
+	// Configs list means just the baseline. Per-config Insts overrides
+	// the sweep-level Insts.
+	Configs []JobRequest `json:"configs,omitempty"`
+	// Insts bounds each cell (0 = per-workload defaults).
+	Insts uint64 `json:"insts,omitempty"`
+}
+
+// SweepRow is one (workload, config) cell's result.
+type SweepRow struct {
+	Workload       string  `json:"workload"`
+	Key            string  `json:"key"`
+	IPC            float64 `json:"ipc"`
+	Cycles         uint64  `json:"cycles"`
+	Retired        uint64  `json:"retired"`
+	TCHitRate      float64 `json:"tc_hit_rate"`
+	MispredictRate float64 `json:"mispredict_rate"`
+}
+
+// SweepResponse aggregates a sweep. Simulations counts the cells that
+// actually simulated during this request; Cells minus Simulations were
+// memoized or deduplicated onto concurrent identical cells.
+type SweepResponse struct {
+	Rows        []SweepRow `json:"rows"`
+	Cells       int        `json:"cells"`
+	Simulations uint64     `json:"simulations"`
+	WallMS      float64    `json:"wall_ms"`
+}
+
+// Pass is one registered fill-unit optimization pass (GET /v1/passes).
+type Pass struct {
+	Name    string `json:"name"`
+	Desc    string `json:"desc"`
+	Default bool   `json:"default"`
+}
+
+// Metrics is the GET /metrics snapshot: expvar-style monotonic counters
+// plus point-in-time gauges.
+type Metrics struct {
+	UptimeSecs float64 `json:"uptime_secs"`
+
+	JobsAccepted  uint64 `json:"jobs_accepted"`
+	JobsCompleted uint64 `json:"jobs_completed"`
+	JobsFailed    uint64 `json:"jobs_failed"`
+	JobsRejected  uint64 `json:"jobs_rejected"` // 429 queue-full rejections
+	CacheHits     uint64 `json:"cache_hits"`
+	CacheMisses   uint64 `json:"cache_misses"`
+	DedupJoins    uint64 `json:"dedup_joins"` // joined a concurrent identical run
+
+	QueueDepth   int64 `json:"queue_depth"` // admitted, waiting for a worker
+	InFlight     int64 `json:"in_flight"`   // simulating right now
+	CacheEntries int   `json:"cache_entries"`
+
+	// Simulation throughput: total simulated retired instructions over
+	// cumulative busy wall time of completed runs.
+	SimInsts       uint64  `json:"sim_insts_total"`
+	SimBusySecs    float64 `json:"sim_busy_secs"`
+	SimInstsPerSec float64 `json:"sim_insts_per_sec"`
+
+	// Sweep-side counters (the experiments runner shared by /v1/sweeps).
+	SweepCells       uint64 `json:"sweep_cells"`
+	SweepSimulations uint64 `json:"sweep_simulations"`
+	SweepInFlight    int64  `json:"sweep_in_flight"`
+
+	// Passes aggregates per-pass fill-unit counters across every
+	// simulation the job engine executed (cache hits excluded), keyed in
+	// canonical pass order.
+	Passes []tcsim.PassStat `json:"passes,omitempty"`
+}
+
+// ErrorBody is every non-2xx response's JSON shape.
+type ErrorBody struct {
+	Error APIError `json:"error"`
+}
+
+// APIError is a structured service error. It implements error, so the
+// client returns it directly.
+type APIError struct {
+	// Status is the HTTP status code (not serialized; filled by the
+	// client from the response).
+	Status int `json:"-"`
+	// Code is a stable machine-readable identifier: "invalid_argument",
+	// "not_found", "queue_full", "draining", "timeout", "canceled",
+	// "internal".
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// RetryAfterSecs accompanies "queue_full" and "draining": how long
+	// the client should back off (also sent as a Retry-After header).
+	RetryAfterSecs int `json:"retry_after_secs,omitempty"`
+}
+
+func (e *APIError) Error() string {
+	if e.Status != 0 {
+		return fmt.Sprintf("tcserved: %s (%d %s)", e.Message, e.Status, e.Code)
+	}
+	return fmt.Sprintf("tcserved: %s (%s)", e.Message, e.Code)
+}
+
+// RetryAfter returns the suggested backoff as a duration (0 if none).
+func (e *APIError) RetryAfter() time.Duration {
+	return time.Duration(e.RetryAfterSecs) * time.Second
+}

@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"runtime"
@@ -52,7 +53,7 @@ type figureBench struct {
 // configuration (or an explicit -passes spec), measuring wall time and
 // allocation deltas, then times each figure of the reproduction suite,
 // and writes the JSON report.
-func runBench(insts uint64, outPath string, spec []string) error {
+func runBench(stdout io.Writer, insts uint64, outPath string, spec []string) error {
 	if spec == nil {
 		spec = tcsim.DefaultPassSpec()
 	}
@@ -109,7 +110,7 @@ func runBench(insts uint64, outPath string, spec []string) error {
 			agg.EdgesRemoved += ps.EdgesRemoved
 			agg.Nanos += ps.Nanos
 		}
-		fmt.Printf("bench %-10s %9.0f inst/s  %7.1f allocs/kinst  %6.2fs\n",
+		fmt.Fprintf(stdout, "bench %-10s %9.0f inst/s  %7.1f allocs/kinst  %6.2fs\n",
 			name, wb.InstPerSec, wb.AllocsPerK, wb.WallSecs)
 	}
 	if n := len(rep.Workloads); n > 0 {
@@ -128,7 +129,7 @@ func runBench(insts uint64, outPath string, spec []string) error {
 		}
 		fb := figureBench{ID: id, WallSecs: secs(time.Since(t0))}
 		rep.Figures = append(rep.Figures, fb)
-		fmt.Printf("bench %-10s %6.2fs\n", id, fb.WallSecs)
+		fmt.Fprintf(stdout, "bench %-10s %6.2fs\n", id, fb.WallSecs)
 	}
 	rep.Simulations = suite.Simulations()
 	rep.TotalSecs = secs(time.Since(start))
@@ -141,7 +142,7 @@ func runBench(insts uint64, outPath string, spec []string) error {
 	if err := os.WriteFile(outPath, b, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("bench: geomean %.0f inst/s over %d workloads, %d suite simulations, wrote %s\n",
+	fmt.Fprintf(stdout, "bench: geomean %.0f inst/s over %d workloads, %d suite simulations, wrote %s\n",
 		rep.GeomeanIPS, len(rep.Workloads), rep.Simulations, outPath)
 	return nil
 }

@@ -18,6 +18,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -27,17 +28,33 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main minus the process exit so tests can drive the CLI
+// in-process. Flag and validation errors print to stderr with a usage
+// hint and exit 2; runtime failures exit 1.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tcexp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp      = flag.String("exp", "all", "experiment id: "+strings.Join(tcsim.ExperimentIDs(), ", ")+", 'all', or 'bench'")
-		insts    = flag.Uint64("insts", 200_000, "retired-instruction budget per simulation (0 = workload defaults)")
-		benchOut = flag.String("bench-out", "BENCH_sweep.json", "output path for -exp bench")
-		passes   = flag.String("passes", "", "pass pipeline for the -exp bench sweep (default: the paper's combined configuration); figures always use their defined variants")
-		listPass = flag.Bool("list-passes", false, "list registered optimization passes and exit")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
-		trc      = flag.String("trace", "", "write a runtime execution trace to this file")
+		exp      = fs.String("exp", "all", "experiment id: "+strings.Join(tcsim.ExperimentIDs(), ", ")+", 'all', or 'bench'")
+		insts    = fs.Uint64("insts", 200_000, "retired-instruction budget per simulation (0 = workload defaults)")
+		benchOut = fs.String("bench-out", "BENCH_sweep.json", "output path for -exp bench")
+		passes   = fs.String("passes", "", "pass pipeline for the -exp bench sweep (default: the paper's combined configuration); figures always use their defined variants")
+		listPass = fs.Bool("list-passes", false, "list registered optimization passes and exit")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file at exit")
+		trc      = fs.String("trace", "", "write a runtime execution trace to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2 // the FlagSet already printed the error and usage to stderr
+	}
+	usagef := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "tcexp: "+format+"\n", args...)
+		fmt.Fprintln(stderr, "run 'tcexp -h' for usage")
+		return 2
+	}
 
 	if *listPass {
 		for _, p := range tcsim.Passes() {
@@ -45,11 +62,16 @@ func main() {
 			if p.Default {
 				def = "*"
 			}
-			fmt.Printf("%s %-10s %s\n", def, p.Name, p.Desc)
+			fmt.Fprintf(stdout, "%s %-10s %s\n", def, p.Name, p.Desc)
 		}
-		fmt.Println("(* = part of the paper's combined configuration; default order:",
+		fmt.Fprintln(stdout, "(* = part of the paper's combined configuration; default order:",
 			strings.Join(tcsim.DefaultPassSpec(), ","), ")")
-		return
+		return 0
+	}
+
+	if !validExperiment(*exp) {
+		return usagef("unknown experiment %q (valid: %s, all, bench)",
+			*exp, strings.Join(tcsim.ExperimentIDs(), ", "))
 	}
 
 	var spec []string
@@ -60,32 +82,48 @@ func main() {
 			}
 		}
 		if err := tcsim.ValidatePassSpec(spec); err != nil {
-			fatalf("%v", err)
+			return usagef("%v", err)
 		}
 		if *exp != "bench" {
-			fatalf("-passes only applies to -exp bench; figures reproduce their defined variants")
+			return usagef("-passes only applies to -exp bench; figures reproduce their defined variants")
 		}
 	}
 
 	stop, err := prof.Start(*cpuProf, *memProf, *trc)
 	if err != nil {
-		fatalf("%v", err)
+		fmt.Fprintf(stderr, "tcexp: %v\n", err)
+		return 1
 	}
 
 	if *exp == "bench" {
-		err = runBench(*insts, *benchOut, spec)
+		err = runBench(stdout, *insts, *benchOut, spec)
 	} else {
-		err = runFigures(*exp, *insts)
+		err = runFigures(stdout, *exp, *insts)
 	}
 	if perr := stop(); err == nil {
 		err = perr
 	}
 	if err != nil {
-		fatalf("%v", err)
+		fmt.Fprintf(stderr, "tcexp: %v\n", err)
+		return 1
 	}
+	return 0
 }
 
-func runFigures(exp string, insts uint64) error {
+// validExperiment reports whether id names a reproducible experiment.
+func validExperiment(id string) bool {
+	if id == "all" || id == "bench" {
+		return true
+	}
+	for _, known := range tcsim.ExperimentIDs() {
+		if id == known {
+			return true
+		}
+	}
+	return false
+}
+
+func runFigures(stdout io.Writer, exp string, insts uint64) error {
 	ids := []string{exp}
 	if exp == "all" {
 		ids = tcsim.ExperimentIDs()
@@ -96,14 +134,9 @@ func runFigures(exp string, insts uint64) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(out)
+		fmt.Fprintln(stdout, out)
 	}
 	return nil
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "tcexp: "+format+"\n", args...)
-	os.Exit(1)
 }
 
 // secs rounds a duration to milliseconds for stable JSON output.

@@ -1,0 +1,160 @@
+// Command tcserved runs the simulation-as-a-service daemon: an
+// HTTP/JSON front end over tcsim with a bounded worker pool, a
+// config-hash result cache with singleflight deduplication, an async
+// job store, sweep fan-out, backpressure, live metrics, and graceful
+// drain on SIGTERM.
+//
+// Usage:
+//
+//	tcserved -addr :8080
+//	tcserved -addr :8080 -workers 8 -queue 32 -job-ttl 5m -pprof
+//	tcserved -selfcheck
+//
+// Endpoints:
+//
+//	POST /v1/jobs        submit a job (sync; ?async=1 to poll instead)
+//	GET  /v1/jobs/{id}   poll an async job
+//	POST /v1/sweeps      batch workloads x configs, deduplicated
+//	GET  /v1/passes      registered fill-unit optimization passes
+//	GET  /healthz        liveness
+//	GET  /metrics        expvar-style counter snapshot
+//
+// -selfcheck starts an in-process daemon, hammers it with a mixed
+// duplicate-heavy job load plus a sweep, asserts every served result is
+// bit-for-bit identical to a direct tcsim.Run of the same config, that
+// the cache deduplicated repeats, and that a saturated queue answers
+// 429 — then exits non-zero on any violation.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tcsim/internal/prof"
+	"tcsim/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main minus the process exit, so tests can drive the CLI
+// in-process. It returns the exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tcserved", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr       = fs.String("addr", "127.0.0.1:8080", "listen address")
+		workers    = fs.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		queue      = fs.Int("queue", 0, "admitted jobs beyond the running ones (0 = 4*workers, <0 = none)")
+		cacheSize  = fs.Int("cache", 4096, "result cache entries")
+		jobTTL     = fs.Duration("job-ttl", 10*time.Minute, "how long finished async jobs stay pollable")
+		jobTimeout = fs.Duration("job-timeout", 60*time.Second, "default per-job wall-clock cap")
+		maxTimeout = fs.Duration("max-job-timeout", 5*time.Minute, "upper bound on requested per-job timeouts")
+		maxInsts   = fs.Uint64("max-insts", 50_000_000, "per-job retired-instruction cap (0 = unlimited)")
+		drainWait  = fs.Duration("drain", 30*time.Second, "graceful-drain deadline on SIGTERM/SIGINT")
+		pprofOn    = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		selfcheck  = fs.Bool("selfcheck", false, "run the end-to-end self check against an in-process daemon and exit")
+		scJobs     = fs.Int("selfcheck-jobs", 56, "selfcheck: job submissions (>= 50, duplicates included)")
+		scInsts    = fs.Uint64("insts", 50_000, "selfcheck: retired-instruction budget per job")
+		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = fs.String("memprofile", "", "write a heap profile to this file at exit")
+		trc        = fs.String("trace", "", "write a runtime execution trace to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "tcserved: unexpected arguments %q\nrun 'tcserved -h' for usage\n", fs.Args())
+		return 2
+	}
+
+	stopProf, err := prof.Start(*cpuProf, *memProf, *trc)
+	if err != nil {
+		fmt.Fprintf(stderr, "tcserved: %v\n", err)
+		return 1
+	}
+
+	scfg := server.Config{
+		Engine: server.EngineConfig{
+			Workers:      *workers,
+			Queue:        *queue,
+			CacheEntries: *cacheSize,
+			Limits: server.Limits{
+				MaxInsts:       *maxInsts,
+				DefaultTimeout: *jobTimeout,
+				MaxTimeout:     *maxTimeout,
+			},
+		},
+		JobTTL: *jobTTL,
+	}
+
+	code := 0
+	if *selfcheck {
+		code = runSelfcheck(stdout, stderr, scfg, *scJobs, *scInsts)
+	} else {
+		code = serve(stdout, stderr, scfg, *addr, *drainWait, *pprofOn)
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintf(stderr, "tcserved: %v\n", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	return code
+}
+
+// serve runs the daemon until SIGTERM/SIGINT, then drains gracefully:
+// the listener stops accepting, in-flight requests and admitted async
+// jobs finish (up to the drain deadline), then the process exits.
+func serve(stdout, stderr io.Writer, scfg server.Config, addr string, drainWait time.Duration, pprofOn bool) int {
+	srv := server.New(scfg)
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	if pprofOn {
+		prof.AttachPprof(mux)
+	}
+	httpSrv := &http.Server{Handler: mux}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "tcserved: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "tcserved: listening on http://%s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintf(stderr, "tcserved: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop() // restore default signal behavior: a second signal kills us
+
+	fmt.Fprintf(stdout, "tcserved: signal received, draining (deadline %v)\n", drainWait)
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainWait)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(stderr, "tcserved: http shutdown: %v\n", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(stderr, "tcserved: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "tcserved: drained, bye")
+	return 0
+}

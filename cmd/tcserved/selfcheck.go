@@ -1,0 +1,292 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"reflect"
+	"sync"
+	"time"
+
+	"tcsim"
+	"tcsim/client"
+	"tcsim/internal/server"
+)
+
+// selfcheckWorkloads keeps the check fast while still mixing control
+// flow: pointer-chasing, integer-heavy and branchy benchmarks.
+var selfcheckWorkloads = []string{"m88ksim", "compress", "li", "go", "ijpeg", "gcc"}
+
+// selfcheckConfigs are the machine variants crossed with the workloads.
+// The Workload and Insts fields are filled per case.
+var selfcheckConfigs = []client.JobRequest{
+	{},                                       // baseline
+	{Preset: client.PresetAll},               // paper's combined pipeline
+	{Passes: []string{"moves", "place"}},     // explicit partial pipeline
+	{Preset: client.PresetAll, FillLatency: 5}, // latency sweep point
+}
+
+// checkFailure accumulates assertion failures without stopping the run,
+// so one report lists everything wrong.
+type checkFailure struct {
+	mu   sync.Mutex
+	errs []string
+}
+
+func (c *checkFailure) failf(format string, args ...any) {
+	c.mu.Lock()
+	c.errs = append(c.errs, fmt.Sprintf(format, args...))
+	c.mu.Unlock()
+}
+
+// startDaemon serves an in-process tcserved on an ephemeral loopback
+// port and returns its client plus a shutdown function.
+func startDaemon(scfg server.Config) (*server.Server, *client.Client, func(ctx context.Context) error, error) {
+	srv := server.New(scfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	cl := client.New("http://" + ln.Addr().String())
+	shutdown := func(ctx context.Context) error {
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			return err
+		}
+		return srv.Shutdown(ctx)
+	}
+	return srv, cl, shutdown, nil
+}
+
+// runSelfcheck is the end-to-end load check the CI gate runs: a mixed,
+// duplicate-heavy job storm whose every response must be bit-for-bit
+// identical to a direct tcsim.Run, a sweep cross-checked against the
+// same references, a cache-effectiveness assertion, and a saturation
+// phase that must produce 429s rather than unbounded queueing.
+func runSelfcheck(stdout, stderr io.Writer, scfg server.Config, jobs int, insts uint64) int {
+	t0 := time.Now()
+	if jobs < 50 {
+		jobs = 50
+	}
+	var fails checkFailure
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+
+	// Phase 1+2 daemon: a roomy queue so the storm exercises dedup and
+	// caching, not backpressure.
+	scfg.Engine.Queue = 2 * jobs
+	srv, cl, shutdown, err := startDaemon(scfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "tcserved selfcheck: %v\n", err)
+		return 1
+	}
+	_ = srv
+
+	if err := cl.Health(ctx); err != nil {
+		fmt.Fprintf(stderr, "tcserved selfcheck: health: %v\n", err)
+		return 1
+	}
+	passes, err := cl.Passes(ctx)
+	if err != nil || len(passes) == 0 {
+		fails.failf("GET /v1/passes: got %d passes, err %v", len(passes), err)
+	}
+
+	// Build the unique cases and their direct-run reference results.
+	type testCase struct {
+		req      client.JobRequest
+		key      string
+		expected tcsim.Result
+	}
+	var unique []testCase
+	for _, w := range selfcheckWorkloads {
+		for _, cfg := range selfcheckConfigs {
+			req := cfg
+			req.Workload = w
+			req.Insts = insts
+			dcfg, key, err := server.ResolveConfig(&req, server.Limits{})
+			if err != nil {
+				fmt.Fprintf(stderr, "tcserved selfcheck: resolve %s: %v\n", w, err)
+				return 1
+			}
+			expected, err := tcsim.Run(dcfg, mustProgram(w))
+			if err != nil {
+				fmt.Fprintf(stderr, "tcserved selfcheck: direct run %s: %v\n", w, err)
+				return 1
+			}
+			unique = append(unique, testCase{req: req, key: key, expected: expected})
+		}
+	}
+
+	// The storm: every unique case at least twice (duplicates are the
+	// point — they must dedup or hit cache), shuffled deterministically.
+	storm := make([]testCase, 0, jobs)
+	for len(storm) < jobs {
+		storm = append(storm, unique...)
+	}
+	storm = storm[:jobs]
+	rng := rand.New(rand.NewSource(1))
+	rng.Shuffle(len(storm), func(i, j int) { storm[i], storm[j] = storm[j], storm[i] })
+
+	// Submit with bounded client concurrency, alternating sync and
+	// async+poll so both lifecycles are exercised.
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 8)
+	for i, tc := range storm {
+		i, tc := i, tc
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var job *client.Job
+			var err error
+			if i%3 == 0 {
+				job, err = cl.SubmitJobAsync(ctx, &tc.req)
+				if err == nil {
+					job, err = cl.WaitJob(ctx, job.ID, 5*time.Millisecond)
+				}
+			} else {
+				job, err = cl.SubmitJob(ctx, &tc.req)
+			}
+			if err != nil {
+				fails.failf("job %d (%s): %v", i, tc.req.Workload, err)
+				return
+			}
+			if job.State != client.StateDone || job.Result == nil {
+				fails.failf("job %d (%s): state %q, error %q", i, tc.req.Workload, job.State, job.Error)
+				return
+			}
+			if job.Key != tc.key {
+				fails.failf("job %d: server key %s != client-computed key %s", i, job.Key, tc.key)
+			}
+			if !reflect.DeepEqual(*job.Result, tc.expected) {
+				fails.failf("job %d (%s, key %s): served result differs from direct tcsim.Run (IPC %v vs %v)",
+					i, tc.req.Workload, tc.key, job.Result.IPC, tc.expected.IPC)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Sweep phase: cross three workloads with two configs and verify
+	// each cell against the same direct references.
+	sweepWLs := selfcheckWorkloads[:3]
+	sweep, err := cl.Sweep(ctx, &client.SweepRequest{
+		Workloads: sweepWLs,
+		Configs:   []client.JobRequest{{}, {Preset: client.PresetAll}},
+		Insts:     insts,
+	})
+	if err != nil {
+		fails.failf("sweep: %v", err)
+		sweep = &client.SweepResponse{}
+	} else {
+		if sweep.Cells != len(sweepWLs)*2 || len(sweep.Rows) != sweep.Cells {
+			fails.failf("sweep: %d cells, %d rows (want %d)", sweep.Cells, len(sweep.Rows), len(sweepWLs)*2)
+		}
+		byKey := make(map[string]tcsim.Result)
+		for _, tc := range unique {
+			byKey[tc.key] = tc.expected
+		}
+		for _, row := range sweep.Rows {
+			ref, ok := byKey[row.Key]
+			if !ok {
+				fails.failf("sweep cell %s: key %s not among the job-phase keys — sweep and job hashing disagree",
+					row.Workload, row.Key)
+				continue
+			}
+			if row.IPC != ref.IPC || row.Cycles != ref.Cycles || row.Retired != ref.Retired {
+				fails.failf("sweep cell %s/%s: IPC %v cycles %d != direct %v/%d",
+					row.Workload, row.Key, row.IPC, row.Cycles, ref.IPC, ref.Cycles)
+			}
+		}
+	}
+
+	// Cache effectiveness: the storm repeated every config, so hits and
+	// joins together must cover jobs-unique, and hits must be nonzero.
+	met, err := cl.Metrics(ctx)
+	if err != nil {
+		fails.failf("metrics: %v", err)
+		met = &client.Metrics{}
+	}
+	if met.CacheHits == 0 {
+		fails.failf("cache hit counter is zero after %d submissions of %d unique configs", jobs, len(unique))
+	}
+	if met.CacheMisses > uint64(len(unique)) {
+		fails.failf("%d cache misses for %d unique configs: canonical hashing is splitting identical jobs",
+			met.CacheMisses, len(unique))
+	}
+	if met.JobsCompleted < uint64(jobs) {
+		fails.failf("jobs_completed %d < submitted %d", met.JobsCompleted, jobs)
+	}
+
+	if err := shutdown(ctx); err != nil {
+		fails.failf("graceful shutdown: %v", err)
+	}
+
+	// Saturation phase: a deliberately tiny daemon (1 worker, 1 queue
+	// slot) under a burst of distinct slow jobs must reject with 429 +
+	// Retry-After instead of queueing without bound.
+	satCfg := scfg
+	satCfg.Engine.Workers = 1
+	satCfg.Engine.Queue = 1
+	_, satCl, satShutdown, err := startDaemon(satCfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "tcserved selfcheck: saturation daemon: %v\n", err)
+		return 1
+	}
+	slowInsts := insts * 8
+	var rejected, retryAfterOK int
+	for i := 0; i < 6; i++ {
+		req := client.JobRequest{Workload: "m88ksim", Insts: slowInsts + uint64(i)} // distinct keys: no dedup
+		if _, err := satCl.SubmitJobAsync(ctx, &req); err != nil {
+			var apiErr *client.APIError
+			if errors.As(err, &apiErr) && apiErr.Code == "queue_full" && apiErr.Status == http.StatusTooManyRequests {
+				rejected++
+				if apiErr.RetryAfter() > 0 {
+					retryAfterOK++
+				}
+			} else {
+				fails.failf("saturation submit %d: unexpected error %v", i, err)
+			}
+		}
+	}
+	if rejected == 0 {
+		fails.failf("saturated queue (1 worker + 1 slot, 6 async jobs) produced no 429")
+	}
+	if rejected > 0 && retryAfterOK == 0 {
+		fails.failf("429 responses carried no Retry-After hint")
+	}
+	// Drain waits for the admitted slow jobs — graceful shutdown under load.
+	if err := satShutdown(ctx); err != nil {
+		fails.failf("saturation drain: %v", err)
+	}
+
+	if len(fails.errs) > 0 {
+		fmt.Fprintf(stderr, "tcserved selfcheck: %d failure(s):\n", len(fails.errs))
+		for _, e := range fails.errs {
+			fmt.Fprintf(stderr, "  - %s\n", e)
+		}
+		return 1
+	}
+	fmt.Fprintf(stdout,
+		"tcserved selfcheck ok: %d jobs (%d unique) bit-for-bit identical to direct runs; "+
+			"cache hits %d, misses %d, dedup joins %d; sweep %d cells (%d simulated); "+
+			"%d/6 saturation submissions rejected with 429; %.1fs\n",
+		jobs, len(unique), met.CacheHits, met.CacheMisses, met.DedupJoins,
+		sweep.Cells, sweep.Simulations, rejected, time.Since(t0).Seconds())
+	return 0
+}
+
+// mustProgram builds a bundled workload or dies; selfcheck workloads
+// are a fixed known-good list.
+func mustProgram(name string) *tcsim.Program {
+	p, err := tcsim.BuildWorkload(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

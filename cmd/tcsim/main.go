@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -21,42 +22,59 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main minus the process exit so tests can drive the CLI
+// in-process. Flag and validation errors print to stderr with a usage
+// hint and exit 2; runtime failures exit 1.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tcsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		wl       = flag.String("workload", "", "bundled benchmark to run (see -list)")
-		asmFile  = flag.String("asm", "", "TCR assembly file to assemble and run")
-		insts    = flag.Uint64("insts", 0, "retired-instruction budget (0 = workload default / run to halt)")
-		opts     = flag.String("opt", "", "fill-unit optimizations: comma list of moves,reassoc,scadd,place, or 'all'")
-		passes   = flag.String("passes", "", "explicit pass pipeline, ordered (e.g. reassoc,moves,scadd,place); overrides -opt; see -list-passes")
-		listPass = flag.Bool("list-passes", false, "list registered optimization passes and exit")
-		timePass = flag.Bool("time-passes", false, "collect per-pass wall time (adds clock reads to the fill path)")
-		fillLat  = flag.Int("fill-latency", 1, "fill unit latency in cycles")
-		noTC     = flag.Bool("no-tcache", false, "disable the trace cache (instruction-cache front end only)")
-		noPack   = flag.Bool("no-packing", false, "disable trace packing")
-		noProm   = flag.Bool("no-promotion", false, "disable branch promotion")
-		noInact  = flag.Bool("no-inactive", false, "disable inactive issue")
-		clusters = flag.Int("clusters", 4, "execution clusters")
-		fus      = flag.Int("fus-per-cluster", 4, "functional units per cluster")
-		list     = flag.Bool("list", false, "list bundled workloads and exit")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
-		trc      = flag.String("trace", "", "write a runtime execution trace to this file")
+		wl       = fs.String("workload", "", "bundled benchmark to run (see -list)")
+		asmFile  = fs.String("asm", "", "TCR assembly file to assemble and run")
+		insts    = fs.Uint64("insts", 0, "retired-instruction budget (0 = workload default / run to halt)")
+		opts     = fs.String("opt", "", "fill-unit optimizations: comma list of moves,reassoc,scadd,place, or 'all'")
+		passes   = fs.String("passes", "", "explicit pass pipeline, ordered (e.g. reassoc,moves,scadd,place); overrides -opt; see -list-passes")
+		listPass = fs.Bool("list-passes", false, "list registered optimization passes and exit")
+		timePass = fs.Bool("time-passes", false, "collect per-pass wall time (adds clock reads to the fill path)")
+		fillLat  = fs.Int("fill-latency", 1, "fill unit latency in cycles")
+		noTC     = fs.Bool("no-tcache", false, "disable the trace cache (instruction-cache front end only)")
+		noPack   = fs.Bool("no-packing", false, "disable trace packing")
+		noProm   = fs.Bool("no-promotion", false, "disable branch promotion")
+		noInact  = fs.Bool("no-inactive", false, "disable inactive issue")
+		clusters = fs.Int("clusters", 4, "execution clusters")
+		fus      = fs.Int("fus-per-cluster", 4, "functional units per cluster")
+		list     = fs.Bool("list", false, "list bundled workloads and exit")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file at exit")
+		trc      = fs.String("trace", "", "write a runtime execution trace to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2 // the FlagSet already printed the error and usage to stderr
+	}
+	usagef := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "tcsim: "+format+"\n", args...)
+		fmt.Fprintln(stderr, "run 'tcsim -h' for usage")
+		return 2
+	}
+	fatalf := func(format string, args ...any) int {
+		// Library errors already carry the "tcsim:" prefix; don't double it.
+		msg := strings.TrimPrefix(fmt.Sprintf(format, args...), "tcsim: ")
+		fmt.Fprintf(stderr, "tcsim: %s\n", msg)
+		return 1
+	}
 
 	if *list {
 		for _, n := range tcsim.Workloads() {
-			fmt.Println(n)
+			fmt.Fprintln(stdout, n)
 		}
-		return
+		return 0
 	}
 	if *listPass {
-		listPasses()
-		return
-	}
-
-	stopProf, err := prof.Start(*cpuProf, *memProf, *trc)
-	if err != nil {
-		fatalf("%v", err)
+		listPasses(stdout)
+		return 0
 	}
 
 	cfg := tcsim.DefaultConfig()
@@ -71,11 +89,11 @@ func main() {
 	cfg.TimePasses = *timePass
 	if *passes != "" {
 		if *opts != "" {
-			fatalf("pass either -opt or -passes, not both")
+			return usagef("pass either -opt or -passes, not both")
 		}
 		cfg.Passes = splitSpec(*passes)
 		if err := tcsim.ValidatePassSpec(cfg.Passes); err != nil {
-			fatalf("%v", err)
+			return usagef("%v", err)
 		}
 	}
 	for _, o := range strings.Split(*opts, ",") {
@@ -92,57 +110,64 @@ func main() {
 		case "place":
 			cfg.Opt.Placement = true
 		default:
-			fatalf("unknown optimization %q", o)
+			return usagef("unknown optimization %q (valid: moves,reassoc,scadd,place,all)", o)
 		}
+	}
+	if *wl != "" && *asmFile != "" {
+		return usagef("pass either -workload or -asm, not both")
+	}
+	if *wl == "" && *asmFile == "" {
+		return usagef("pass -workload <name> or -asm <file> (or -list)")
+	}
+
+	stopProf, err := prof.Start(*cpuProf, *memProf, *trc)
+	if err != nil {
+		return fatalf("%v", err)
 	}
 
 	var res tcsim.Result
-	switch {
-	case *wl != "" && *asmFile != "":
-		fatalf("pass either -workload or -asm, not both")
-	case *wl != "":
+	if *wl != "" {
 		res, err = tcsim.RunWorkload(cfg, *wl)
-	case *asmFile != "":
+	} else {
 		src, rerr := os.ReadFile(*asmFile)
 		if rerr != nil {
-			fatalf("%v", rerr)
+			return fatalf("%v", rerr)
 		}
 		prog, aerr := tcsim.Assemble(string(src))
 		if aerr != nil {
-			fatalf("%v", aerr)
+			return fatalf("%v", aerr)
 		}
 		res, err = tcsim.Run(cfg, prog)
-	default:
-		fatalf("pass -workload <name> or -asm <file> (or -list)")
 	}
 	if err != nil {
-		fatalf("%v", err)
+		return fatalf("%v", err)
 	}
 	if err := stopProf(); err != nil {
-		fatalf("%v", err)
+		return fatalf("%v", err)
 	}
 
-	fmt.Printf("IPC                 %.4f\n", res.IPC)
-	fmt.Printf("cycles              %d\n", res.Cycles)
-	fmt.Printf("retired             %d\n", res.Retired)
-	fmt.Printf("trace cache hit     %.2f%%\n", 100*res.TraceCacheHitRate)
-	fmt.Printf("mispredict rate     %.2f%%\n", 100*res.MispredictRate)
-	fmt.Printf("bypass delayed      %.2f%%\n", 100*res.BypassDelayRate)
-	fmt.Printf("moves marked        %.2f%%\n", res.MovesPct)
-	fmt.Printf("reassociated        %.2f%%\n", res.ReassocPct)
-	fmt.Printf("scaled ops          %.2f%%\n", res.ScaledPct)
-	fmt.Printf("any transformation  %.2f%%\n", res.OptimizedPct)
+	fmt.Fprintf(stdout, "IPC                 %.4f\n", res.IPC)
+	fmt.Fprintf(stdout, "cycles              %d\n", res.Cycles)
+	fmt.Fprintf(stdout, "retired             %d\n", res.Retired)
+	fmt.Fprintf(stdout, "trace cache hit     %.2f%%\n", 100*res.TraceCacheHitRate)
+	fmt.Fprintf(stdout, "mispredict rate     %.2f%%\n", 100*res.MispredictRate)
+	fmt.Fprintf(stdout, "bypass delayed      %.2f%%\n", 100*res.BypassDelayRate)
+	fmt.Fprintf(stdout, "moves marked        %.2f%%\n", res.MovesPct)
+	fmt.Fprintf(stdout, "reassociated        %.2f%%\n", res.ReassocPct)
+	fmt.Fprintf(stdout, "scaled ops          %.2f%%\n", res.ScaledPct)
+	fmt.Fprintf(stdout, "any transformation  %.2f%%\n", res.OptimizedPct)
 	for _, ps := range res.PassStats {
-		fmt.Printf("pass %-14s %9d segs  %9d touched  %9d rewritten  %9d edges removed",
+		fmt.Fprintf(stdout, "pass %-14s %9d segs  %9d touched  %9d rewritten  %9d edges removed",
 			ps.Name, ps.Segments, ps.Touched, ps.Rewritten, ps.EdgesRemoved)
 		if *timePass {
-			fmt.Printf("  %.3fms", float64(ps.Nanos)/1e6)
+			fmt.Fprintf(stdout, "  %.3fms", float64(ps.Nanos)/1e6)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 	if len(res.Output) > 0 {
-		fmt.Printf("program output      %q\n", res.Output)
+		fmt.Fprintf(stdout, "program output      %q\n", res.Output)
 	}
+	return 0
 }
 
 // splitSpec parses a comma-separated pass spec, trimming whitespace and
@@ -158,19 +183,14 @@ func splitSpec(s string) []string {
 }
 
 // listPasses prints the registered pass roster in canonical order.
-func listPasses() {
+func listPasses(w io.Writer) {
 	for _, p := range tcsim.Passes() {
 		def := " "
 		if p.Default {
 			def = "*"
 		}
-		fmt.Printf("%s %-10s %s\n", def, p.Name, p.Desc)
+		fmt.Fprintf(w, "%s %-10s %s\n", def, p.Name, p.Desc)
 	}
-	fmt.Println("(* = part of the paper's combined configuration; default order:",
+	fmt.Fprintln(w, "(* = part of the paper's combined configuration; default order:",
 		strings.Join(tcsim.DefaultPassSpec(), ","), ")")
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "tcsim: "+format+"\n", args...)
-	os.Exit(1)
 }

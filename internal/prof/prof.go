@@ -5,11 +5,25 @@ package prof
 
 import (
 	"fmt"
+	"net/http"
+	nhpprof "net/http/pprof"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
 )
+
+// AttachPprof mounts the net/http/pprof handlers on mux under
+// /debug/pprof/, for daemons (tcserved) that serve on their own mux
+// rather than http.DefaultServeMux. Profiles are then reachable with
+// the usual `go tool pprof http://host/debug/pprof/profile` flow.
+func AttachPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", nhpprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", nhpprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", nhpprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", nhpprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", nhpprof.Trace)
+}
 
 // Start begins whichever profilers have a non-empty output path and
 // returns a stop function that flushes and closes them all. The heap

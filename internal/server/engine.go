@@ -1,0 +1,322 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"tcsim"
+)
+
+// Errors the HTTP layer maps to backpressure responses.
+var (
+	// ErrQueueFull means every worker is busy and the wait queue is at
+	// capacity; the request was rejected without queueing (429).
+	ErrQueueFull = errors.New("server: queue full")
+	// ErrDraining means the engine is shutting down and admits no new
+	// work (503).
+	ErrDraining = errors.New("server: draining")
+)
+
+// EngineConfig sizes the simulation engine.
+type EngineConfig struct {
+	// Workers bounds concurrent simulations (0 = GOMAXPROCS).
+	Workers int
+	// Queue bounds jobs admitted beyond the running ones — the wait
+	// line. Admission past Workers+Queue fails with ErrQueueFull.
+	// 0 = 4*Workers; negative = no wait line (reject unless a worker
+	// is free).
+	Queue int
+	// CacheEntries caps the result cache (0 = 4096). The cache evicts
+	// oldest-inserted first.
+	CacheEntries int
+	// Limits bounds individual jobs.
+	Limits Limits
+}
+
+func (c EngineConfig) withDefaults() EngineConfig {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Queue == 0 {
+		c.Queue = 4 * c.Workers
+	}
+	if c.Queue < 0 {
+		c.Queue = 0
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 4096
+	}
+	if c.Limits.DefaultTimeout <= 0 {
+		c.Limits.DefaultTimeout = 60 * time.Second
+	}
+	return c
+}
+
+// cacheEntry is one completed simulation in the result cache.
+type cacheEntry struct {
+	res tcsim.Result
+}
+
+// runFlight is one in-progress simulation: the owner runs and closes
+// done; identical concurrent requests join it instead of simulating.
+type runFlight struct {
+	done chan struct{}
+	res  tcsim.Result
+	err  error
+}
+
+// Engine runs simulations behind a canonical-config-hash result cache
+// with singleflight deduplication, a bounded worker pool, and a bounded
+// admission queue. It is safe for concurrent use.
+type Engine struct {
+	cfg     EngineConfig
+	met     *metrics
+	tickets chan struct{} // admission tokens: Workers+Queue
+	slots   chan struct{} // worker slots: Workers
+
+	mu      sync.Mutex
+	cache   map[string]*cacheEntry
+	order   []string // cache insertion order, for FIFO eviction
+	flights map[string]*runFlight
+	closed  bool
+
+	wg sync.WaitGroup // admitted jobs, for graceful drain
+
+	// runSim executes one resolved simulation. Tests substitute a
+	// controllable double; production is tcsim.RunWorkloadContext.
+	runSim func(ctx context.Context, cfg tcsim.Config, workload string) (tcsim.Result, error)
+
+	// avgWallMS is a crude EWMA of executed-job wall time, feeding the
+	// Retry-After estimate. Guarded by mu.
+	avgWallMS float64
+}
+
+// NewEngine builds an engine; Close (or Drain) releases it.
+func NewEngine(cfg EngineConfig) *Engine {
+	cfg = cfg.withDefaults()
+	return &Engine{
+		cfg:     cfg,
+		met:     newMetrics(),
+		tickets: make(chan struct{}, cfg.Workers+cfg.Queue),
+		slots:   make(chan struct{}, cfg.Workers),
+		cache:   make(map[string]*cacheEntry),
+		flights: make(map[string]*runFlight),
+		runSim:  tcsim.RunWorkloadContext,
+	}
+}
+
+// Limits returns the engine's per-job bounds for request resolution.
+func (e *Engine) Limits() Limits { return e.cfg.Limits }
+
+// Cached returns the cached result for key, if present, counting a hit.
+func (e *Engine) Cached(key string) (tcsim.Result, bool) {
+	e.mu.Lock()
+	ent, ok := e.cache[key]
+	e.mu.Unlock()
+	if !ok {
+		return tcsim.Result{}, false
+	}
+	e.met.hits.Add(1)
+	return ent.res, true
+}
+
+// Admit reserves an admission token, the engine's backpressure unit: at
+// most Workers+Queue jobs hold one. The returned release function must
+// be called exactly once. Fails fast with ErrQueueFull or ErrDraining —
+// admission never blocks, so a saturated daemon answers 429 immediately
+// instead of accumulating requests.
+func (e *Engine) Admit() (release func(), err error) {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return nil, ErrDraining
+	}
+	select {
+	case e.tickets <- struct{}{}:
+	default:
+		e.met.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	e.met.admitted.Add(1)
+	e.wg.Add(1)
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			<-e.tickets
+			e.met.admitted.Add(-1)
+			e.wg.Done()
+		})
+	}, nil
+}
+
+// RetryAfter estimates how long a rejected client should back off:
+// current wait-line depth times average job wall time over the worker
+// count, clamped to [1s, 30s].
+func (e *Engine) RetryAfter() time.Duration {
+	e.mu.Lock()
+	avg := e.avgWallMS
+	e.mu.Unlock()
+	if avg <= 0 {
+		avg = 250
+	}
+	waiting := float64(e.met.admitted.Load()-e.met.inflight.Load()) + 1
+	secs := waiting * avg / float64(cap(e.slots)) / 1000
+	switch {
+	case secs < 1:
+		secs = 1
+	case secs > 30:
+		secs = 30
+	}
+	return time.Duration(secs * float64(time.Second))
+}
+
+// Run executes one admitted job: cache lookup, singleflight join, or an
+// actual simulation in a worker slot under the spec's timeout. The
+// caller must hold an admission token from Admit for the duration.
+// The returned cached flag covers both cache hits and dedup joins.
+func (e *Engine) Run(ctx context.Context, spec jobSpec) (res tcsim.Result, cached bool, err error) {
+	key := spec.Key()
+	for {
+		e.mu.Lock()
+		if ent, ok := e.cache[key]; ok {
+			e.mu.Unlock()
+			e.met.hits.Add(1)
+			return ent.res, true, nil
+		}
+		if f, ok := e.flights[key]; ok {
+			e.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return tcsim.Result{}, false, ctx.Err()
+			}
+			if isCancel(f.err) {
+				// The owner was cancelled before producing an answer for
+				// this key; race to become the new owner.
+				e.forget(key, f)
+				continue
+			}
+			e.met.joins.Add(1)
+			return f.res, f.err == nil, f.err
+		}
+		f := &runFlight{done: make(chan struct{})}
+		e.flights[key] = f
+		e.mu.Unlock()
+
+		e.met.misses.Add(1)
+		f.res, f.err = e.simulate(ctx, spec)
+		if isCancel(f.err) {
+			e.forget(key, f)
+		} else if f.err == nil {
+			e.insert(key, f.res)
+		}
+		close(f.done)
+		return f.res, false, f.err
+	}
+}
+
+// isCancel reports errors that carry no information about the config
+// itself — the run was merely interrupted — so the key must not be
+// poisoned with them.
+func isCancel(err error) bool {
+	return err != nil && (errors.Is(err, tcsim.ErrCanceled) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+}
+
+// forget drops a flight cell if it is still the registered one.
+func (e *Engine) forget(key string, f *runFlight) {
+	e.mu.Lock()
+	if e.flights[key] == f {
+		delete(e.flights, key)
+	}
+	e.mu.Unlock()
+}
+
+// insert caches a completed result, evicting oldest-inserted entries
+// beyond the cap, and retires the flight cell.
+func (e *Engine) insert(key string, res tcsim.Result) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.cache[key]; !dup {
+		e.cache[key] = &cacheEntry{res: res}
+		e.order = append(e.order, key)
+		for len(e.cache) > e.cfg.CacheEntries {
+			oldest := e.order[0]
+			e.order = e.order[1:]
+			delete(e.cache, oldest)
+		}
+	}
+	delete(e.flights, key)
+}
+
+// simulate waits for a worker slot, then runs the simulation under the
+// spec's timeout.
+func (e *Engine) simulate(ctx context.Context, spec jobSpec) (tcsim.Result, error) {
+	select {
+	case e.slots <- struct{}{}:
+	case <-ctx.Done():
+		return tcsim.Result{}, ctx.Err()
+	}
+	defer func() { <-e.slots }()
+	if err := ctx.Err(); err != nil {
+		return tcsim.Result{}, err
+	}
+
+	if spec.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, spec.timeout)
+		defer cancel()
+	}
+	e.met.inflight.Add(1)
+	t0 := time.Now()
+	res, err := e.runSim(ctx, spec.Config(), spec.Workload)
+	wall := time.Since(t0)
+	e.met.inflight.Add(-1)
+	if err != nil {
+		if isCancel(err) {
+			return tcsim.Result{}, fmt.Errorf("job canceled after %v: %w", wall.Round(time.Millisecond), err)
+		}
+		return tcsim.Result{}, err
+	}
+	e.met.recordRun(&res, wall)
+	e.mu.Lock()
+	ms := float64(wall.Milliseconds())
+	if e.avgWallMS == 0 {
+		e.avgWallMS = ms
+	} else {
+		e.avgWallMS = 0.8*e.avgWallMS + 0.2*ms
+	}
+	e.mu.Unlock()
+	return res, nil
+}
+
+// Drain stops admitting new work and waits for every admitted job to
+// finish, or for ctx to expire. Safe to call more than once.
+func (e *Engine) Drain(ctx context.Context) error {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		e.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain: %w", ctx.Err())
+	}
+}
+
+// CacheLen reports the number of cached results.
+func (e *Engine) CacheLen() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.cache)
+}

@@ -1,0 +1,326 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"tcsim"
+	"tcsim/client"
+)
+
+// fakeSim installs a controllable simulation double on the engine and
+// returns a handle to gate and count it.
+type fakeSim struct {
+	mu      sync.Mutex
+	started int
+	release chan struct{} // nil = return immediately
+}
+
+func (f *fakeSim) install(e *Engine) {
+	e.runSim = func(ctx context.Context, cfg tcsim.Config, w string) (tcsim.Result, error) {
+		f.mu.Lock()
+		f.started++
+		f.mu.Unlock()
+		if f.release != nil {
+			select {
+			case <-f.release:
+			case <-ctx.Done():
+				return tcsim.Result{}, ctx.Err()
+			}
+		}
+		// A result derived from the inputs so distinct configs are
+		// distinguishable in assertions.
+		return tcsim.Result{Retired: cfg.MaxInsts, Cycles: cfg.MaxInsts / 2, IPC: 2}, nil
+	}
+}
+
+func (f *fakeSim) startedCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.started
+}
+
+func testSpec(t *testing.T, workload string, insts uint64) jobSpec {
+	t.Helper()
+	spec, err := resolveSpec(&client.JobRequest{Workload: workload, Insts: insts}, Limits{DefaultTimeout: time.Minute})
+	if err != nil {
+		t.Fatalf("resolveSpec: %v", err)
+	}
+	return spec
+}
+
+// TestCanonicalKeys verifies that equivalent requests hash identically
+// and different machines hash differently — the property the whole
+// cache rests on.
+func TestCanonicalKeys(t *testing.T) {
+	lim := Limits{DefaultTimeout: time.Minute}
+	key := func(req client.JobRequest) string {
+		spec, err := resolveSpec(&req, lim)
+		if err != nil {
+			t.Fatalf("resolveSpec(%+v): %v", req, err)
+		}
+		return spec.Key()
+	}
+	def, _ := tcsim.WorkloadDefaultInsts("m88ksim")
+
+	same := [][2]client.JobRequest{
+		// implicit vs explicit default instruction budget
+		{{Workload: "m88ksim"}, {Workload: "m88ksim", Insts: def}},
+		// preset "all" vs spelling out the default pipeline
+		{{Workload: "gcc", Preset: client.PresetAll}, {Workload: "gcc", Passes: tcsim.DefaultPassSpec()}},
+		// implicit vs explicit machine defaults
+		{{Workload: "li"}, {Workload: "li", FillLatency: 1, Clusters: 4, FUsPerCluster: 4}},
+		// timeout must not split the cache
+		{{Workload: "go"}, {Workload: "go", TimeoutMS: 5000}},
+	}
+	for i, pair := range same {
+		if a, b := key(pair[0]), key(pair[1]); a != b {
+			t.Errorf("case %d: equivalent requests hash differently: %s vs %s", i, a, b)
+		}
+	}
+	diff := [][2]client.JobRequest{
+		{{Workload: "m88ksim"}, {Workload: "gcc"}},
+		{{Workload: "m88ksim"}, {Workload: "m88ksim", Insts: 1}},
+		{{Workload: "m88ksim"}, {Workload: "m88ksim", Preset: client.PresetAll}},
+		{{Workload: "m88ksim", Preset: client.PresetAll}, {Workload: "m88ksim", Preset: client.PresetAll, FillLatency: 5}},
+		{{Workload: "m88ksim"}, {Workload: "m88ksim", NoPacking: true}},
+		// order matters: an explicit spec is a statement of run order
+		{{Workload: "m88ksim", Passes: []string{"moves", "scadd"}}, {Workload: "m88ksim", Passes: []string{"scadd", "moves"}}},
+	}
+	for i, pair := range diff {
+		if a, b := key(pair[0]), key(pair[1]); a == b {
+			t.Errorf("case %d: different machines hash identically: %s", i, a)
+		}
+	}
+}
+
+// TestResolveSpecValidation checks the structured-error surface.
+func TestResolveSpecValidation(t *testing.T) {
+	lim := Limits{DefaultTimeout: time.Minute, MaxInsts: 1000}
+	bad := []client.JobRequest{
+		{},                               // no workload
+		{Workload: "nosuch"},             // unknown workload
+		{Workload: "m88ksim", Insts: 2000},                                  // over the per-job cap
+		{Workload: "m88ksim", Preset: "turbo"},                              // unknown preset
+		{Workload: "m88ksim", Preset: client.PresetAll, Passes: []string{"moves"}}, // both
+		{Workload: "m88ksim", Passes: []string{"bogus"}},                    // unknown pass
+		{Workload: "m88ksim", Passes: []string{"place", "moves"}},           // illegal order
+		{Workload: "m88ksim", TimeoutMS: -1},
+		{Workload: "m88ksim", FillLatency: -2},
+	}
+	for i, req := range bad {
+		if _, err := resolveSpec(&req, lim); err == nil {
+			t.Errorf("case %d (%+v): no error", i, req)
+		} else if _, ok := err.(*badRequest); !ok {
+			t.Errorf("case %d: error %v is not a badRequest", i, err)
+		}
+	}
+}
+
+// TestEngineCacheAndDedup: repeats hit the cache, concurrent identical
+// requests collapse onto one simulation.
+func TestEngineCacheAndDedup(t *testing.T) {
+	e := NewEngine(EngineConfig{Workers: 2, Queue: 64})
+	fake := &fakeSim{release: make(chan struct{})}
+	fake.install(e)
+	spec := testSpec(t, "m88ksim", 1000)
+
+	const N = 8
+	var wg sync.WaitGroup
+	results := make([]tcsim.Result, N)
+	for i := 0; i < N; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, _, err := e.Run(context.Background(), spec)
+			if err != nil {
+				t.Errorf("Run: %v", err)
+			}
+			results[i] = res
+		}()
+	}
+	time.Sleep(20 * time.Millisecond) // let the joiners pile onto the flight
+	close(fake.release)
+	wg.Wait()
+
+	if got := fake.startedCount(); got != 1 {
+		t.Errorf("%d identical concurrent requests started %d simulations, want 1", N, got)
+	}
+	for i := 1; i < N; i++ {
+		if !reflect.DeepEqual(results[i], results[0]) {
+			t.Errorf("result %d differs across deduplicated callers", i)
+		}
+	}
+	// A repeat after completion is a cache hit, still one simulation.
+	if _, cached, err := e.Run(context.Background(), spec); err != nil || !cached {
+		t.Errorf("repeat run: cached=%v err=%v, want cache hit", cached, err)
+	}
+	if got := fake.startedCount(); got != 1 {
+		t.Errorf("cache hit re-simulated: %d starts", got)
+	}
+	if e.met.hits.Load() == 0 {
+		t.Error("cache hit counter is zero")
+	}
+}
+
+// TestEngineAdmissionBackpressure: admission beyond Workers+Queue fails
+// fast with ErrQueueFull and recovers once tokens release.
+func TestEngineAdmissionBackpressure(t *testing.T) {
+	e := NewEngine(EngineConfig{Workers: 1, Queue: 1})
+	var releases []func()
+	for i := 0; i < 2; i++ {
+		rel, err := e.Admit()
+		if err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+		releases = append(releases, rel)
+	}
+	if _, err := e.Admit(); err != ErrQueueFull {
+		t.Fatalf("third admit: %v, want ErrQueueFull", err)
+	}
+	if e.met.rejected.Load() != 1 {
+		t.Errorf("rejected counter = %d, want 1", e.met.rejected.Load())
+	}
+	releases[0]()
+	if rel, err := e.Admit(); err != nil {
+		t.Fatalf("admit after release: %v", err)
+	} else {
+		rel()
+	}
+	releases[1]()
+	if after := e.RetryAfter(); after < time.Second || after > 30*time.Second {
+		t.Errorf("RetryAfter %v outside [1s, 30s]", after)
+	}
+}
+
+// TestEngineCacheEviction: the cache stays bounded, evicting
+// oldest-inserted entries.
+func TestEngineCacheEviction(t *testing.T) {
+	e := NewEngine(EngineConfig{Workers: 1, CacheEntries: 4})
+	fake := &fakeSim{}
+	fake.install(e)
+	for i := 1; i <= 10; i++ {
+		spec := testSpec(t, "m88ksim", uint64(i))
+		if _, _, err := e.Run(context.Background(), spec); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	if n := e.CacheLen(); n != 4 {
+		t.Errorf("cache holds %d entries, want 4", n)
+	}
+	// Oldest evicted: re-running insts=1 simulates again.
+	before := fake.startedCount()
+	if _, cached, _ := e.Run(context.Background(), testSpec(t, "m88ksim", 1)); cached {
+		t.Error("evicted entry reported as cached")
+	}
+	if fake.startedCount() != before+1 {
+		t.Error("evicted entry did not re-simulate")
+	}
+	// Newest retained: insts=10 is a hit.
+	if _, cached, _ := e.Run(context.Background(), testSpec(t, "m88ksim", 10)); !cached {
+		t.Error("recent entry was evicted")
+	}
+}
+
+// TestEngineTimeout: a job exceeding its timeout fails with a
+// cancel-class error and does not poison the cache.
+func TestEngineTimeout(t *testing.T) {
+	e := NewEngine(EngineConfig{Workers: 1})
+	fake := &fakeSim{release: make(chan struct{})} // never released: job hangs
+	fake.install(e)
+	spec := testSpec(t, "m88ksim", 1000)
+	spec.timeout = 30 * time.Millisecond
+
+	_, _, err := e.Run(context.Background(), spec)
+	if !isCancel(err) {
+		t.Fatalf("Run past timeout: %v, want a cancel-class error", err)
+	}
+	// The key must not be poisoned: a retry becomes the new owner.
+	e.mu.Lock()
+	_, stuck := e.flights[spec.Key()]
+	e.mu.Unlock()
+	if stuck {
+		t.Error("cancelled flight left registered")
+	}
+}
+
+// TestEngineDrain: Drain admits nothing new and waits for admitted work.
+func TestEngineDrain(t *testing.T) {
+	e := NewEngine(EngineConfig{Workers: 1})
+	rel, err := e.Admit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		drained <- e.Drain(ctx)
+	}()
+	select {
+	case err := <-drained:
+		t.Fatalf("Drain returned %v with a job still admitted", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	if _, err := e.Admit(); err != ErrDraining {
+		t.Fatalf("Admit during drain: %v, want ErrDraining", err)
+	}
+	rel()
+	if err := <-drained; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+}
+
+// TestDrainDeadline: a hung job makes Drain fail at its deadline rather
+// than hang forever.
+func TestDrainDeadline(t *testing.T) {
+	e := NewEngine(EngineConfig{Workers: 1})
+	rel, err := e.Admit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := e.Drain(ctx); err == nil {
+		t.Fatal("Drain returned nil with a token still held")
+	}
+}
+
+func TestJobStoreTTL(t *testing.T) {
+	s := newJobStore(time.Minute)
+	defer s.close()
+	j := s.create("k")
+	j.finish(tcsim.Result{}, false, nil, 0, time.Minute)
+	if _, ok := s.get(j.id); !ok {
+		t.Fatal("fresh job missing")
+	}
+	s.sweep(time.Now().Add(2 * time.Minute))
+	if _, ok := s.get(j.id); ok {
+		t.Fatal("expired job survived the sweep")
+	}
+	// Unfinished jobs never expire.
+	j2 := s.create("k2")
+	s.sweep(time.Now().Add(24 * time.Hour))
+	if _, ok := s.get(j2.id); !ok {
+		t.Fatal("running job was garbage-collected")
+	}
+}
+
+func TestJobStoreIDsUnique(t *testing.T) {
+	s := newJobStore(time.Minute)
+	defer s.close()
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		j := s.create(fmt.Sprint(i))
+		if seen[j.id] {
+			t.Fatalf("duplicate job id %s", j.id)
+		}
+		seen[j.id] = true
+	}
+}

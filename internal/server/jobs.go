@@ -1,0 +1,147 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+
+	"tcsim"
+	"tcsim/client"
+)
+
+// job is one async submission's record.
+type job struct {
+	id      string
+	key     string
+	mu      sync.Mutex
+	state   string
+	cached  bool
+	res     *tcsim.Result
+	errMsg  string
+	wall    time.Duration
+	doneAt  time.Time // zero until terminal
+	expires time.Time // zero until terminal; GC'd after
+}
+
+// wire converts the record to its API shape.
+func (j *job) wire() *client.Job {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	w := &client.Job{
+		ID:     j.id,
+		State:  j.state,
+		Key:    j.key,
+		Cached: j.cached,
+		Result: j.res,
+		Error:  j.errMsg,
+		WallMS: float64(j.wall.Microseconds()) / 1000,
+	}
+	return w
+}
+
+func (j *job) setRunning() {
+	j.mu.Lock()
+	j.state = client.StateRunning
+	j.mu.Unlock()
+}
+
+func (j *job) finish(res tcsim.Result, cached bool, err error, wall time.Duration, ttl time.Duration) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.wall = wall
+	j.cached = cached
+	j.doneAt = time.Now()
+	j.expires = j.doneAt.Add(ttl)
+	if err != nil {
+		j.state = client.StateFailed
+		j.errMsg = err.Error()
+		return
+	}
+	j.state = client.StateDone
+	j.res = &res
+}
+
+// jobStore indexes async jobs by ID and garbage-collects finished ones
+// after their TTL, bounding memory under sustained async load.
+type jobStore struct {
+	ttl time.Duration
+
+	mu   sync.Mutex
+	jobs map[string]*job
+
+	stop chan struct{}
+	once sync.Once
+}
+
+// newJobStore starts a store whose janitor wakes at ttl/4 (minimum
+// 100ms) to sweep expired jobs. ttl <= 0 selects 10 minutes.
+func newJobStore(ttl time.Duration) *jobStore {
+	if ttl <= 0 {
+		ttl = 10 * time.Minute
+	}
+	s := &jobStore{ttl: ttl, jobs: make(map[string]*job), stop: make(chan struct{})}
+	go s.janitor()
+	return s
+}
+
+func (s *jobStore) janitor() {
+	period := s.ttl / 4
+	if period < 100*time.Millisecond {
+		period = 100 * time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.sweep(time.Now())
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// sweep removes jobs whose TTL elapsed. Exposed (lowercase) for tests
+// to trigger deterministically.
+func (s *jobStore) sweep(now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, j := range s.jobs {
+		j.mu.Lock()
+		expired := !j.expires.IsZero() && now.After(j.expires)
+		j.mu.Unlock()
+		if expired {
+			delete(s.jobs, id)
+		}
+	}
+}
+
+// create registers a new queued job with a fresh random ID.
+func (s *jobStore) create(key string) *job {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("server: crypto/rand unavailable: " + err.Error())
+	}
+	j := &job{id: "j" + hex.EncodeToString(b[:]), key: key, state: client.StateQueued}
+	s.mu.Lock()
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+	return j
+}
+
+func (s *jobStore) get(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+func (s *jobStore) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.jobs)
+}
+
+// close stops the janitor.
+func (s *jobStore) close() { s.once.Do(func() { close(s.stop) }) }

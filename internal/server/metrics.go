@@ -1,0 +1,78 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tcsim"
+)
+
+// metrics holds the daemon's expvar-style counters: monotonic atomics
+// for events, gauges derived from them, and a mutex-guarded per-pass
+// aggregate (PassStats arrive as a slice per completed run, too wide
+// for an atomic).
+type metrics struct {
+	start time.Time
+
+	accepted  atomic.Uint64
+	completed atomic.Uint64
+	failed    atomic.Uint64
+	rejected  atomic.Uint64
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	joins     atomic.Uint64
+
+	admitted atomic.Int64 // holding an admission token right now
+	inflight atomic.Int64 // simulating right now
+
+	simInsts     atomic.Uint64
+	simBusyNanos atomic.Int64
+
+	sweepCells atomic.Uint64
+
+	mu     sync.Mutex
+	passes map[string]*tcsim.PassStat
+	order  []string // first-seen order of pass names (canonical run order)
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), passes: make(map[string]*tcsim.PassStat)}
+}
+
+// recordRun accumulates one executed (non-cached) simulation's
+// contribution: throughput and the per-pass fill-unit counters.
+func (m *metrics) recordRun(res *tcsim.Result, wall time.Duration) {
+	m.simInsts.Add(res.Retired)
+	m.simBusyNanos.Add(wall.Nanoseconds())
+	if len(res.PassStats) == 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, ps := range res.PassStats {
+		agg, ok := m.passes[ps.Name]
+		if !ok {
+			agg = &tcsim.PassStat{Name: ps.Name}
+			m.passes[ps.Name] = agg
+			m.order = append(m.order, ps.Name)
+		}
+		agg.Segments += ps.Segments
+		agg.Touched += ps.Touched
+		agg.Rewritten += ps.Rewritten
+		agg.EdgesRemoved += ps.EdgesRemoved
+		agg.Nanos += ps.Nanos
+	}
+}
+
+// passSnapshot copies the per-pass aggregates in first-seen order
+// (jobs run passes in canonical order, so first-seen matches it).
+func (m *metrics) passSnapshot() []tcsim.PassStat {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]tcsim.PassStat, 0, len(m.order))
+	for _, n := range m.order {
+		out = append(out, *m.passes[n])
+	}
+	return out
+}

@@ -1,0 +1,319 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"tcsim"
+	"tcsim/client"
+	"tcsim/internal/experiments"
+)
+
+// Config assembles a Server.
+type Config struct {
+	Engine EngineConfig
+	// JobTTL is how long finished async jobs remain pollable (0 = 10m).
+	JobTTL time.Duration
+	// MaxBodyBytes caps request bodies (0 = 1 MiB).
+	MaxBodyBytes int64
+}
+
+// Server is the tcserved HTTP front end: job lifecycle, sweeps, pass
+// registry, health, and metrics. Create with New, mount via Handler,
+// stop with Shutdown.
+type Server struct {
+	cfg    Config
+	engine *Engine
+	jobs   *jobStore
+	sweeps *experiments.Runner
+	mux    *http.ServeMux
+
+	// baseCtx parents async job execution so Shutdown can cancel what
+	// the drain deadline abandons.
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+}
+
+// New builds a server.
+func New(cfg Config) *Server {
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		engine:     NewEngine(cfg.Engine),
+		jobs:       newJobStore(cfg.JobTTL),
+		sweeps:     experiments.NewRunner(0),
+		baseCtx:    ctx,
+		cancelBase: cancel,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
+	mux.HandleFunc("GET /v1/passes", s.handlePasses)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the HTTP handler to serve.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Engine exposes the simulation engine (selfcheck and tests).
+func (s *Server) Engine() *Engine { return s.engine }
+
+// JobCount reports how many async jobs the store currently holds.
+func (s *Server) JobCount() int { return s.jobs.len() }
+
+// Shutdown drains the server: no new work is admitted, every admitted
+// job (sync and async) finishes or ctx expires, then background state
+// is released. Call http.Server.Shutdown first so no requests arrive
+// concurrently; async jobs survive their submitting request, which is
+// why the engine drain is separate.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.engine.Drain(ctx)
+	if err != nil {
+		// Deadline hit with jobs still running: cancel them so their
+		// goroutines exit promptly rather than leaking.
+		s.cancelBase()
+	}
+	s.jobs.close()
+	return err
+}
+
+// --- responses ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string, retryAfter time.Duration) {
+	if retryAfter > 0 {
+		secs := int(retryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeJSON(w, status, client.ErrorBody{Error: client.APIError{
+			Code: code, Message: msg, RetryAfterSecs: secs}})
+		return
+	}
+	writeJSON(w, status, client.ErrorBody{Error: client.APIError{Code: code, Message: msg}})
+}
+
+// writeRunError maps an engine/run error onto the wire.
+func (s *Server) writeRunError(w http.ResponseWriter, err error) {
+	var br *badRequest
+	switch {
+	case errors.As(err, &br):
+		writeError(w, http.StatusBadRequest, "invalid_argument", br.msg, 0)
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, "queue_full",
+			"all workers busy and the wait queue is full", s.engine.RetryAfter())
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "draining",
+			"server is shutting down", 2*time.Second)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "timeout", err.Error(), 0)
+	case isCancel(err):
+		// Client went away; the status is moot but keep the map total.
+		writeError(w, 499, "canceled", err.Error(), 0)
+	default:
+		writeError(w, http.StatusInternalServerError, "internal", err.Error(), 0)
+	}
+}
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_argument",
+			"malformed request body: "+err.Error(), 0)
+		return false
+	}
+	return true
+}
+
+// --- handlers ---
+
+// handleSubmit implements POST /v1/jobs. Sync by default; ?async=1
+// returns 202 with a pollable job. Both paths admit before running, so
+// a saturated daemon rejects with 429 at submission time and async
+// submissions can never grow an unbounded backlog.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req client.JobRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	spec, err := resolveSpec(&req, s.engine.Limits())
+	if err != nil {
+		s.writeRunError(w, err)
+		return
+	}
+	key := spec.Key()
+	s.engine.met.accepted.Add(1)
+	async := r.URL.Query().Get("async") == "1"
+
+	// Cache hits are free: serve them without consuming admission, so a
+	// full queue never rejects an already-computed answer.
+	if res, ok := s.engine.Cached(key); ok {
+		s.engine.met.completed.Add(1)
+		j := s.jobs.create(key)
+		j.finish(res, true, nil, 0, s.jobs.ttl)
+		status := http.StatusOK
+		if async {
+			status = http.StatusAccepted
+		}
+		writeJSON(w, status, j.wire())
+		return
+	}
+
+	release, err := s.engine.Admit()
+	if err != nil {
+		s.writeRunError(w, err)
+		return
+	}
+
+	j := s.jobs.create(key)
+	if async {
+		go func() {
+			defer release()
+			s.runJob(s.baseCtx, j, spec)
+		}()
+		writeJSON(w, http.StatusAccepted, j.wire())
+		return
+	}
+	defer release()
+	if err := s.runJob(r.Context(), j, spec); err != nil {
+		s.writeRunError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.wire())
+}
+
+// runJob drives one admitted job through the engine and records the
+// outcome on the job record.
+func (s *Server) runJob(ctx context.Context, j *job, spec jobSpec) error {
+	j.setRunning()
+	t0 := time.Now()
+	res, cached, err := s.engine.Run(ctx, spec)
+	j.finish(res, cached, err, time.Since(t0), s.jobs.ttl)
+	if err != nil {
+		s.engine.met.failed.Add(1)
+		return err
+	}
+	s.engine.met.completed.Add(1)
+	return nil
+}
+
+// handleGetJob implements GET /v1/jobs/{id}.
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.jobs.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found",
+			fmt.Sprintf("no job %q (unknown, or expired after %v)", id, s.jobs.ttl), 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.wire())
+}
+
+// handleSweep implements POST /v1/sweeps: resolve the cross product,
+// fan out over the shared experiments runner (which deduplicates and
+// memoizes by config hash), aggregate.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req client.SweepRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	cells, err := resolveSweep(&req, s.engine.Limits())
+	if err != nil {
+		s.writeRunError(w, err)
+		return
+	}
+	// A sweep occupies one admission token end to end: its internal
+	// parallelism is bounded by the experiments runner's own pool, but
+	// the daemon still bounds how many sweeps stack up.
+	release, err := s.engine.Admit()
+	if err != nil {
+		s.writeRunError(w, err)
+		return
+	}
+	defer release()
+	s.engine.met.sweepCells.Add(uint64(len(cells)))
+	resp, err := runSweep(r.Context(), s.sweeps, cells)
+	if err != nil {
+		s.writeRunError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handlePasses implements GET /v1/passes from the pass registry.
+func (s *Server) handlePasses(w http.ResponseWriter, r *http.Request) {
+	var out []client.Pass
+	for _, p := range tcsim.Passes() {
+		out = append(out, client.Pass{Name: p.Name, Desc: p.Desc, Default: p.Default})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleHealth implements GET /healthz.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetrics implements GET /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+// Metrics snapshots the daemon's counters.
+func (s *Server) Metrics() *client.Metrics {
+	m := s.engine.met
+	busy := time.Duration(m.simBusyNanos.Load()).Seconds()
+	insts := m.simInsts.Load()
+	ips := 0.0
+	if busy > 0 {
+		ips = float64(insts) / busy
+	}
+	return &client.Metrics{
+		UptimeSecs: time.Since(m.start).Seconds(),
+
+		JobsAccepted:  m.accepted.Load(),
+		JobsCompleted: m.completed.Load(),
+		JobsFailed:    m.failed.Load(),
+		JobsRejected:  m.rejected.Load(),
+		CacheHits:     m.hits.Load(),
+		CacheMisses:   m.misses.Load(),
+		DedupJoins:    m.joins.Load(),
+
+		QueueDepth:   max(m.admitted.Load()-m.inflight.Load(), 0),
+		InFlight:     m.inflight.Load(),
+		CacheEntries: s.engine.CacheLen(),
+
+		SimInsts:       insts,
+		SimBusySecs:    busy,
+		SimInstsPerSec: ips,
+
+		SweepCells:       m.sweepCells.Load(),
+		SweepSimulations: s.sweeps.SimCount(),
+		SweepInFlight:    s.sweeps.InFlight(),
+
+		Passes: m.passSnapshot(),
+	}
+}
+
