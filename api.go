@@ -7,6 +7,7 @@ import (
 	"tcsim/internal/asm"
 	"tcsim/internal/core"
 	"tcsim/internal/experiments"
+	"tcsim/internal/obs"
 	"tcsim/internal/pipeline"
 	"tcsim/internal/workload"
 )
@@ -97,6 +98,18 @@ type Config struct {
 	MaxInsts uint64
 	// MaxCycles aborts a non-halting simulation (0 = a very large bound).
 	MaxCycles uint64
+
+	// Timeline records a cycle-level event timeline (fetch source,
+	// segment finalization, per-pass rewrites, issue/retire occupancy)
+	// into Result.Timeline. Recording observes the run without touching
+	// timing: a run with Timeline on is bit-for-bit identical to the same
+	// run with it off. Off (the default) costs nothing — the cycle loop
+	// stays allocation-free.
+	Timeline bool
+	// TimelineEvents bounds the timeline ring buffer; when full the
+	// oldest events are dropped (Result.Timeline.Dropped counts them).
+	// 0 selects the default capacity (65536 events).
+	TimelineEvents int
 }
 
 // DefaultConfig returns the paper's baseline machine with no fill-unit
@@ -176,9 +189,29 @@ type Result struct {
 	// order (empty on the baseline, which runs no passes).
 	PassStats []PassStat
 
+	// SegLengths is the finalized-segment length distribution:
+	// SegLengths[n] counts segments finalized with exactly n
+	// instructions. Trailing zero counts are trimmed; nil when no
+	// segment was finalized.
+	SegLengths []uint64
+
+	// Timeline is the recorded event timeline (nil unless
+	// Config.Timeline was set). Write it out with WriteChromeTrace for
+	// chrome://tracing / Perfetto.
+	Timeline *Timeline
+
 	// Output is the program's OUT byte stream.
 	Output []byte
 }
+
+// Timeline is a recorded cycle-level event timeline (Config.Timeline).
+// It serializes to JSON directly, or to the Chrome trace-event format
+// via WriteChromeTrace.
+type Timeline = obs.Timeline
+
+// TimelineEvent is one recorded event; see the obs package for the
+// event kinds and field meanings.
+type TimelineEvent = obs.Event
 
 func resultFrom(st pipeline.Stats, out []byte) Result {
 	pct := func(n uint64) float64 {
@@ -186,6 +219,16 @@ func resultFrom(st pipeline.Stats, out []byte) Result {
 			return 0
 		}
 		return 100 * float64(n) / float64(st.Retired)
+	}
+	var segLens []uint64
+	last := -1
+	for i, n := range st.Fill.SegLen {
+		if n != 0 {
+			last = i
+		}
+	}
+	if last >= 0 {
+		segLens = append(segLens, st.Fill.SegLen[:last+1]...)
 	}
 	return Result{
 		IPC:               st.IPC,
@@ -199,6 +242,7 @@ func resultFrom(st pipeline.Stats, out []byte) Result {
 		ScaledPct:         pct(st.RetiredScaled),
 		OptimizedPct:      pct(st.RetiredAnyOpt),
 		PassStats:         st.Passes,
+		SegLengths:        segLens,
 		Output:            out,
 	}
 }
@@ -217,6 +261,11 @@ func RunContext(ctx context.Context, cfg Config, prog *Program) (Result, error) 
 	if ctx.Done() != nil {
 		pc.Cancelled = func() bool { return ctx.Err() != nil }
 	}
+	var rec *obs.Recorder
+	if cfg.Timeline {
+		rec = obs.NewRecorder(cfg.TimelineEvents)
+		pc.Recorder = rec
+	}
 	sim, err := pipeline.New(pc, prog.p)
 	if err != nil {
 		return Result{}, err
@@ -228,7 +277,11 @@ func RunContext(ctx context.Context, cfg Config, prog *Program) (Result, error) 
 		}
 		return Result{}, err
 	}
-	return resultFrom(st, sim.Output()), nil
+	res := resultFrom(st, sim.Output())
+	if rec != nil {
+		res.Timeline = rec.Timeline()
+	}
+	return res, nil
 }
 
 // Workloads lists the bundled benchmark names in the paper's Table 1

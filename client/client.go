@@ -3,6 +3,8 @@ package client
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -11,6 +13,36 @@ import (
 	"strconv"
 	"time"
 )
+
+// reqIDHeader correlates each exchange with the daemon's log lines.
+const reqIDHeader = "X-Request-ID"
+
+type ctxKey int
+
+const reqIDKey ctxKey = iota
+
+// WithRequestID returns a context that makes every client call carry id
+// as its X-Request-ID, correlating the exchange with the daemon's
+// structured log. Without it the client generates a fresh random ID per
+// request. The ID the exchange actually used is surfaced on APIError
+// when a call fails.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, reqIDKey, id)
+}
+
+// requestIDFrom returns the caller-pinned request ID, or a fresh random
+// one.
+func requestIDFrom(ctx context.Context) string {
+	if id, ok := ctx.Value(reqIDKey).(string); ok && id != "" {
+		return id
+	}
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// No entropy: send none and let the daemon assign one.
+		return ""
+	}
+	return hex.EncodeToString(b[:])
+}
 
 // Client talks to a tcserved daemon.
 type Client struct {
@@ -111,10 +143,11 @@ func (c *Client) Passes(ctx context.Context) ([]Pass, error) {
 	return ps, nil
 }
 
-// Metrics fetches the daemon's counter snapshot.
+// Metrics fetches the daemon's counter snapshot (GET /metrics.json —
+// GET /metrics serves the same counters in the Prometheus text format).
 func (c *Client) Metrics(ctx context.Context) (*Metrics, error) {
 	var m Metrics
-	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &m); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/metrics.json", nil, &m); err != nil {
 		return nil, err
 	}
 	return &m, nil
@@ -143,6 +176,9 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if id := requestIDFrom(ctx); id != "" {
+		req.Header.Set(reqIDHeader, id)
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return err
@@ -150,12 +186,15 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	defer resp.Body.Close()
 
 	if resp.StatusCode/100 != 2 {
+		// Prefer the daemon's echoed ID (it may have replaced ours).
+		rid := resp.Header.Get(reqIDHeader)
 		var eb ErrorBody
 		if derr := json.NewDecoder(resp.Body).Decode(&eb); derr != nil || eb.Error.Code == "" {
-			return &APIError{Status: resp.StatusCode, Code: "http_error",
+			return &APIError{Status: resp.StatusCode, RequestID: rid, Code: "http_error",
 				Message: fmt.Sprintf("%s %s: %s", method, path, resp.Status)}
 		}
 		eb.Error.Status = resp.StatusCode
+		eb.Error.RequestID = rid
 		if eb.Error.RetryAfterSecs == 0 {
 			if s, _ := strconv.Atoi(resp.Header.Get("Retry-After")); s > 0 {
 				eb.Error.RetryAfterSecs = s

@@ -60,6 +60,13 @@ type JobRequest struct {
 	// server also enforces a maximum). Timeouts do not affect the cache
 	// key: the same machine config always hashes the same.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+
+	// Timeline records a cycle-level event timeline into the result
+	// (tcsim.Result.Timeline; bounded server-side, oldest events drop
+	// first). Timelines are part of the cache key: a traced and an
+	// untraced run of the same config are cached separately, though
+	// their statistics are bit-for-bit identical.
+	Timeline bool `json:"timeline,omitempty"`
 }
 
 // Job is the service's view of one submitted job. Sync submissions
@@ -141,6 +148,8 @@ type Metrics struct {
 	CacheHits     uint64 `json:"cache_hits"`
 	CacheMisses   uint64 `json:"cache_misses"`
 	DedupJoins    uint64 `json:"dedup_joins"` // joined a concurrent identical run
+	// CacheHitRatio is hits / (hits + misses), 0 before any lookup.
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
 
 	QueueDepth   int64 `json:"queue_depth"` // admitted, waiting for a worker
 	InFlight     int64 `json:"in_flight"`   // simulating right now
@@ -174,6 +183,11 @@ type APIError struct {
 	// Status is the HTTP status code (not serialized; filled by the
 	// client from the response).
 	Status int `json:"-"`
+	// RequestID is the X-Request-ID the failing exchange carried (not
+	// serialized; filled by the client from the response header). Quote
+	// it when reporting a server-side failure: the daemon logs every
+	// request under this ID.
+	RequestID string `json:"-"`
 	// Code is a stable machine-readable identifier: "invalid_argument",
 	// "not_found", "queue_full", "draining", "timeout", "canceled",
 	// "internal".

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"os"
 	"runtime"
@@ -53,7 +54,7 @@ type figureBench struct {
 // configuration (or an explicit -passes spec), measuring wall time and
 // allocation deltas, then times each figure of the reproduction suite,
 // and writes the JSON report.
-func runBench(stdout io.Writer, insts uint64, outPath string, spec []string) error {
+func runBench(stdout io.Writer, logger *slog.Logger, insts uint64, outPath string, spec []string) error {
 	if spec == nil {
 		spec = tcsim.DefaultPassSpec()
 	}
@@ -66,6 +67,7 @@ func runBench(stdout io.Writer, insts uint64, outPath string, spec []string) err
 
 	var ms0, ms1 runtime.MemStats
 	for _, name := range tcsim.Workloads() {
+		logger.Info("workload start", "name", name, "insts", insts)
 		// Warm run: touches lazily built program images so the measured
 		// run is pure simulation.
 		warm := cfg
@@ -99,6 +101,8 @@ func runBench(stdout io.Writer, insts uint64, outPath string, spec []string) err
 			CyclePerSec: float64(res.Cycles) / wall.Seconds(),
 		}
 		rep.Workloads = append(rep.Workloads, wb)
+		logger.Info("workload done", "name", name, "wall", wall.Round(time.Millisecond),
+			"retired", res.Retired, "inst_per_sec", int64(wb.InstPerSec))
 		for i, ps := range res.PassStats {
 			if i >= len(rep.Passes) {
 				rep.Passes = append(rep.Passes, tcsim.PassStat{Name: ps.Name})
@@ -123,12 +127,15 @@ func runBench(stdout io.Writer, insts uint64, outPath string, spec []string) err
 
 	suite := tcsim.NewSuite(insts)
 	for _, id := range tcsim.ExperimentIDs() {
+		logger.Info("figure start", "id", id, "simulations", suite.Simulations())
 		t0 := time.Now()
 		if _, err := suite.Reproduce(id); err != nil {
 			return fmt.Errorf("bench %s: %w", id, err)
 		}
 		fb := figureBench{ID: id, WallSecs: secs(time.Since(t0))}
 		rep.Figures = append(rep.Figures, fb)
+		logger.Info("figure done", "id", id,
+			"wall", time.Since(t0).Round(time.Millisecond), "simulations", suite.Simulations())
 		fmt.Fprintf(stdout, "bench %-10s %6.2fs\n", id, fb.WallSecs)
 	}
 	rep.Simulations = suite.Simulations()

@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"strings"
 	"time"
@@ -43,6 +44,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		benchOut = fs.String("bench-out", "BENCH_sweep.json", "output path for -exp bench")
 		passes   = fs.String("passes", "", "pass pipeline for the -exp bench sweep (default: the paper's combined configuration); figures always use their defined variants")
 		listPass = fs.Bool("list-passes", false, "list registered optimization passes and exit")
+		progress = fs.Bool("progress", false, "emit structured per-figure/per-workload progress lines to stderr")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file at exit")
 		trc      = fs.String("trace", "", "write a runtime execution trace to this file")
@@ -95,10 +97,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
+	// -progress logs to stderr so piped/captured stdout stays exactly
+	// the figures (or bench table).
+	logDst := io.Discard
+	if *progress {
+		logDst = stderr
+	}
+	logger := slog.New(slog.NewTextHandler(logDst, nil))
+
 	if *exp == "bench" {
-		err = runBench(stdout, *insts, *benchOut, spec)
+		err = runBench(stdout, logger, *insts, *benchOut, spec)
 	} else {
-		err = runFigures(stdout, *exp, *insts)
+		err = runFigures(stdout, logger, *exp, *insts)
 	}
 	if perr := stop(); err == nil {
 		err = perr
@@ -123,19 +133,28 @@ func validExperiment(id string) bool {
 	return false
 }
 
-func runFigures(stdout io.Writer, exp string, insts uint64) error {
+func runFigures(stdout io.Writer, logger *slog.Logger, exp string, insts uint64) error {
 	ids := []string{exp}
 	if exp == "all" {
 		ids = tcsim.ExperimentIDs()
 	}
 	suite := tcsim.NewSuite(insts)
+	logger.Info("suite start", "experiments", len(ids), "insts", insts)
+	t00 := time.Now()
 	for _, id := range ids {
+		logger.Info("figure start", "id", id, "simulations", suite.Simulations())
+		t0 := time.Now()
 		out, err := suite.Reproduce(id)
 		if err != nil {
+			logger.Error("figure failed", "id", id, "error", err.Error())
 			return err
 		}
+		logger.Info("figure done", "id", id,
+			"wall", time.Since(t0).Round(time.Millisecond), "simulations", suite.Simulations())
 		fmt.Fprintln(stdout, out)
 	}
+	logger.Info("suite done", "wall", time.Since(t00).Round(time.Millisecond),
+		"simulations", suite.Simulations())
 	return nil
 }
 

@@ -17,13 +17,20 @@
 //	POST /v1/sweeps      batch workloads x configs, deduplicated
 //	GET  /v1/passes      registered fill-unit optimization passes
 //	GET  /healthz        liveness
-//	GET  /metrics        expvar-style counter snapshot
+//	GET  /metrics        Prometheus text-format exposition
+//	GET  /metrics.json   the same counters as a JSON snapshot
+//
+// Every request is logged structurally (log/slog; -log-format, -log-level)
+// under an X-Request-ID the response echoes, so client-reported failures
+// can be matched to server-side log lines.
 //
 // -selfcheck starts an in-process daemon, hammers it with a mixed
 // duplicate-heavy job load plus a sweep, asserts every served result is
 // bit-for-bit identical to a direct tcsim.Run of the same config, that
-// the cache deduplicated repeats, and that a saturated queue answers
-// 429 — then exits non-zero on any violation.
+// the cache deduplicated repeats, that a saturated queue answers 429,
+// that /metrics parses as a valid Prometheus exposition with monotone
+// counters, and that request IDs round-trip — then exits non-zero on
+// any violation.
 package main
 
 import (
@@ -31,6 +38,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -68,12 +76,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = fs.String("memprofile", "", "write a heap profile to this file at exit")
 		trc        = fs.String("trace", "", "write a runtime execution trace to this file")
+		logFormat  = fs.String("log-format", "text", "structured log format: text or json")
+		logLevel   = fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() > 0 {
 		fmt.Fprintf(stderr, "tcserved: unexpected arguments %q\nrun 'tcserved -h' for usage\n", fs.Args())
+		return 2
+	}
+	logger, err := newLogger(stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(stderr, "tcserved: %v\nrun 'tcserved -h' for usage\n", err)
 		return 2
 	}
 
@@ -95,13 +110,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			},
 		},
 		JobTTL: *jobTTL,
+		Logger: logger,
 	}
 
 	code := 0
 	if *selfcheck {
 		code = runSelfcheck(stdout, stderr, scfg, *scJobs, *scInsts)
 	} else {
-		code = serve(stdout, stderr, scfg, *addr, *drainWait, *pprofOn)
+		code = serve(stdout, stderr, logger, scfg, *addr, *drainWait, *pprofOn)
 	}
 	if err := stopProf(); err != nil {
 		fmt.Fprintf(stderr, "tcserved: %v\n", err)
@@ -112,10 +128,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return code
 }
 
+// newLogger builds the daemon's structured logger from the -log-format
+// and -log-level flags.
+func newLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch level {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (valid: debug, info, warn, error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("unknown -log-format %q (valid: text, json)", format)
+}
+
 // serve runs the daemon until SIGTERM/SIGINT, then drains gracefully:
 // the listener stops accepting, in-flight requests and admitted async
 // jobs finish (up to the drain deadline), then the process exits.
-func serve(stdout, stderr io.Writer, scfg server.Config, addr string, drainWait time.Duration, pprofOn bool) int {
+func serve(stdout, stderr io.Writer, logger *slog.Logger, scfg server.Config, addr string, drainWait time.Duration, pprofOn bool) int {
 	srv := server.New(scfg)
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())
@@ -126,9 +168,10 @@ func serve(stdout, stderr io.Writer, scfg server.Config, addr string, drainWait 
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		fmt.Fprintf(stderr, "tcserved: %v\n", err)
+		logger.Error("listen failed", "addr", addr, "error", err.Error())
 		return 1
 	}
+	logger.Info("listening", "url", "http://"+ln.Addr().String(), "pprof", pprofOn)
 	fmt.Fprintf(stdout, "tcserved: listening on http://%s\n", ln.Addr())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -139,22 +182,22 @@ func serve(stdout, stderr io.Writer, scfg server.Config, addr string, drainWait 
 
 	select {
 	case err := <-errCh:
-		fmt.Fprintf(stderr, "tcserved: %v\n", err)
+		logger.Error("serve failed", "error", err.Error())
 		return 1
 	case <-ctx.Done():
 	}
 	stop() // restore default signal behavior: a second signal kills us
 
-	fmt.Fprintf(stdout, "tcserved: signal received, draining (deadline %v)\n", drainWait)
+	logger.Info("draining", "deadline", drainWait)
 	drainCtx, cancel := context.WithTimeout(context.Background(), drainWait)
 	defer cancel()
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
-		fmt.Fprintf(stderr, "tcserved: http shutdown: %v\n", err)
+		logger.Error("http shutdown", "error", err.Error())
 	}
 	if err := srv.Shutdown(drainCtx); err != nil {
-		fmt.Fprintf(stderr, "tcserved: %v\n", err)
+		logger.Error("drain failed", "error", err.Error())
 		return 1
 	}
-	fmt.Fprintln(stdout, "tcserved: drained, bye")
+	logger.Info("drained")
 	return 0
 }

@@ -9,11 +9,13 @@ import (
 	"net"
 	"net/http"
 	"reflect"
+	"strings"
 	"sync"
 	"time"
 
 	"tcsim"
 	"tcsim/client"
+	"tcsim/internal/obs"
 	"tcsim/internal/server"
 )
 
@@ -24,9 +26,9 @@ var selfcheckWorkloads = []string{"m88ksim", "compress", "li", "go", "ijpeg", "g
 // selfcheckConfigs are the machine variants crossed with the workloads.
 // The Workload and Insts fields are filled per case.
 var selfcheckConfigs = []client.JobRequest{
-	{},                                       // baseline
-	{Preset: client.PresetAll},               // paper's combined pipeline
-	{Passes: []string{"moves", "place"}},     // explicit partial pipeline
+	{},                                   // baseline
+	{Preset: client.PresetAll},           // paper's combined pipeline
+	{Passes: []string{"moves", "place"}}, // explicit partial pipeline
 	{Preset: client.PresetAll, FillLatency: 5}, // latency sweep point
 }
 
@@ -223,6 +225,11 @@ func runSelfcheck(stdout, stderr io.Writer, scfg server.Config, jobs int, insts 
 		fails.failf("jobs_completed %d < submitted %d", met.JobsCompleted, jobs)
 	}
 
+	// Observability phase: the Prometheus exposition must parse, agree
+	// with the JSON snapshot, stay monotone across scrapes, and request
+	// IDs must round-trip through both raw HTTP and the client.
+	checkObservability(ctx, cl, met, &fails)
+
 	if err := shutdown(ctx); err != nil {
 		fails.failf("graceful shutdown: %v", err)
 	}
@@ -279,6 +286,116 @@ func runSelfcheck(stdout, stderr io.Writer, scfg server.Config, jobs int, insts 
 		jobs, len(unique), met.CacheHits, met.CacheMisses, met.DedupJoins,
 		sweep.Cells, sweep.Simulations, rejected, time.Since(t0).Seconds())
 	return 0
+}
+
+// checkObservability validates the daemon's observability surface:
+// GET /metrics serves a parseable Prometheus exposition with the right
+// Content-Type whose counters match the JSON snapshot and never move
+// backwards between scrapes, histograms are internally coherent (the
+// parser enforces bucket monotonicity and +Inf == _count), and the
+// X-Request-ID a caller pins round-trips through the response header —
+// including onto APIError for failing calls.
+func checkObservability(ctx context.Context, cl *client.Client, met *client.Metrics, fails *checkFailure) {
+	scrape := func() map[string]float64 {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, cl.Base()+"/metrics", nil)
+		if err != nil {
+			fails.failf("build /metrics request: %v", err)
+			return nil
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			fails.failf("GET /metrics: %v", err)
+			return nil
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != obs.ExpoContentType {
+			fails.failf("GET /metrics Content-Type %q, want %q", ct, obs.ExpoContentType)
+		}
+		if resp.Header.Get("X-Request-ID") == "" {
+			fails.failf("GET /metrics response carries no X-Request-ID")
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			fails.failf("read /metrics body: %v", err)
+			return nil
+		}
+		samples, err := obs.ParseExposition(body)
+		if err != nil {
+			fails.failf("/metrics is not a valid Prometheus exposition: %v", err)
+			return nil
+		}
+		return samples
+	}
+
+	m1 := scrape()
+	if m1 == nil {
+		return
+	}
+	// Exposition and JSON snapshot must be two views of one counter set.
+	crossChecks := []struct {
+		sample string
+		want   float64
+	}{
+		{`tcserved_jobs_total{event="completed"}`, float64(met.JobsCompleted)},
+		{`tcserved_cache_requests_total{result="hit"}`, float64(met.CacheHits)},
+		{`tcserved_cache_requests_total{result="miss"}`, float64(met.CacheMisses)},
+		{`tcserved_sim_insts_total`, float64(met.SimInsts)},
+	}
+	for _, c := range crossChecks {
+		got, ok := m1[c.sample]
+		if !ok {
+			fails.failf("/metrics is missing sample %s", c.sample)
+		} else if got != c.want {
+			fails.failf("/metrics %s = %v, but /metrics.json reports %v", c.sample, got, c.want)
+		}
+	}
+	// The storm executed simulations and finalized segments, so the
+	// latency and distribution histograms cannot be empty.
+	for _, h := range []string{"tcserved_job_duration_seconds", "tcserved_segment_length_insts",
+		"tcserved_queue_wait_seconds", "tcserved_cache_hit_age_seconds"} {
+		if m1[h+"_count"] == 0 {
+			fails.failf("/metrics histogram %s has zero observations after the job storm", h)
+		}
+	}
+
+	m2 := scrape()
+	if m2 == nil {
+		return
+	}
+	for name, v1 := range m1 {
+		if !strings.Contains(name, "_total") && !strings.HasSuffix(name, "_count") &&
+			!strings.Contains(name, "_bucket{") {
+			continue // gauges may move either way
+		}
+		if v2, ok := m2[name]; !ok {
+			fails.failf("counter %s disappeared between scrapes", name)
+		} else if v2 < v1 {
+			fails.failf("counter %s moved backwards: %v -> %v", name, v1, v2)
+		}
+	}
+
+	// Request-ID round-trip, raw: a caller-supplied ID is echoed.
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, cl.Base()+"/healthz", nil)
+	req.Header.Set("X-Request-ID", "selfcheck-raw-rid")
+	if resp, err := http.DefaultClient.Do(req); err != nil {
+		fails.failf("healthz with request ID: %v", err)
+	} else {
+		resp.Body.Close()
+		if got := resp.Header.Get("X-Request-ID"); got != "selfcheck-raw-rid" {
+			fails.failf("X-Request-ID not echoed: sent %q, got %q", "selfcheck-raw-rid", got)
+		}
+	}
+
+	// And through the client: a pinned ID surfaces on the APIError a
+	// failing call returns, tying the failure to the daemon's log lines.
+	ridCtx := client.WithRequestID(ctx, "selfcheck-client-rid")
+	_, err := cl.SubmitJob(ridCtx, &client.JobRequest{Workload: "no-such-workload"})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) {
+		fails.failf("invalid-workload submit: %v, want APIError", err)
+	} else if apiErr.RequestID != "selfcheck-client-rid" {
+		fails.failf("APIError.RequestID %q, want the pinned %q", apiErr.RequestID, "selfcheck-client-rid")
+	}
 }
 
 // mustProgram builds a bundled workload or dies; selfcheck workloads

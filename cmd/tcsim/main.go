@@ -50,6 +50,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file at exit")
 		trc      = fs.String("trace", "", "write a runtime execution trace to this file")
+		timeline = fs.String("timeline", "", "write a cycle-level timeline to this file as Chrome trace-event JSON (open in chrome://tracing or ui.perfetto.dev)")
+		tlEvents = fs.Int("timeline-events", 0, "timeline ring-buffer capacity in events (0 = 65536); oldest events drop when full")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2 // the FlagSet already printed the error and usage to stderr
@@ -87,6 +89,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg.Clusters = *clusters
 	cfg.FUsPerCluster = *fus
 	cfg.TimePasses = *timePass
+	cfg.Timeline = *timeline != ""
+	cfg.TimelineEvents = *tlEvents
 	if *passes != "" {
 		if *opts != "" {
 			return usagef("pass either -opt or -passes, not both")
@@ -144,6 +148,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if err := stopProf(); err != nil {
 		return fatalf("%v", err)
+	}
+	if *timeline != "" {
+		f, cerr := os.Create(*timeline)
+		if cerr != nil {
+			return fatalf("%v", cerr)
+		}
+		werr := res.Timeline.WriteChromeTrace(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fatalf("writing timeline: %v", werr)
+		}
+		fmt.Fprintf(stdout, "timeline            %d events -> %s", len(res.Timeline.Events), *timeline)
+		if res.Timeline.Dropped > 0 {
+			fmt.Fprintf(stdout, " (%d oldest dropped; raise -timeline-events)", res.Timeline.Dropped)
+		}
+		fmt.Fprintln(stdout)
 	}
 
 	fmt.Fprintf(stdout, "IPC                 %.4f\n", res.IPC)

@@ -1,6 +1,10 @@
 // Package core implements the paper's contribution: the trace-cache fill
 // unit and its four dynamic trace optimizations.
 //
+// When a timeline recorder (internal/obs) is attached via
+// Config.Recorder, the fill unit emits segment-finalization and per-pass
+// rewrite events; a nil recorder costs one pointer compare per segment.
+//
 // The fill unit collects instructions as they retire, packs them into
 // multi-block trace segments (trace packing, branch promotion), marks
 // explicit dependency information, and — because it sits off the critical
@@ -15,6 +19,11 @@
 //  4. cluster-aware instruction placement to reduce operand bypass
 //     delays.
 package core
+
+import (
+	"tcsim/internal/obs"
+	"tcsim/internal/trace"
+)
 
 // Optimizations selects which fill-unit passes run.
 type Optimizations struct {
@@ -97,6 +106,12 @@ type Config struct {
 	// heuristic. Paper: 4 clusters of 4 universal function units.
 	Clusters      int
 	FUsPerCluster int
+
+	// Recorder, when non-nil, receives timeline events: one KSegFinal
+	// per finalized segment and one KPass per pass that changed it.
+	// Nil (the default) keeps the fill path free of any tracing cost
+	// beyond a pointer compare.
+	Recorder *obs.Recorder
 }
 
 // DefaultConfig returns the paper's baseline fill unit (all four
@@ -139,4 +154,10 @@ type Stats struct {
 	PromotedInLine  uint64 // branch occurrences embedded with static predictions
 	RewiredByMoves  uint64 // consumer operands re-pointed past a move
 	ReassocRejected uint64 // candidate pairs rejected (overflow/safety)
+
+	// SegLen counts finalized segments by instruction count (index =
+	// length; index 0 is unused). Always collected — one array increment
+	// per segment — and the source of the serving layer's segment-length
+	// histogram.
+	SegLen [trace.MaxInsts + 1]uint64
 }

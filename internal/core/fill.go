@@ -6,6 +6,7 @@ import (
 	"tcsim/internal/bpred"
 	"tcsim/internal/emu"
 	"tcsim/internal/isa"
+	"tcsim/internal/obs"
 	"tcsim/internal/trace"
 )
 
@@ -373,9 +374,14 @@ func (f *FillUnit) finalize(cycle uint64) {
 	seg.Blocks = seg.Insts[len(seg.Insts)-1].Block + 1
 
 	markDependencies(seg)
-	f.opts.Run(seg)
+	f.opts.Run(seg, cycle)
 
 	f.Stats.SegmentsBuilt++
+	f.Stats.SegLen[len(seg.Insts)]++
+	if r := f.cfg.Recorder; r != nil {
+		r.Emit(cycle, obs.KSegFinal, uint64(seg.StartPC),
+			uint64(len(seg.Insts)), uint64(seg.CondBranches))
+	}
 	f.pipe = append(f.pipe, pendingSeg{seg: seg, ready: cycle + uint64(f.cfg.FillLatency)})
 }
 

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"tcsim/internal/obs"
 	"tcsim/internal/trace"
 )
 
@@ -191,6 +192,12 @@ type Pipeline struct {
 	stats  []PassStats
 	timed  bool // collect per-pass wall time
 	check  bool // validate segment invariants after every pass
+
+	// rec receives one KPass event per pass that changed a segment;
+	// nameIDs holds each pass name's interned index (filled at
+	// construction, so the emission path never touches strings).
+	rec     *obs.Recorder
+	nameIDs []uint64
 }
 
 // NewPipeline builds a pipeline for f from a pass spec. The spec is
@@ -205,6 +212,7 @@ func NewPipeline(f *FillUnit, spec []string) (*Pipeline, error) {
 		stats:  make([]PassStats, len(spec)),
 		timed:  f.cfg.TimePasses,
 		check:  f.cfg.CheckPasses,
+		rec:    f.cfg.Recorder,
 	}
 	for i, name := range spec {
 		pass := registry[name].New(f)
@@ -213,6 +221,9 @@ func NewPipeline(f *FillUnit, spec []string) (*Pipeline, error) {
 		}
 		p.passes = append(p.passes, pass)
 		p.stats[i].Name = name
+		if p.rec != nil {
+			p.nameIDs = append(p.nameIDs, p.rec.Intern(name))
+		}
 	}
 	return p, nil
 }
@@ -230,14 +241,17 @@ func (p *Pipeline) Spec() []string {
 }
 
 // Run applies every pass to seg in order, updating the per-pass
-// counters. With CheckPasses set it validates the segment's structural
-// invariants between passes and panics, naming the offending pass, on a
-// violation (test/debug configuration).
-func (p *Pipeline) Run(seg *trace.Segment) {
+// counters. cycle is the finalization cycle, used only to stamp
+// timeline events when a recorder is attached. With CheckPasses set it
+// validates the segment's structural invariants between passes and
+// panics, naming the offending pass, on a violation (test/debug
+// configuration).
+func (p *Pipeline) Run(seg *trace.Segment, cycle uint64) {
 	for i := range p.passes {
 		ps := &p.stats[i]
 		ps.Segments++
 		before := ps.Rewritten
+		edgesBefore := ps.EdgesRemoved
 		if p.timed {
 			t0 := time.Now()
 			p.passes[i].Run(seg, ps)
@@ -247,6 +261,10 @@ func (p *Pipeline) Run(seg *trace.Segment) {
 		}
 		if ps.Rewritten != before {
 			ps.Touched++
+		}
+		if p.rec != nil && (ps.Rewritten != before || ps.EdgesRemoved != edgesBefore) {
+			p.rec.Emit(cycle, obs.KPass, p.nameIDs[i],
+				ps.Rewritten-before, ps.EdgesRemoved-edgesBefore)
 		}
 		if p.check {
 			if err := seg.Validate(); err != nil {

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace-event rendering. The format is the "JSON Object Format"
+// of the Trace Event spec: {"traceEvents": [...]} where each event has
+// a phase ("X" complete, "i" instant, "C" counter, "M" metadata), a
+// timestamp in microseconds, and a pid/tid pair selecting its track.
+// One simulated cycle renders as one microsecond, so chrome://tracing's
+// time axis reads directly as cycles.
+
+// Trace track (tid) assignment: one thread per pipeline stage.
+const (
+	tidFetch  = 1
+	tidFill   = 2
+	tidIssue  = 3
+	tidRetire = 4
+)
+
+// chromeEvent is one trace-event record. Field order is fixed and maps
+// are marshaled with sorted keys, so output is deterministic (the golden
+// test depends on that).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid,omitempty"`
+	S    string         `json:"s,omitempty"` // instant-event scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level JSON object chrome://tracing loads.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	Meta            map[string]any `json:"otherData,omitempty"`
+}
+
+// metaEvent builds a metadata record naming a process or thread.
+func metaEvent(name string, tid int, value string) chromeEvent {
+	return chromeEvent{
+		Name: name, Ph: "M", Pid: 1, Tid: tid,
+		Args: map[string]any{"name": value},
+	}
+}
+
+// chromeEvents converts the timeline to trace-event records.
+func (t *Timeline) chromeEvents() []chromeEvent {
+	evs := make([]chromeEvent, 0, len(t.Events)+8)
+	evs = append(evs,
+		metaEvent("process_name", 0, "tcsim"),
+		metaEvent("thread_name", tidFetch, "fetch"),
+		metaEvent("thread_name", tidFill, "fill unit"),
+		metaEvent("thread_name", tidIssue, "issue"),
+		metaEvent("thread_name", tidRetire, "retire"),
+	)
+	for _, e := range t.Events {
+		switch e.Kind {
+		case KFetchTC:
+			evs = append(evs, chromeEvent{
+				Name: "tc-hit", Ph: "X", Ts: e.Cycle, Dur: 1, Pid: 1, Tid: tidFetch,
+				Args: map[string]any{"pc": hexPC(e.A), "insts": e.B, "inactive": e.C},
+			})
+		case KFetchIC:
+			evs = append(evs, chromeEvent{
+				Name: "ic-fetch", Ph: "X", Ts: e.Cycle, Dur: 1, Pid: 1, Tid: tidFetch,
+				Args: map[string]any{"pc": hexPC(e.A), "insts": e.B},
+			})
+		case KTCMiss:
+			evs = append(evs, chromeEvent{
+				Name: "tc-miss", Ph: "i", Ts: e.Cycle, Pid: 1, Tid: tidFetch, S: "t",
+				Args: map[string]any{"pc": hexPC(e.A)},
+			})
+		case KSegFinal:
+			evs = append(evs, chromeEvent{
+				Name: "segment", Ph: "X", Ts: e.Cycle, Dur: 1, Pid: 1, Tid: tidFill,
+				Args: map[string]any{"start_pc": hexPC(e.A), "insts": e.B, "cond_branches": e.C},
+			})
+		case KPass:
+			evs = append(evs, chromeEvent{
+				Name: "pass:" + t.Str(e.A), Ph: "i", Ts: e.Cycle, Pid: 1, Tid: tidFill, S: "t",
+				Args: map[string]any{"rewritten": e.B, "edges_removed": e.C},
+			})
+		case KIssue:
+			evs = append(evs,
+				chromeEvent{
+					Name: "issue", Ph: "X", Ts: e.Cycle, Dur: 1, Pid: 1, Tid: tidIssue,
+					Args: map[string]any{"uops": e.A},
+				},
+				chromeEvent{
+					Name: "window", Ph: "C", Ts: e.Cycle, Pid: 1,
+					Args: map[string]any{"occupancy": e.B},
+				})
+		case KRetire:
+			evs = append(evs,
+				chromeEvent{
+					Name: "retire", Ph: "X", Ts: e.Cycle, Dur: 1, Pid: 1, Tid: tidRetire,
+					Args: map[string]any{"insts": e.A},
+				},
+				chromeEvent{
+					Name: "window", Ph: "C", Ts: e.Cycle, Pid: 1,
+					Args: map[string]any{"occupancy": e.B},
+				})
+		}
+	}
+	return evs
+}
+
+// WriteChromeTrace renders the timeline as Chrome trace-event JSON,
+// loadable in chrome://tracing (or ui.perfetto.dev). Output is
+// deterministic for a given timeline.
+func (t *Timeline) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("obs: nil timeline (was the run traced?)")
+	}
+	out := chromeTrace{
+		TraceEvents:     t.chromeEvents(),
+		DisplayTimeUnit: "ms",
+	}
+	if t.Dropped > 0 {
+		out.Meta = map[string]any{"dropped_events": t.Dropped}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(&out)
+}
+
+func hexPC(pc uint64) string { return fmt.Sprintf("0x%x", pc) }

@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParseExposition parses and validates a Prometheus text-format
+// exposition (version 0.0.4). It checks structural validity — every
+// sample belongs to a family with a TYPE line, label syntax parses,
+// values are numeric — and histogram coherence: bucket counts are
+// nondecreasing in `le`, the +Inf bucket equals <name>_count, and
+// <name>_sum is present. It returns every sample as a flat map keyed by
+// "name{labels}" (labels in source order), which callers use for
+// cross-scrape monotonicity checks.
+func ParseExposition(b []byte) (map[string]float64, error) {
+	samples := make(map[string]float64)
+	types := make(map[string]string)
+
+	for ln, line := range strings.Split(string(b), "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				return nil, fmt.Errorf("line %d: malformed TYPE line %q", ln+1, line)
+			}
+			switch f[3] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: unknown metric type %q", ln+1, f[3])
+			}
+			if _, dup := types[f[2]]; dup {
+				return nil, fmt.Errorf("line %d: duplicate TYPE for %q", ln+1, f[2])
+			}
+			types[f[2]] = f[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // HELP or comment
+		}
+		name, labels, val, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", ln+1, err)
+		}
+		base := familyOf(name)
+		if _, ok := types[base]; !ok {
+			return nil, fmt.Errorf("line %d: sample %q has no TYPE line (family %q)", ln+1, name, base)
+		}
+		key := name
+		if labels != "" {
+			key = name + "{" + labels + "}"
+		}
+		if _, dup := samples[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate sample %q", ln+1, key)
+		}
+		samples[key] = val
+	}
+
+	for fam, typ := range types {
+		if typ != "histogram" {
+			continue
+		}
+		if err := checkHistogram(fam, samples); err != nil {
+			return nil, err
+		}
+	}
+	return samples, nil
+}
+
+// parseSample splits "name{labels} value" into its parts, validating
+// label syntax.
+func parseSample(line string) (name, labels string, val float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("unbalanced braces in %q", line)
+		}
+		name, labels, rest = rest[:i], rest[i+1:j], rest[j+1:]
+		for _, pair := range splitLabels(labels) {
+			eq := strings.IndexByte(pair, '=')
+			if eq <= 0 {
+				return "", "", 0, fmt.Errorf("malformed label %q in %q", pair, line)
+			}
+			if v := pair[eq+1:]; len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+				return "", "", 0, fmt.Errorf("unquoted label value %q in %q", pair, line)
+			}
+		}
+	} else {
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return "", "", 0, fmt.Errorf("no value in %q", line)
+		}
+		name, rest = rest[:sp], rest[sp:]
+	}
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return "", "", 0, fmt.Errorf("empty metric name in %q", line)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional trailing timestamp
+		return "", "", 0, fmt.Errorf("want 'value [timestamp]' after name in %q", line)
+	}
+	val, err = parseValue(fields[0])
+	if err != nil {
+		return "", "", 0, fmt.Errorf("bad value %q in %q: %v", fields[0], line, err)
+	}
+	return name, labels, val, nil
+}
+
+// splitLabels splits a label body on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// checkHistogram validates one histogram family's coherence from the
+// flat sample map.
+func checkHistogram(fam string, samples map[string]float64) error {
+	type bucket struct {
+		le    float64
+		count float64
+	}
+	var buckets []bucket
+	prefix := fam + "_bucket{le=\""
+	for key, v := range samples {
+		if !strings.HasPrefix(key, prefix) {
+			continue
+		}
+		leStr := strings.TrimSuffix(strings.TrimPrefix(key, prefix), "\"}")
+		le, err := parseValue(leStr)
+		if err != nil {
+			return fmt.Errorf("histogram %s: bad le %q", fam, leStr)
+		}
+		buckets = append(buckets, bucket{le: le, count: v})
+	}
+	if len(buckets) == 0 {
+		return fmt.Errorf("histogram %s: no buckets", fam)
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	if !math.IsInf(buckets[len(buckets)-1].le, 1) {
+		return fmt.Errorf("histogram %s: no +Inf bucket", fam)
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i].count < buckets[i-1].count {
+			return fmt.Errorf("histogram %s: bucket counts decrease at le=%v (%v -> %v)",
+				fam, buckets[i].le, buckets[i-1].count, buckets[i].count)
+		}
+	}
+	count, ok := samples[fam+"_count"]
+	if !ok {
+		return fmt.Errorf("histogram %s: missing _count", fam)
+	}
+	if inf := buckets[len(buckets)-1].count; inf != count {
+		return fmt.Errorf("histogram %s: +Inf bucket %v != _count %v", fam, inf, count)
+	}
+	if _, ok := samples[fam+"_sum"]; !ok {
+		return fmt.Errorf("histogram %s: missing _sum", fam)
+	}
+	return nil
+}
+
+// familyOf strips histogram/summary sample suffixes to the family name.
+func familyOf(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}

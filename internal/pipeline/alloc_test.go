@@ -3,6 +3,7 @@ package pipeline
 import (
 	"testing"
 
+	"tcsim/internal/obs"
 	"tcsim/internal/workload"
 )
 
@@ -44,5 +45,36 @@ func TestStepSteadyStateAllocs(t *testing.T) {
 				t.Errorf("steady-state Step allocates %.4f allocs/cycle, want ~0", avg)
 			}
 		})
+	}
+}
+
+// TestStepSteadyStateAllocsWithRecorder pins the same property with the
+// event recorder attached: Emit writes into a preallocated ring, so a
+// traced run stays allocation-free too (events past capacity are
+// dropped, never grown).
+func TestStepSteadyStateAllocsWithRecorder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	w, ok := workload.ByName("m88ksim")
+	if !ok {
+		t.Fatal("no workload m88ksim")
+	}
+	cfg := DefaultConfig()
+	cfg.MaxInsts = 0
+	cfg.Recorder = obs.NewRecorder(1 << 12)
+	sim, err := New(cfg, w.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30_000; i++ {
+		sim.Step()
+	}
+	if sim.Done() {
+		t.Fatal("workload halted during warmup; cannot measure steady state")
+	}
+	avg := testing.AllocsPerRun(2000, sim.Step)
+	if avg > 0.01 {
+		t.Errorf("recorder-enabled Step allocates %.4f allocs/cycle, want ~0", avg)
 	}
 }

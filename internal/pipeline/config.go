@@ -17,6 +17,7 @@ import (
 	"tcsim/internal/cache"
 	"tcsim/internal/core"
 	"tcsim/internal/exec"
+	"tcsim/internal/obs"
 	"tcsim/internal/trace"
 )
 
@@ -56,6 +57,15 @@ type Config struct {
 	// with ErrCanceled. The experiment runner uses it to cancel
 	// outstanding simulations once one workload fails.
 	Cancelled func() bool
+
+	// Recorder, when non-nil, receives cycle-level timeline events:
+	// fetch source (trace-cache hit / instruction-cache fetch / miss),
+	// issue and retirement occupancy, and — forwarded to the fill unit —
+	// segment finalization with per-pass rewrite events. Nil (the
+	// default) keeps the cycle loop allocation-free and costs one nil
+	// compare per emission site; recording itself never allocates (the
+	// ring is preallocated). Timing is unaffected either way.
+	Recorder *obs.Recorder
 }
 
 // DefaultConfig returns the paper's baseline machine configuration (all

@@ -3,6 +3,7 @@ package pipeline
 import (
 	"tcsim/internal/exec"
 	"tcsim/internal/isa"
+	"tcsim/internal/obs"
 	"tcsim/internal/trace"
 )
 
@@ -51,6 +52,9 @@ func (s *Simulator) fetchCycle(c uint64) {
 			g = s.buildTCGroup(seg, c)
 		} else {
 			s.fill.NoteMiss(pc)
+			if s.rec != nil {
+				s.rec.Emit(c, obs.KTCMiss, uint64(pc), 0, 0)
+			}
 		}
 	}
 	if g == nil {
@@ -61,6 +65,17 @@ func (s *Simulator) fetchCycle(c uint64) {
 		// the redirecting event.
 		s.fetchStallUntil = c + 1
 		return
+	}
+	if s.rec != nil {
+		k := obs.KFetchIC
+		var inact uint64
+		if g.fromTC {
+			k = obs.KFetchTC
+			if g.firstInactive >= 0 {
+				inact = uint64(len(g.uops) - g.firstInactive)
+			}
+		}
+		s.rec.Emit(c, k, uint64(pc), uint64(len(g.uops)), inact)
 	}
 	s.stats.FetchedInsts += uint64(len(g.uops))
 	if g.fromTC {

@@ -10,6 +10,7 @@ import (
 	"tcsim/internal/emu"
 	"tcsim/internal/exec"
 	"tcsim/internal/isa"
+	"tcsim/internal/obs"
 	"tcsim/internal/rename"
 	"tcsim/internal/trace"
 )
@@ -51,8 +52,13 @@ type Simulator struct {
 	done            bool
 	lastRetire      uint64
 
-	slotScratch      []int        // tryIssue FU-slot list
-	activatedScratch []*exec.UOp  // recover's activated-suffix list
+	slotScratch      []int       // tryIssue FU-slot list
+	activatedScratch []*exec.UOp // recover's activated-suffix list
+
+	// rec is the timeline recorder (nil = tracing off). Every emission
+	// site nil-checks it, so the disabled cost is a pointer compare and
+	// the cycle loop's zero-allocation invariant is untouched.
+	rec *obs.Recorder
 
 	stats Stats
 }
@@ -65,6 +71,10 @@ func New(cfg Config, prog *asm.Program) (*Simulator, error) {
 	// otherwise segment starts phase-lock to retirement counts and the
 	// trace cache can build lines fetch never probes.
 	cfg.Fill.FillOnMiss = true
+	// One recorder serves every layer: the fill unit emits its segment
+	// and pass events into the same ring the fetch/issue/retire stages
+	// write, so the exported timeline interleaves them by cycle.
+	cfg.Fill.Recorder = cfg.Recorder
 	hier, err := cache.NewHierarchy(cfg.Cache)
 	if err != nil {
 		return nil, err
@@ -92,6 +102,7 @@ func New(cfg Config, prog *asm.Program) (*Simulator, error) {
 		inflight:    newInflightTable(),
 		fetchPC:     prog.Entry,
 		fetchOnPath: true,
+		rec:         cfg.Recorder,
 	}
 	s.fg.uops = make([]*exec.UOp, 0, trace.MaxInsts)
 	s.fg.segInsts = make([]*trace.SegInst, 0, trace.MaxInsts)
@@ -257,6 +268,9 @@ func (s *Simulator) tryIssue(c uint64) {
 			u.CkRAT = s.pool.Grab(rat)
 		}
 		s.eng.Issue(u, c)
+	}
+	if s.rec != nil {
+		s.rec.Emit(c, obs.KIssue, uint64(len(g.uops)), uint64(s.eng.Len()), 0)
 	}
 	s.fetchBuf = nil
 }
@@ -521,8 +535,22 @@ func (s *Simulator) retireFlush(u *exec.UOp, c uint64) {
 }
 
 // retire commits completed instructions in program order, feeding the
-// fill unit and the trainers.
+// fill unit and the trainers. The wrapper exists for the timeline: it
+// measures how many instructions doRetire committed this cycle without
+// perturbing the (multi-return) retirement loop itself.
 func (s *Simulator) retire(c uint64) {
+	if s.rec == nil {
+		s.doRetire(c)
+		return
+	}
+	base := s.stats.Retired
+	s.doRetire(c)
+	if n := s.stats.Retired - base; n > 0 {
+		s.rec.Emit(c, obs.KRetire, n, uint64(s.eng.Len()), 0)
+	}
+}
+
+func (s *Simulator) doRetire(c uint64) {
 	n := 0
 	for i, wn := 0, s.eng.Len(); i < wn; i++ {
 		u := s.eng.At(i)

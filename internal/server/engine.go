@@ -59,6 +59,7 @@ func (c EngineConfig) withDefaults() EngineConfig {
 // cacheEntry is one completed simulation in the result cache.
 type cacheEntry struct {
 	res tcsim.Result
+	at  time.Time // insertion time, for the cache-age histogram
 }
 
 // runFlight is one in-progress simulation: the owner runs and closes
@@ -121,6 +122,7 @@ func (e *Engine) Cached(key string) (tcsim.Result, bool) {
 		return tcsim.Result{}, false
 	}
 	e.met.hits.Add(1)
+	e.met.cacheAge.Observe(time.Since(ent.at).Seconds())
 	return ent.res, true
 }
 
@@ -186,6 +188,7 @@ func (e *Engine) Run(ctx context.Context, spec jobSpec) (res tcsim.Result, cache
 		if ent, ok := e.cache[key]; ok {
 			e.mu.Unlock()
 			e.met.hits.Add(1)
+			e.met.cacheAge.Observe(time.Since(ent.at).Seconds())
 			return ent.res, true, nil
 		}
 		if f, ok := e.flights[key]; ok {
@@ -243,7 +246,7 @@ func (e *Engine) insert(key string, res tcsim.Result) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, dup := e.cache[key]; !dup {
-		e.cache[key] = &cacheEntry{res: res}
+		e.cache[key] = &cacheEntry{res: res, at: time.Now()}
 		e.order = append(e.order, key)
 		for len(e.cache) > e.cfg.CacheEntries {
 			oldest := e.order[0]
@@ -257,11 +260,13 @@ func (e *Engine) insert(key string, res tcsim.Result) {
 // simulate waits for a worker slot, then runs the simulation under the
 // spec's timeout.
 func (e *Engine) simulate(ctx context.Context, spec jobSpec) (tcsim.Result, error) {
+	wait0 := time.Now()
 	select {
 	case e.slots <- struct{}{}:
 	case <-ctx.Done():
 		return tcsim.Result{}, ctx.Err()
 	}
+	e.met.queueWait.Observe(time.Since(wait0).Seconds())
 	defer func() { <-e.slots }()
 	if err := ctx.Err(); err != nil {
 		return tcsim.Result{}, err

@@ -6,12 +6,28 @@ import (
 	"time"
 
 	"tcsim"
+	"tcsim/internal/obs"
+)
+
+// Histogram bucket bounds for the daemon's latency and distribution
+// histograms (Prometheus-style cumulative buckets, upper bounds in the
+// metric's unit).
+var (
+	// durationBuckets covers sub-millisecond cache hits through
+	// half-minute simulations, in seconds.
+	durationBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+		0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}
+	// cacheAgeBuckets covers result staleness at hit time, in seconds.
+	cacheAgeBuckets = []float64{1, 5, 15, 60, 300, 900, 3600}
+	// segLenBuckets covers finalized segment lengths (1..trace.MaxInsts
+	// instructions).
+	segLenBuckets = []float64{1, 2, 4, 6, 8, 10, 12, 14, 16}
 )
 
 // metrics holds the daemon's expvar-style counters: monotonic atomics
-// for events, gauges derived from them, and a mutex-guarded per-pass
-// aggregate (PassStats arrive as a slice per completed run, too wide
-// for an atomic).
+// for events, gauges derived from them, latency/distribution
+// histograms, and a mutex-guarded per-pass aggregate (PassStats arrive
+// as a slice per completed run, too wide for an atomic).
 type metrics struct {
 	start time.Time
 
@@ -31,20 +47,44 @@ type metrics struct {
 
 	sweepCells atomic.Uint64
 
+	// Histograms (exposed on GET /metrics).
+	jobDur    *obs.Hist // executed-job wall time, seconds
+	queueWait *obs.Hist // admission-to-worker-slot wait, seconds
+	cacheAge  *obs.Hist // result age at cache-hit time, seconds
+	segLen    *obs.Hist // finalized-segment instruction counts
+
 	mu     sync.Mutex
 	passes map[string]*tcsim.PassStat
 	order  []string // first-seen order of pass names (canonical run order)
 }
 
 func newMetrics() *metrics {
-	return &metrics{start: time.Now(), passes: make(map[string]*tcsim.PassStat)}
+	return &metrics{
+		start:  time.Now(),
+		passes: make(map[string]*tcsim.PassStat),
+		jobDur: obs.NewHist("tcserved_job_duration_seconds",
+			"Wall time of executed (non-cached) simulation jobs.", durationBuckets),
+		queueWait: obs.NewHist("tcserved_queue_wait_seconds",
+			"Time admitted jobs waited for a worker slot.", durationBuckets),
+		cacheAge: obs.NewHist("tcserved_cache_hit_age_seconds",
+			"Age of cached results at hit time.", cacheAgeBuckets),
+		segLen: obs.NewHist("tcserved_segment_length_insts",
+			"Instruction counts of trace segments finalized by served simulations.", segLenBuckets),
+	}
 }
 
 // recordRun accumulates one executed (non-cached) simulation's
-// contribution: throughput and the per-pass fill-unit counters.
+// contribution: throughput, the segment-length distribution, and the
+// per-pass fill-unit counters.
 func (m *metrics) recordRun(res *tcsim.Result, wall time.Duration) {
 	m.simInsts.Add(res.Retired)
 	m.simBusyNanos.Add(wall.Nanoseconds())
+	m.jobDur.Observe(wall.Seconds())
+	for n, count := range res.SegLengths {
+		if count > 0 {
+			m.segLen.ObserveN(float64(n), count)
+		}
+	}
 	if len(res.PassStats) == 0 {
 		return
 	}

@@ -1,0 +1,113 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// reqIDHeader is the request-correlation header. Clients may supply it;
+// the daemon generates one otherwise, and every response echoes it so a
+// failure report can be matched to the daemon's log lines.
+const reqIDHeader = "X-Request-ID"
+
+type ctxKey int
+
+const reqIDKey ctxKey = iota
+
+// requestID extracts the request ID the middleware attached to ctx
+// ("" outside a request served through withObs).
+func requestID(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDKey).(string)
+	return id
+}
+
+// newRequestID mints a 16-hex-digit random ID.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("server: crypto/rand unavailable: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// sanitizeRequestID accepts a client-supplied ID only if it is short
+// and header/log-safe; anything else is replaced rather than propagated
+// into log lines and response headers.
+func sanitizeRequestID(id string) string {
+	if id == "" || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
+// statusWriter captures the response status for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// withObs is the observability middleware: it assigns (or sanitizes and
+// adopts) the request ID, echoes it on the response, attaches it to the
+// request context for handler and job-lifecycle log lines, and writes
+// one structured access-log line per request.
+func (s *Server) withObs(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := sanitizeRequestID(r.Header.Get(reqIDHeader))
+		if id == "" {
+			id = newRequestID()
+		}
+		w.Header().Set(reqIDHeader, id)
+		sw := &statusWriter{ResponseWriter: w}
+		t0 := time.Now()
+		next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), reqIDKey, id)))
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		s.log.LogAttrs(r.Context(), logLevelFor(sw.status), "request",
+			slog.String("request_id", id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.status),
+			slog.Duration("duration", time.Since(t0).Round(time.Microsecond)),
+		)
+	})
+}
+
+// logLevelFor maps a response status onto a log level: server errors
+// are errors, client errors (incl. backpressure 429s) warnings.
+func logLevelFor(status int) slog.Level {
+	switch {
+	case status >= 500:
+		return slog.LevelError
+	case status >= 400:
+		return slog.LevelWarn
+	}
+	return slog.LevelInfo
+}

@@ -1,0 +1,97 @@
+package server
+
+import (
+	"net/http"
+	"time"
+
+	"tcsim/internal/obs"
+)
+
+// handlePrometheus implements GET /metrics in the Prometheus text
+// exposition format (version 0.0.4). The same counters remain available
+// as JSON on GET /metrics.json. The exposition is written through the
+// dependency-free obs.Expo writer; obs.ParseExposition (used by the
+// tests and tcserved -selfcheck) validates exactly this output.
+func (s *Server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.ExpoContentType)
+	m := s.engine.met
+
+	e := obs.NewExpo(w)
+	e.Gauge("tcserved_uptime_seconds",
+		"Seconds since the daemon started.", time.Since(m.start).Seconds())
+
+	e.CounterVec("tcserved_jobs_total",
+		"Job lifecycle events by terminal disposition.", []obs.LabeledValue{
+			{Labels: [][2]string{{"event", "accepted"}}, Value: float64(m.accepted.Load())},
+			{Labels: [][2]string{{"event", "completed"}}, Value: float64(m.completed.Load())},
+			{Labels: [][2]string{{"event", "failed"}}, Value: float64(m.failed.Load())},
+			{Labels: [][2]string{{"event", "rejected"}}, Value: float64(m.rejected.Load())},
+		})
+
+	hits, misses := m.hits.Load(), m.misses.Load()
+	e.CounterVec("tcserved_cache_requests_total",
+		"Result-cache lookups by outcome (join = deduplicated onto a concurrent identical run).",
+		[]obs.LabeledValue{
+			{Labels: [][2]string{{"result", "hit"}}, Value: float64(hits)},
+			{Labels: [][2]string{{"result", "miss"}}, Value: float64(misses)},
+			{Labels: [][2]string{{"result", "join"}}, Value: float64(m.joins.Load())},
+		})
+	e.Gauge("tcserved_cache_entries",
+		"Results currently held in the cache.", float64(s.engine.CacheLen()))
+	ratio := 0.0
+	if hits+misses > 0 {
+		ratio = float64(hits) / float64(hits+misses)
+	}
+	e.Gauge("tcserved_cache_hit_ratio",
+		"Cache hits over all lookups since start (0 before any lookup).", ratio)
+
+	e.Gauge("tcserved_queue_depth",
+		"Jobs admitted and waiting for a worker slot.",
+		float64(max(m.admitted.Load()-m.inflight.Load(), 0)))
+	e.Gauge("tcserved_jobs_in_flight",
+		"Jobs simulating right now.", float64(m.inflight.Load()))
+
+	e.Counter("tcserved_sim_insts_total",
+		"Retired instructions simulated by executed jobs.", float64(m.simInsts.Load()))
+	e.Counter("tcserved_sim_busy_seconds_total",
+		"Cumulative wall time of executed simulations.",
+		time.Duration(m.simBusyNanos.Load()).Seconds())
+
+	e.Counter("tcserved_sweep_cells_total",
+		"Sweep cells resolved across all sweep requests.", float64(m.sweepCells.Load()))
+	e.Counter("tcserved_sweep_simulations_total",
+		"Simulations the sweep runner actually executed (memoized reuse excluded).",
+		float64(s.sweeps.SimCount()))
+	e.Gauge("tcserved_sweep_in_flight",
+		"Sweep cells simulating right now.", float64(s.sweeps.InFlight()))
+
+	passes := m.passSnapshot()
+	if len(passes) > 0 {
+		seg := make([]obs.LabeledValue, 0, len(passes))
+		tch := make([]obs.LabeledValue, 0, len(passes))
+		rew := make([]obs.LabeledValue, 0, len(passes))
+		edg := make([]obs.LabeledValue, 0, len(passes))
+		for _, ps := range passes {
+			l := [][2]string{{"pass", ps.Name}}
+			seg = append(seg, obs.LabeledValue{Labels: l, Value: float64(ps.Segments)})
+			tch = append(tch, obs.LabeledValue{Labels: l, Value: float64(ps.Touched)})
+			rew = append(rew, obs.LabeledValue{Labels: l, Value: float64(ps.Rewritten)})
+			edg = append(edg, obs.LabeledValue{Labels: l, Value: float64(ps.EdgesRemoved)})
+		}
+		e.CounterVec("tcserved_pass_segments_total",
+			"Segments processed per optimization pass across executed jobs.", seg)
+		e.CounterVec("tcserved_pass_touched_total",
+			"Segments changed per optimization pass.", tch)
+		e.CounterVec("tcserved_pass_rewritten_total",
+			"Instructions rewritten or annotated per optimization pass.", rew)
+		e.CounterVec("tcserved_pass_edges_removed_total",
+			"Dependency edges removed per optimization pass.", edg)
+	}
+
+	e.Hist(m.jobDur)
+	e.Hist(m.queueWait)
+	e.Hist(m.cacheAge)
+	e.Hist(m.segLen)
+	// Write errors mean the client went away mid-scrape; nothing to do.
+	_ = e.Err()
+}

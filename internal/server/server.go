@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"time"
@@ -21,17 +23,24 @@ type Config struct {
 	JobTTL time.Duration
 	// MaxBodyBytes caps request bodies (0 = 1 MiB).
 	MaxBodyBytes int64
+	// Logger receives the daemon's structured log: one access line per
+	// request plus job lifecycle events (accepted, cache hit, started,
+	// completed, failed, rejected), each carrying the request ID the
+	// response echoed in X-Request-ID. Nil discards everything.
+	Logger *slog.Logger
 }
 
 // Server is the tcserved HTTP front end: job lifecycle, sweeps, pass
 // registry, health, and metrics. Create with New, mount via Handler,
 // stop with Shutdown.
 type Server struct {
-	cfg    Config
-	engine *Engine
-	jobs   *jobStore
-	sweeps *experiments.Runner
-	mux    *http.ServeMux
+	cfg     Config
+	engine  *Engine
+	jobs    *jobStore
+	sweeps  *experiments.Runner
+	mux     *http.ServeMux
+	handler http.Handler // mux wrapped in the observability middleware
+	log     *slog.Logger
 
 	// baseCtx parents async job execution so Shutdown can cancel what
 	// the drain deadline abandons.
@@ -44,12 +53,17 @@ func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 1 << 20
 	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
 		engine:     NewEngine(cfg.Engine),
 		jobs:       newJobStore(cfg.JobTTL),
 		sweeps:     experiments.NewRunner(0),
+		log:        log,
 		baseCtx:    ctx,
 		cancelBase: cancel,
 	}
@@ -59,13 +73,16 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
 	mux.HandleFunc("GET /v1/passes", s.handlePasses)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics", s.handlePrometheus)
+	mux.HandleFunc("GET /metrics.json", s.handleMetrics)
 	s.mux = mux
+	s.handler = s.withObs(mux)
 	return s
 }
 
-// Handler returns the HTTP handler to serve.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler to serve: the route mux wrapped in
+// the request-ID / access-log middleware.
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Engine exposes the simulation engine (selfcheck and tests).
 func (s *Server) Engine() *Engine { return s.engine }
@@ -154,12 +171,14 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 // a saturated daemon rejects with 429 at submission time and async
 // submissions can never grow an unbounded backlog.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	rid := requestID(r.Context())
 	var req client.JobRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
 	spec, err := resolveSpec(&req, s.engine.Limits())
 	if err != nil {
+		s.log.Warn("job rejected", "request_id", rid, "error", err.Error())
 		s.writeRunError(w, err)
 		return
 	}
@@ -173,6 +192,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.engine.met.completed.Add(1)
 		j := s.jobs.create(key)
 		j.finish(res, true, nil, 0, s.jobs.ttl)
+		s.log.Info("job cache hit", "request_id", rid, "job_id", j.id,
+			"key", key, "workload", spec.Workload)
 		status := http.StatusOK
 		if async {
 			status = http.StatusAccepted
@@ -183,21 +204,24 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	release, err := s.engine.Admit()
 	if err != nil {
+		s.log.Warn("job rejected", "request_id", rid, "key", key, "error", err.Error())
 		s.writeRunError(w, err)
 		return
 	}
 
 	j := s.jobs.create(key)
+	s.log.Info("job accepted", "request_id", rid, "job_id", j.id,
+		"key", key, "workload", spec.Workload, "insts", spec.Insts, "async", async)
 	if async {
 		go func() {
 			defer release()
-			s.runJob(s.baseCtx, j, spec)
+			s.runJob(s.baseCtx, rid, j, spec)
 		}()
 		writeJSON(w, http.StatusAccepted, j.wire())
 		return
 	}
 	defer release()
-	if err := s.runJob(r.Context(), j, spec); err != nil {
+	if err := s.runJob(r.Context(), rid, j, spec); err != nil {
 		s.writeRunError(w, err)
 		return
 	}
@@ -205,17 +229,24 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 // runJob drives one admitted job through the engine and records the
-// outcome on the job record.
-func (s *Server) runJob(ctx context.Context, j *job, spec jobSpec) error {
+// outcome on the job record. rid is the submitting request's ID, kept
+// explicitly because async jobs outlive their request context.
+func (s *Server) runJob(ctx context.Context, rid string, j *job, spec jobSpec) error {
 	j.setRunning()
+	s.log.Info("job started", "request_id", rid, "job_id", j.id, "key", j.key)
 	t0 := time.Now()
 	res, cached, err := s.engine.Run(ctx, spec)
-	j.finish(res, cached, err, time.Since(t0), s.jobs.ttl)
+	wall := time.Since(t0)
+	j.finish(res, cached, err, wall, s.jobs.ttl)
 	if err != nil {
 		s.engine.met.failed.Add(1)
+		s.log.Error("job failed", "request_id", rid, "job_id", j.id,
+			"key", j.key, "wall", wall.Round(time.Microsecond), "error", err.Error())
 		return err
 	}
 	s.engine.met.completed.Add(1)
+	s.log.Info("job completed", "request_id", rid, "job_id", j.id, "key", j.key,
+		"cached", cached, "wall", wall.Round(time.Microsecond), "ipc", res.IPC)
 	return nil
 }
 
@@ -276,7 +307,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// handleMetrics implements GET /metrics.
+// handleMetrics implements GET /metrics.json, the JSON counter
+// snapshot (GET /metrics serves the Prometheus exposition).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Metrics())
 }
@@ -290,6 +322,11 @@ func (s *Server) Metrics() *client.Metrics {
 	if busy > 0 {
 		ips = float64(insts) / busy
 	}
+	hits, misses := m.hits.Load(), m.misses.Load()
+	ratio := 0.0
+	if hits+misses > 0 {
+		ratio = float64(hits) / float64(hits+misses)
+	}
 	return &client.Metrics{
 		UptimeSecs: time.Since(m.start).Seconds(),
 
@@ -297,9 +334,10 @@ func (s *Server) Metrics() *client.Metrics {
 		JobsCompleted: m.completed.Load(),
 		JobsFailed:    m.failed.Load(),
 		JobsRejected:  m.rejected.Load(),
-		CacheHits:     m.hits.Load(),
-		CacheMisses:   m.misses.Load(),
+		CacheHits:     hits,
+		CacheMisses:   misses,
 		DedupJoins:    m.joins.Load(),
+		CacheHitRatio: ratio,
 
 		QueueDepth:   max(m.admitted.Load()-m.inflight.Load(), 0),
 		InFlight:     m.inflight.Load(),
@@ -316,4 +354,3 @@ func (s *Server) Metrics() *client.Metrics {
 		Passes: m.passSnapshot(),
 	}
 }
-

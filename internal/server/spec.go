@@ -43,6 +43,7 @@ type jobSpec struct {
 	Clusters int      `json:"clusters"`
 	FUs      int      `json:"fus_per_cluster"`
 	MaxCyc   uint64   `json:"max_cycles"`
+	Timeline bool     `json:"timeline"`
 
 	// timeout is the per-job wall-clock cap. Deliberately excluded from
 	// the canonical JSON: it bounds the run, it does not configure the
@@ -110,6 +111,7 @@ func resolveSpec(req *client.JobRequest, lim Limits) (jobSpec, error) {
 		return s, badRequestf("clusters and fus_per_cluster must be positive")
 	}
 	s.MaxCyc = req.MaxCycles
+	s.Timeline = req.Timeline
 
 	if req.TimeoutMS < 0 {
 		return s, badRequestf("timeout_ms must be >= 0, got %d", req.TimeoutMS)
@@ -152,8 +154,19 @@ func (s jobSpec) Config() tcsim.Config {
 	cfg.Clusters = s.Clusters
 	cfg.FUsPerCluster = s.FUs
 	cfg.MaxCycles = s.MaxCyc
+	if s.Timeline {
+		cfg.Timeline = true
+		// Served timelines are bounded tighter than the library default:
+		// the ring (and the cached result holding its snapshot) lives in
+		// daemon memory.
+		cfg.TimelineEvents = servedTimelineEvents
+	}
 	return cfg
 }
+
+// servedTimelineEvents bounds timelines recorded on behalf of a job
+// request; long runs keep the most recent events.
+const servedTimelineEvents = 1 << 14
 
 // ResolveConfig resolves a wire request exactly as the daemon does,
 // returning the tcsim.Config the job would run and its canonical cache
