@@ -6,9 +6,11 @@ import (
 
 	"tcsim/internal/asm"
 	"tcsim/internal/core"
+	"tcsim/internal/emu"
 	"tcsim/internal/experiments"
 	"tcsim/internal/obs"
 	"tcsim/internal/pipeline"
+	"tcsim/internal/tracestore"
 	"tcsim/internal/workload"
 )
 
@@ -257,7 +259,18 @@ func Run(cfg Config, prog *Program) (Result, error) {
 // the context's own error when it is cancelled or its deadline passes.
 // A completed run is bit-for-bit identical to Run with the same Config.
 func RunContext(ctx context.Context, cfg Config, prog *Program) (Result, error) {
+	return runContext(ctx, cfg, prog, nil, 0)
+}
+
+// runContext runs the pipeline over prog. When oracle is non-nil the
+// run replays a captured stream instead of emulating live; the two are
+// bit-for-bit identical. captured, when non-zero, is the record count of
+// a capture this run triggered — a cold run — and emits the
+// capture-phase timeline event (warm replays and live runs carry none,
+// so their timelines match each other exactly).
+func runContext(ctx context.Context, cfg Config, prog *Program, oracle emu.Source, captured uint64) (Result, error) {
 	pc := cfg.pipelineConfig()
+	pc.Oracle = oracle
 	if ctx.Done() != nil {
 		pc.Cancelled = func() bool { return ctx.Err() != nil }
 	}
@@ -265,6 +278,9 @@ func RunContext(ctx context.Context, cfg Config, prog *Program) (Result, error) 
 	if cfg.Timeline {
 		rec = obs.NewRecorder(cfg.TimelineEvents)
 		pc.Recorder = rec
+		if captured > 0 {
+			rec.Emit(0, obs.KCapture, captured, cfg.MaxInsts, 0)
+		}
 	}
 	sim, err := pipeline.New(pc, prog.p)
 	if err != nil {
@@ -304,6 +320,9 @@ func RunWorkload(cfg Config, name string) (Result, error) {
 }
 
 // RunWorkloadContext is RunWorkload with cancellation (see RunContext).
+// Runs go through the process-wide trace store: the first run of a
+// (workload, budget) pair captures the correct-path stream, every later
+// run replays it — bit-for-bit identical, minus the emulation cost.
 func RunWorkloadContext(ctx context.Context, cfg Config, name string) (Result, error) {
 	w, ok := workload.ByName(name)
 	if !ok {
@@ -311,6 +330,17 @@ func RunWorkloadContext(ctx context.Context, cfg Config, name string) (Result, e
 	}
 	if cfg.MaxInsts == 0 {
 		cfg.MaxInsts = w.DefaultInsts
+	}
+	if cfg.MaxInsts > 0 {
+		if ent, outcome, err := tracestore.Shared().Get(name, cfg.MaxInsts); err == nil {
+			var captured uint64
+			if outcome == tracestore.OutcomeCapture {
+				captured = ent.Trace.Len()
+			}
+			return runContext(ctx, cfg, &Program{p: ent.Prog}, ent.Trace.NewReplay(), captured)
+		}
+		// A store failure (it cannot happen for the bundled workloads)
+		// falls back to plain live emulation.
 	}
 	return RunContext(ctx, cfg, &Program{p: w.Build()})
 }

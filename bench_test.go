@@ -6,6 +6,7 @@ import (
 	"tcsim"
 	"tcsim/internal/experiments"
 	"tcsim/internal/pipeline"
+	"tcsim/internal/tracestore"
 	"tcsim/internal/workload"
 )
 
@@ -156,6 +157,48 @@ func BenchmarkCycleLoop(b *testing.B) {
 		}
 		for i := 0; i < 30_000; i++ {
 			sim.Step()
+		}
+		return sim
+	}
+	sim := warm()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sim.Done() {
+			b.StopTimer()
+			sim = warm()
+			b.StartTimer()
+		}
+		sim.Step()
+	}
+}
+
+// BenchmarkReplayCycleLoop is BenchmarkCycleLoop with the oracle served
+// from a captured trace instead of live emulation: the steady-state
+// cycle loop of a replayed run. Its allocs/op report pins the trace
+// store's zero-allocation replay invariant.
+func BenchmarkReplayCycleLoop(b *testing.B) {
+	const budget = 300_000
+	w, _ := workload.ByName("compress")
+	prog := w.Build()
+	tr, err := tracestore.Capture("compress", prog, budget)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := pipeline.DefaultConfig()
+	cfg.MaxInsts = budget
+	warm := func() *pipeline.Simulator {
+		c := cfg
+		c.Oracle = tr.NewReplay()
+		sim, err := pipeline.New(c, prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 30_000; i++ {
+			sim.Step()
+		}
+		if sim.Done() {
+			b.Fatal("replay finished during warmup")
 		}
 		return sim
 	}

@@ -170,6 +170,28 @@ type Metrics struct {
 	// simulation the job engine executed (cache hits excluded), keyed in
 	// canonical pass order.
 	Passes []tcsim.PassStat `json:"passes,omitempty"`
+
+	// TraceStore reports the process-wide capture-once/replay-many trace
+	// store every simulation is served through.
+	TraceStore TraceStoreMetrics `json:"trace_store"`
+}
+
+// TraceStoreMetrics is the trace store's counter snapshot inside
+// Metrics: how many correct-path streams were captured (by emulation or
+// an on-disk load), how many runs replayed a resident stream instead of
+// re-emulating, and what the store holds right now.
+type TraceStoreMetrics struct {
+	Captures       uint64 `json:"captures"`
+	ReplayHits     uint64 `json:"replay_hits"`
+	Evictions      uint64 `json:"evictions"`
+	ResidentBytes  int64  `json:"resident_bytes"`
+	ResidentTraces int    `json:"resident_traces"`
+	// CaptureSecs is cumulative wall time spent emulating captures.
+	CaptureSecs float64 `json:"capture_secs"`
+	// On-disk trace directory traffic (all zero unless -tracedir is set).
+	DiskLoads   uint64 `json:"disk_loads"`
+	DiskSaves   uint64 `json:"disk_saves"`
+	DiskRejects uint64 `json:"disk_rejects"`
 }
 
 // ErrorBody is every non-2xx response's JSON shape.

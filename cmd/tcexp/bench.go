@@ -32,6 +32,9 @@ type benchReport struct {
 
 	Figures     []figureBench `json:"figures"`
 	Simulations uint64        `json:"suite_simulations"`
+
+	// TraceStore summarizes the run's capture-once/replay-many split.
+	TraceStore traceStoreBench `json:"trace_store"`
 }
 
 type workloadBench struct {
@@ -43,11 +46,38 @@ type workloadBench struct {
 	AllocsPerK  float64 `json:"allocs_per_1k_insts"`
 	BytesPerK   float64 `json:"bytes_per_1k_insts"`
 	CyclePerSec float64 `json:"sim_cycles_per_sec"`
+
+	// Source records where the measured run's oracle stream came from:
+	// "capture" (first run of this workload x budget pair, emulated live
+	// and recorded into the trace store) or "replay" (served from a
+	// resident capture). The primary measurement above is the cold
+	// capture run; the Replay* fields re-measure the same simulation
+	// served from the store.
+	Source           string  `json:"oracle_source"`
+	ReplayWallSecs   float64 `json:"replay_wall_secs"`
+	ReplayInstPerSec float64 `json:"replay_sim_inst_per_sec"`
+	ReplayAllocsPerK float64 `json:"replay_allocs_per_1k_insts"`
 }
 
 type figureBench struct {
 	ID       string  `json:"id"`
 	WallSecs float64 `json:"wall_secs"`
+	// Trace-store traffic attributable to this figure: how many of its
+	// simulations had to capture a fresh stream vs. replay a resident
+	// one. After the workload sweep above, figures at the same budget
+	// replay everything.
+	Captures   uint64 `json:"captures"`
+	ReplayHits uint64 `json:"replay_hits"`
+}
+
+// traceStoreBench is the report-level trace store summary: the sweep's
+// capture-vs-replay split and what the captures cost.
+type traceStoreBench struct {
+	Captures        uint64  `json:"captures"`
+	ReplayHits      uint64  `json:"replay_hits"`
+	CaptureWallSecs float64 `json:"capture_wall_secs"`
+	ResidentBytes   int64   `json:"resident_bytes"`
+	ResidentTraces  int     `json:"resident_traces"`
 }
 
 // runBench sweeps every bundled workload under the combined
@@ -78,6 +108,7 @@ func runBench(stdout io.Writer, logger *slog.Logger, insts uint64, outPath strin
 
 		runtime.GC()
 		runtime.ReadMemStats(&ms0)
+		ts0 := tcsim.TraceStats()
 		t0 := time.Now()
 		res, err := tcsim.RunWorkload(cfg, name)
 		if err != nil {
@@ -99,10 +130,37 @@ func runBench(stdout io.Writer, logger *slog.Logger, insts uint64, outPath strin
 			AllocsPerK:  float64(ms1.Mallocs-ms0.Mallocs) / k,
 			BytesPerK:   float64(ms1.TotalAlloc-ms0.TotalAlloc) / k,
 			CyclePerSec: float64(res.Cycles) / wall.Seconds(),
+			Source:      traceSource(ts0),
 		}
+
+		// Replay measurement: the same simulation again, now served from
+		// the trace the cold run just captured. The wall-time delta is
+		// the per-run cost of re-emulation that the store eliminates.
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		rts0 := tcsim.TraceStats()
+		t0 = time.Now()
+		rres, err := tcsim.RunWorkload(cfg, name)
+		if err != nil {
+			return fmt.Errorf("bench %s (replay): %w", name, err)
+		}
+		rwall := time.Since(t0)
+		runtime.ReadMemStats(&ms1)
+		if src := traceSource(rts0); src != "replay" {
+			return fmt.Errorf("bench %s: second run's oracle source is %q, want replay", name, src)
+		}
+		if rres.Retired != res.Retired || rres.Cycles != res.Cycles {
+			return fmt.Errorf("bench %s: replay run diverged from capture run (%d/%d cycles, %d/%d retired)",
+				name, rres.Cycles, res.Cycles, rres.Retired, res.Retired)
+		}
+		wb.ReplayWallSecs = rwall.Seconds()
+		wb.ReplayInstPerSec = float64(rres.Retired) / rwall.Seconds()
+		wb.ReplayAllocsPerK = float64(ms1.Mallocs-ms0.Mallocs) / k
+
 		rep.Workloads = append(rep.Workloads, wb)
 		logger.Info("workload done", "name", name, "wall", wall.Round(time.Millisecond),
-			"retired", res.Retired, "inst_per_sec", int64(wb.InstPerSec))
+			"retired", res.Retired, "inst_per_sec", int64(wb.InstPerSec),
+			"source", wb.Source, "replay_wall", rwall.Round(time.Millisecond))
 		for i, ps := range res.PassStats {
 			if i >= len(rep.Passes) {
 				rep.Passes = append(rep.Passes, tcsim.PassStat{Name: ps.Name})
@@ -114,8 +172,8 @@ func runBench(stdout io.Writer, logger *slog.Logger, insts uint64, outPath strin
 			agg.EdgesRemoved += ps.EdgesRemoved
 			agg.Nanos += ps.Nanos
 		}
-		fmt.Fprintf(stdout, "bench %-10s %9.0f inst/s  %7.1f allocs/kinst  %6.2fs\n",
-			name, wb.InstPerSec, wb.AllocsPerK, wb.WallSecs)
+		fmt.Fprintf(stdout, "bench %-10s %9.0f inst/s  %7.1f allocs/kinst  %6.2fs %s  %6.2fs replay\n",
+			name, wb.InstPerSec, wb.AllocsPerK, wb.WallSecs, wb.Source, wb.ReplayWallSecs)
 	}
 	if n := len(rep.Workloads); n > 0 {
 		sumLog := 0.0
@@ -128,18 +186,35 @@ func runBench(stdout io.Writer, logger *slog.Logger, insts uint64, outPath strin
 	suite := tcsim.NewSuite(insts)
 	for _, id := range tcsim.ExperimentIDs() {
 		logger.Info("figure start", "id", id, "simulations", suite.Simulations())
+		ts0 := tcsim.TraceStats()
 		t0 := time.Now()
 		if _, err := suite.Reproduce(id); err != nil {
 			return fmt.Errorf("bench %s: %w", id, err)
 		}
-		fb := figureBench{ID: id, WallSecs: secs(time.Since(t0))}
+		ts1 := tcsim.TraceStats()
+		fb := figureBench{
+			ID:         id,
+			WallSecs:   secs(time.Since(t0)),
+			Captures:   ts1.Captures - ts0.Captures,
+			ReplayHits: ts1.ReplayHits - ts0.ReplayHits,
+		}
 		rep.Figures = append(rep.Figures, fb)
 		logger.Info("figure done", "id", id,
-			"wall", time.Since(t0).Round(time.Millisecond), "simulations", suite.Simulations())
-		fmt.Fprintf(stdout, "bench %-10s %6.2fs\n", id, fb.WallSecs)
+			"wall", time.Since(t0).Round(time.Millisecond), "simulations", suite.Simulations(),
+			"captures", fb.Captures, "replay_hits", fb.ReplayHits)
+		fmt.Fprintf(stdout, "bench %-10s %6.2fs  %d captures / %d replays\n",
+			id, fb.WallSecs, fb.Captures, fb.ReplayHits)
 	}
 	rep.Simulations = suite.Simulations()
 	rep.TotalSecs = secs(time.Since(start))
+	final := tcsim.TraceStats()
+	rep.TraceStore = traceStoreBench{
+		Captures:        final.Captures,
+		ReplayHits:      final.ReplayHits,
+		CaptureWallSecs: float64(final.CaptureNanos) / 1e9,
+		ResidentBytes:   final.ResidentBytes,
+		ResidentTraces:  final.ResidentTraces,
+	}
 
 	b, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
@@ -149,7 +224,23 @@ func runBench(stdout io.Writer, logger *slog.Logger, insts uint64, outPath strin
 	if err := os.WriteFile(outPath, b, 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "bench: geomean %.0f inst/s over %d workloads, %d suite simulations, wrote %s\n",
-		rep.GeomeanIPS, len(rep.Workloads), rep.Simulations, outPath)
+	fmt.Fprintf(stdout, "bench: geomean %.0f inst/s over %d workloads, %d suite simulations, "+
+		"trace store %d captures (%.2fs) / %d replays, wrote %s\n",
+		rep.GeomeanIPS, len(rep.Workloads), rep.Simulations,
+		rep.TraceStore.Captures, rep.TraceStore.CaptureWallSecs, rep.TraceStore.ReplayHits, outPath)
 	return nil
+}
+
+// traceSource classifies a run that just finished against the trace
+// store counters snapshotted right before it: it either captured a
+// fresh stream, replayed a resident one, or bypassed the store.
+func traceSource(before tcsim.TraceStoreStats) string {
+	after := tcsim.TraceStats()
+	switch {
+	case after.Captures > before.Captures:
+		return "capture"
+	case after.ReplayHits > before.ReplayHits:
+		return "replay"
+	}
+	return "live"
 }

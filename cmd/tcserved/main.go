@@ -27,10 +27,11 @@
 // -selfcheck starts an in-process daemon, hammers it with a mixed
 // duplicate-heavy job load plus a sweep, asserts every served result is
 // bit-for-bit identical to a direct tcsim.Run of the same config, that
-// the cache deduplicated repeats, that a saturated queue answers 429,
-// that /metrics parses as a valid Prometheus exposition with monotone
-// counters, and that request IDs round-trip — then exits non-zero on
-// any violation.
+// the cache deduplicated repeats, that the trace store captured each
+// workload's correct-path stream exactly once and replayed it for every
+// repeat config, that a saturated queue answers 429, that /metrics
+// parses as a valid Prometheus exposition with monotone counters, and
+// that request IDs round-trip — then exits non-zero on any violation.
 package main
 
 import (
@@ -46,6 +47,7 @@ import (
 	"syscall"
 	"time"
 
+	"tcsim"
 	"tcsim/internal/prof"
 	"tcsim/internal/server"
 )
@@ -78,6 +80,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		trc        = fs.String("trace", "", "write a runtime execution trace to this file")
 		logFormat  = fs.String("log-format", "text", "structured log format: text or json")
 		logLevel   = fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		traceDir   = fs.String("tracedir", "", "directory for persisted workload traces: warm restarts load captures from disk instead of re-emulating (invalid/stale files are rejected and re-captured)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -96,6 +99,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintf(stderr, "tcserved: %v\n", err)
 		return 1
+	}
+
+	if *traceDir != "" {
+		tcsim.SetTraceDir(*traceDir)
+		tcsim.SetTraceRejectLog(func(file string, err error) {
+			logger.Warn("rejected on-disk trace, re-capturing live", "file", file, "error", err.Error())
+		})
 	}
 
 	scfg := server.Config{

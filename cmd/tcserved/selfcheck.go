@@ -282,9 +282,12 @@ func runSelfcheck(stdout, stderr io.Writer, scfg server.Config, jobs int, insts 
 	fmt.Fprintf(stdout,
 		"tcserved selfcheck ok: %d jobs (%d unique) bit-for-bit identical to direct runs; "+
 			"cache hits %d, misses %d, dedup joins %d; sweep %d cells (%d simulated); "+
+			"trace store %d captures / %d replays; "+
 			"%d/6 saturation submissions rejected with 429; %.1fs\n",
 		jobs, len(unique), met.CacheHits, met.CacheMisses, met.DedupJoins,
-		sweep.Cells, sweep.Simulations, rejected, time.Since(t0).Seconds())
+		sweep.Cells, sweep.Simulations,
+		met.TraceStore.Captures, met.TraceStore.ReplayHits,
+		rejected, time.Since(t0).Seconds())
 	return 0
 }
 
@@ -355,6 +358,52 @@ func checkObservability(ctx context.Context, cl *client.Client, met *client.Metr
 		"tcserved_queue_wait_seconds", "tcserved_cache_hit_age_seconds"} {
 		if m1[h+"_count"] == 0 {
 			fails.failf("/metrics histogram %s has zero observations after the job storm", h)
+		}
+	}
+
+	// Trace-store phase: every server simulation goes through the shared
+	// capture-once store, so each (workload, budget) pair must have been
+	// captured exactly once and every repeat config served by replay. The
+	// direct reference runs bypass the store (tcsim.Run takes a Program),
+	// so they must not inflate the capture count.
+	ts := met.TraceStore
+	if want := uint64(len(selfcheckWorkloads)); ts.Captures != want {
+		fails.failf("trace store captured %d streams, want exactly %d (one per workload at the shared budget)",
+			ts.Captures, want)
+	}
+	if ts.ReplayHits < ts.Captures {
+		fails.failf("trace store replay hits %d < captures %d: repeat configs are re-emulating instead of replaying",
+			ts.ReplayHits, ts.Captures)
+	}
+	if ts.ResidentTraces != len(selfcheckWorkloads) || ts.Evictions != 0 {
+		fails.failf("trace store holds %d traces with %d evictions, want %d resident and none evicted",
+			ts.ResidentTraces, ts.Evictions, len(selfcheckWorkloads))
+	}
+	if ts.Captures > 0 && ts.CaptureSecs <= 0 {
+		fails.failf("trace store reports %d captures but %v capture seconds", ts.Captures, ts.CaptureSecs)
+	}
+	if ts.DiskLoads != 0 || ts.DiskSaves != 0 || ts.DiskRejects != 0 {
+		fails.failf("trace store shows disk traffic (loads %d, saves %d, rejects %d) with no -tracedir",
+			ts.DiskLoads, ts.DiskSaves, ts.DiskRejects)
+	}
+	tsChecks := []struct {
+		sample string
+		want   float64
+	}{
+		{"tcserved_tracestore_captures_total", float64(ts.Captures)},
+		{"tcserved_tracestore_replay_hits_total", float64(ts.ReplayHits)},
+		{"tcserved_tracestore_evictions_total", float64(ts.Evictions)},
+		{"tcserved_tracestore_resident_traces", float64(ts.ResidentTraces)},
+		{`tcserved_tracestore_disk_total{outcome="load"}`, float64(ts.DiskLoads)},
+		{`tcserved_tracestore_disk_total{outcome="save"}`, float64(ts.DiskSaves)},
+		{`tcserved_tracestore_disk_total{outcome="reject"}`, float64(ts.DiskRejects)},
+	}
+	for _, c := range tsChecks {
+		got, ok := m1[c.sample]
+		if !ok {
+			fails.failf("/metrics is missing sample %s", c.sample)
+		} else if got != c.want {
+			fails.failf("/metrics %s = %v, but /metrics.json reports %v", c.sample, got, c.want)
 		}
 	}
 

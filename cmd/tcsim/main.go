@@ -52,6 +52,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		trc      = fs.String("trace", "", "write a runtime execution trace to this file")
 		timeline = fs.String("timeline", "", "write a cycle-level timeline to this file as Chrome trace-event JSON (open in chrome://tracing or ui.perfetto.dev)")
 		tlEvents = fs.Int("timeline-events", 0, "timeline ring-buffer capacity in events (0 = 65536); oldest events drop when full")
+		traceDir = fs.String("tracedir", "", "directory for persisted workload traces: captures are saved there and later runs load them instead of re-emulating (invalid/stale files are rejected and re-captured)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2 // the FlagSet already printed the error and usage to stderr
@@ -116,6 +117,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		default:
 			return usagef("unknown optimization %q (valid: moves,reassoc,scadd,place,all)", o)
 		}
+	}
+	if *traceDir != "" {
+		tcsim.SetTraceDir(*traceDir)
+		tcsim.SetTraceRejectLog(func(file string, err error) {
+			fmt.Fprintf(stderr, "tcsim: ignoring trace file %s: %v (re-capturing live)\n", file, err)
+		})
 	}
 	if *wl != "" && *asmFile != "" {
 		return usagef("pass either -workload or -asm, not both")

@@ -2,6 +2,33 @@ package emu
 
 import "fmt"
 
+// Source is the correct-path instruction stream the timing simulator
+// consumes: random access over a sliding window of retired-instruction
+// records. The live implementation (Oracle) interprets the program on
+// demand; internal/tracestore provides a replay implementation that
+// serves a previously captured stream with identical semantics, so the
+// pipeline cannot tell the two apart.
+//
+// The contract the pipeline relies on:
+//
+//   - At(seq) returns the record with dynamic sequence number seq, or
+//     ok=false when seq is past the end of the program (HALT reached or
+//     execution error). Asking for a released seq panics.
+//   - Release(upTo) discards records with Seq < upTo; the pipeline calls
+//     it as instructions retire.
+//   - Err reports an execution error encountered while extending the
+//     window past the last record (nil for a normal HALT).
+//   - Output returns the program's OUT byte stream as executed so far —
+//     exactly the bytes emitted by the records the source has stepped
+//     (live) or served (replay), so a replayed run's Result.Output is
+//     bit-for-bit identical to the live run's.
+type Source interface {
+	At(seq uint64) (Record, bool)
+	Release(upTo uint64)
+	Err() error
+	Output() []byte
+}
+
 // Oracle serves the correct-path dynamic instruction stream to the
 // timing simulator by random access over a sliding window. The window
 // grows forward on demand (At steps the underlying machine lazily) and is
@@ -23,6 +50,22 @@ type Oracle struct {
 // NewOracle wraps a freshly constructed machine.
 func NewOracle(m *Machine) *Oracle {
 	return &Oracle{m: m}
+}
+
+// NewOracleSized wraps a machine with the ring pre-sized to hold at
+// least window records (rounded up to a power of two), so a pipeline
+// whose maximum in-flight lead is known never pays the
+// start-small-and-double growth copies on its oracle.
+func NewOracleSized(m *Machine, window int) *Oracle {
+	o := &Oracle{m: m}
+	if window > 0 {
+		size := 1
+		for size < window {
+			size <<= 1
+		}
+		o.buf = make([]Record, size)
+	}
+	return o
 }
 
 func (o *Oracle) push(rec Record) {
@@ -96,3 +139,12 @@ func (o *Oracle) WindowLen() int { return o.n }
 // Machine exposes the underlying architectural machine (for final-state
 // checks and program output).
 func (o *Oracle) Machine() *Machine { return o.m }
+
+// Output returns the program's OUT byte stream as executed so far (the
+// machine steps lazily, so this covers exactly the records the window
+// has reached).
+func (o *Oracle) Output() []byte { return o.m.Output }
+
+// RingCap reports the ring buffer's current capacity (test hook for the
+// pre-sizing guarantee).
+func (o *Oracle) RingCap() int { return len(o.buf) }

@@ -19,6 +19,7 @@ import (
 	"tcsim/internal/core"
 	"tcsim/internal/emu"
 	"tcsim/internal/pipeline"
+	"tcsim/internal/tracestore"
 	"tcsim/internal/workload"
 )
 
@@ -225,7 +226,20 @@ func (r *Runner) simulate(ctx context.Context, w workload.Workload, v ConfigVari
 	}
 	v.Mut(&cfg)
 	cfg.Cancelled = func() bool { return ctx.Err() != nil }
-	sim, err := pipeline.New(cfg, w.Build())
+	// Every variant of a workload consumes the same correct-path stream:
+	// capture it once in the shared trace store and replay it here, so a
+	// sweep pays emulation per workload, not per (workload × variant).
+	var prog *asm.Program
+	if cfg.MaxInsts > 0 {
+		if ent, _, err := tracestore.Shared().Get(w.Name, cfg.MaxInsts); err == nil {
+			prog = ent.Prog
+			cfg.Oracle = ent.Trace.NewReplay()
+		}
+	}
+	if prog == nil {
+		prog = w.Build()
+	}
+	sim, err := pipeline.New(cfg, prog)
 	if err != nil {
 		return pipeline.Stats{}, fmt.Errorf("%s/%s: %w", w.Name, v.Name, err)
 	}

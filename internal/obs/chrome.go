@@ -107,6 +107,11 @@ func (t *Timeline) chromeEvents() []chromeEvent {
 					Name: "window", Ph: "C", Ts: e.Cycle, Pid: 1,
 					Args: map[string]any{"occupancy": e.B},
 				})
+		case KCapture:
+			evs = append(evs, chromeEvent{
+				Name: "trace-capture", Ph: "i", Ts: e.Cycle, Pid: 1, Tid: tidFetch, S: "g",
+				Args: map[string]any{"records": e.A, "budget": e.B},
+			})
 		}
 	}
 	return evs

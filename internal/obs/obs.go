@@ -41,6 +41,12 @@ const (
 	// KRetire: retirement committed instructions this cycle.
 	// A = instructions retired, B = window occupancy after retirement.
 	KRetire
+	// KCapture: this run triggered a trace-store capture — the
+	// correct-path stream was emulated and stored before the pipeline
+	// started (emitted at cycle 0, only on the cold run; warm replays
+	// carry no such event, matching a live-emulated run's timeline).
+	// A = records captured, B = instruction budget.
+	KCapture
 )
 
 // String names the kind for trace output.
@@ -60,6 +66,8 @@ func (k Kind) String() string {
 		return "issue"
 	case KRetire:
 		return "retire"
+	case KCapture:
+		return "capture"
 	}
 	return "unknown"
 }

@@ -3,6 +3,7 @@ package pipeline
 import (
 	"testing"
 
+	"tcsim/internal/emu"
 	"tcsim/internal/obs"
 	"tcsim/internal/workload"
 )
@@ -13,11 +14,18 @@ import (
 // comes from the deferred-reclamation pool, the fetch latch and issue
 // scratch are reused, checkpoint snapshots are recycled, and evicted
 // trace lines feed segment construction.
+//
+// Step drives the live functional emulator too (the oracle steps the
+// machine from inside At), so this budget covers the emulation side as
+// well: the oracle ring is pre-sized to the pipeline's maximum
+// fetch-ahead and emu.Memory's pages are warm after warmup. gcc is in
+// the roster because it historically carried the worst emulation-side
+// allocation rate (136 allocs/1k-insts before the ring was pre-sized).
 func TestStepSteadyStateAllocs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	for _, name := range []string{"compress", "li", "m88ksim"} {
+	for _, name := range []string{"compress", "gcc", "li", "m88ksim"} {
 		t.Run(name, func(t *testing.T) {
 			w, ok := workload.ByName(name)
 			if !ok {
@@ -45,6 +53,41 @@ func TestStepSteadyStateAllocs(t *testing.T) {
 				t.Errorf("steady-state Step allocates %.4f allocs/cycle, want ~0", avg)
 			}
 		})
+	}
+}
+
+// TestLiveOracleRingPreSized pins the satellite fix for the live-capture
+// path: the simulator builds its oracle with the ring already sized to
+// MaxOracleLead, so the start-at-1024-and-double growth copies are gone
+// and the ring never grows during a run.
+func TestLiveOracleRingPreSized(t *testing.T) {
+	cfg := DefaultConfig()
+	lead := MaxOracleLead(cfg)
+	if lead <= 0 {
+		t.Fatalf("MaxOracleLead = %d", lead)
+	}
+	w, ok := workload.ByName("compress")
+	if !ok {
+		t.Fatal("no workload compress")
+	}
+	cfg.MaxInsts = 50_000
+	sim, err := New(cfg, w.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, ok := sim.oracle.(*emu.Oracle)
+	if !ok {
+		t.Fatalf("default simulator oracle is %T, want *emu.Oracle", sim.oracle)
+	}
+	capBefore := o.RingCap()
+	if capBefore < lead {
+		t.Fatalf("oracle ring pre-sized to %d, want >= MaxOracleLead %d", capBefore, lead)
+	}
+	for !sim.Done() {
+		sim.Step()
+	}
+	if o.RingCap() != capBefore {
+		t.Errorf("oracle ring grew during the run: %d -> %d", capBefore, o.RingCap())
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"tcsim/internal/bpred"
 	"tcsim/internal/cache"
 	"tcsim/internal/core"
+	"tcsim/internal/emu"
 	"tcsim/internal/exec"
 	"tcsim/internal/obs"
 	"tcsim/internal/trace"
@@ -57,6 +58,15 @@ type Config struct {
 	// with ErrCanceled. The experiment runner uses it to cancel
 	// outstanding simulations once one workload fails.
 	Cancelled func() bool
+
+	// Oracle, when non-nil, supplies the correct-path instruction stream
+	// instead of a live emulation of the program — e.g. a
+	// tracestore.Replay over a previously captured run. The source must
+	// describe exactly the program passed to New; the retirement stage
+	// cross-checks every record's PC against the fetched uop and panics
+	// on the first divergence. Nil (the default) builds a live
+	// emu.Oracle, pre-sized to MaxOracleLead.
+	Oracle emu.Source
 
 	// Recorder, when non-nil, receives cycle-level timeline events:
 	// fetch source (trace-cache hit / instruction-cache fetch / miss),
@@ -104,6 +114,21 @@ func (c Config) normalize() Config {
 		c.MaxCycles = d.MaxCycles
 	}
 	return c
+}
+
+// MaxOracleLead bounds how far ahead of retirement the fetch stage can
+// advance the oracle cursor: every in-flight instruction plus the
+// fetch/issue latch plus one full fetch group probed past the latch. It
+// sizes the live oracle's ring up front (no growth doubling on the hot
+// path) and lower-bounds the slack a captured trace must carry past its
+// retirement budget.
+func MaxOracleLead(c Config) int {
+	c = c.normalize()
+	window := c.Exec.WindowSize
+	if window <= 0 {
+		window = exec.DefaultConfig().WindowSize
+	}
+	return window + 2*trace.MaxInsts + c.FetchWidth
 }
 
 // Stats is everything the experiment harness reads out of one run.

@@ -25,7 +25,7 @@ type Simulator struct {
 	cfg  Config
 	prog *asm.Program
 
-	oracle            *emu.Oracle
+	oracle            emu.Source
 	text              []isa.Inst
 	textBase, textEnd uint32
 
@@ -88,10 +88,14 @@ func New(cfg Config, prog *asm.Program) (*Simulator, error) {
 	if err != nil {
 		return nil, err
 	}
+	oracle := cfg.Oracle
+	if oracle == nil {
+		oracle = emu.NewOracleSized(emu.New(prog), MaxOracleLead(cfg))
+	}
 	s := &Simulator{
 		cfg:         cfg,
 		prog:        prog,
-		oracle:      emu.NewOracle(emu.New(prog)),
+		oracle:      oracle,
 		pred:        pred,
 		hier:        hier,
 		tc:          tc,
@@ -193,7 +197,7 @@ func (s *Simulator) Stats() Stats {
 }
 
 // Output returns the program's OUT stream (for correctness checks).
-func (s *Simulator) Output() []byte { return s.oracle.Machine().Output }
+func (s *Simulator) Output() []byte { return s.oracle.Output() }
 
 func (s *Simulator) finalizeStats() {
 	st := &s.stats

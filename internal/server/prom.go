@@ -88,6 +88,30 @@ func (s *Server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
 			"Dependency edges removed per optimization pass.", edg)
 	}
 
+	ts := traceStoreMetrics()
+	e.Counter("tcserved_tracestore_captures_total",
+		"Correct-path streams captured into the trace store (emulated or disk-loaded).",
+		float64(ts.Captures))
+	e.Counter("tcserved_tracestore_replay_hits_total",
+		"Simulations served by replaying a resident captured stream.",
+		float64(ts.ReplayHits))
+	e.Counter("tcserved_tracestore_evictions_total",
+		"Captured streams evicted by the store's byte bound.",
+		float64(ts.Evictions))
+	e.Gauge("tcserved_tracestore_resident_bytes",
+		"Bytes of captured streams resident right now.", float64(ts.ResidentBytes))
+	e.Gauge("tcserved_tracestore_resident_traces",
+		"Captured streams resident right now.", float64(ts.ResidentTraces))
+	e.Counter("tcserved_tracestore_capture_seconds_total",
+		"Cumulative wall time spent emulating captures.", ts.CaptureSecs)
+	e.CounterVec("tcserved_tracestore_disk_total",
+		"On-disk trace directory traffic by outcome (zero without -tracedir).",
+		[]obs.LabeledValue{
+			{Labels: [][2]string{{"outcome", "load"}}, Value: float64(ts.DiskLoads)},
+			{Labels: [][2]string{{"outcome", "save"}}, Value: float64(ts.DiskSaves)},
+			{Labels: [][2]string{{"outcome", "reject"}}, Value: float64(ts.DiskRejects)},
+		})
+
 	e.Hist(m.jobDur)
 	e.Hist(m.queueWait)
 	e.Hist(m.cacheAge)

@@ -352,5 +352,25 @@ func (s *Server) Metrics() *client.Metrics {
 		SweepInFlight:    s.sweeps.InFlight(),
 
 		Passes: m.passSnapshot(),
+
+		TraceStore: traceStoreMetrics(),
+	}
+}
+
+// traceStoreMetrics snapshots the process-wide trace store for the
+// /metrics.json body (the Prometheus exposition reads the same
+// snapshot).
+func traceStoreMetrics() client.TraceStoreMetrics {
+	ts := tcsim.TraceStats()
+	return client.TraceStoreMetrics{
+		Captures:       ts.Captures,
+		ReplayHits:     ts.ReplayHits,
+		Evictions:      ts.Evictions,
+		ResidentBytes:  ts.ResidentBytes,
+		ResidentTraces: ts.ResidentTraces,
+		CaptureSecs:    time.Duration(ts.CaptureNanos).Seconds(),
+		DiskLoads:      ts.DiskLoads,
+		DiskSaves:      ts.DiskSaves,
+		DiskRejects:    ts.DiskRejects,
 	}
 }

@@ -1,0 +1,335 @@
+package tracestore
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"tcsim/internal/asm"
+	"tcsim/internal/isa"
+)
+
+// On-disk trace format, version 1:
+//
+//	magic   "TCTR"            4 bytes
+//	version uint32 LE         must equal formatVersion
+//	header  (uvarint-framed)  name, budget, program hash, flags, counts
+//	payload (varint columns)  static table, record columns, OUT stream
+//	crc32   uint32 LE         IEEE, over everything before it
+//
+// Any mismatch — magic, version, checksum, workload name, budget, or
+// the sha256 of the program image the trace was captured from — is a
+// typed error; the store counts it, logs it, and falls back to live
+// capture. A stale trace can therefore never be replayed silently.
+
+const diskMagic = "TCTR"
+const formatVersion = 1
+
+// Typed reject reasons, surfaced in logs and asserted by the
+// fail-closed fixture tests.
+var (
+	ErrBadMagic     = errors.New("tracestore: not a trace file (bad magic)")
+	ErrBadVersion   = errors.New("tracestore: unsupported trace format version")
+	ErrBadChecksum  = errors.New("tracestore: trace payload checksum mismatch")
+	ErrStaleProgram = errors.New("tracestore: trace was captured from a different program image")
+	ErrKeyMismatch  = errors.New("tracestore: trace file does not match requested workload/budget")
+	ErrTruncated    = errors.New("tracestore: trace file truncated or malformed")
+)
+
+// programHash fingerprints the built program image: entry point, load
+// addresses, text words, and initialized data. Symbols are label
+// metadata and do not affect execution, so they are excluded.
+func programHash(p *asm.Program) [32]byte {
+	h := sha256.New()
+	var b [8]byte
+	put := func(v uint32) {
+		binary.LittleEndian.PutUint32(b[:4], v)
+		h.Write(b[:4])
+	}
+	put(p.Entry)
+	put(p.TextBase)
+	put(uint32(len(p.Text)))
+	for _, w := range p.Text {
+		put(uint32(w))
+	}
+	put(p.DataBase)
+	put(uint32(len(p.Data)))
+	h.Write(p.Data)
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+func traceFileName(dir, name string, budget uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s-%d.tctrace", name, budget))
+}
+
+// --- encoding helpers ---
+
+type encoder struct{ buf []byte }
+
+func (e *encoder) uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *encoder) varint(v int64)   { e.buf = binary.AppendVarint(e.buf, v) }
+func (e *encoder) bytes(b []byte)   { e.uvarint(uint64(len(b))); e.buf = append(e.buf, b...) }
+func (e *encoder) u32le(v uint32)   { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *encoder) raw(b []byte)     { e.buf = append(e.buf, b...) }
+func (e *encoder) stringv(s string) { e.bytes([]byte(s)) }
+
+func (e *encoder) boolv(b bool) {
+	v := byte(0)
+	if b {
+		v = 1
+	}
+	e.buf = append(e.buf, v)
+}
+
+type decoder struct{ buf []byte }
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		return 0, ErrTruncated
+	}
+	d.buf = d.buf[n:]
+	return v, nil
+}
+
+func (d *decoder) varint() (int64, error) {
+	v, n := binary.Varint(d.buf)
+	if n <= 0 {
+		return 0, ErrTruncated
+	}
+	d.buf = d.buf[n:]
+	return v, nil
+}
+
+func (d *decoder) bytes() ([]byte, error) {
+	n, err := d.uvarint()
+	if err != nil || n > uint64(len(d.buf)) {
+		return nil, ErrTruncated
+	}
+	b := d.buf[:n]
+	d.buf = d.buf[n:]
+	return b, nil
+}
+
+func (d *decoder) boolv() (bool, error) {
+	if len(d.buf) < 1 {
+		return false, ErrTruncated
+	}
+	b := d.buf[0]
+	d.buf = d.buf[1:]
+	return b != 0, nil
+}
+
+// saveTrace persists a capture. Written atomically (tmp + rename) so a
+// crashed writer leaves no partial file under the final name; a partial
+// tmp file would fail the checksum anyway.
+func saveTrace(dir string, t *Trace, prog *asm.Program) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var e encoder
+	e.raw([]byte(diskMagic))
+	e.u32le(formatVersion)
+
+	hash := programHash(prog)
+	e.stringv(t.name)
+	e.uvarint(t.budget)
+	e.raw(hash[:])
+	e.boolv(t.halted)
+
+	// Static table: PCs as deltas (text is mostly sequential), raw words.
+	e.uvarint(uint64(len(t.staticPC)))
+	var prevPC int64
+	for i, pc := range t.staticPC {
+		e.varint(int64(pc) - prevPC)
+		prevPC = int64(pc)
+		e.uvarint(uint64(t.staticWord[i]))
+	}
+
+	// Record columns. next is stored as a delta against the record's
+	// fall-through (pc+4): zero for straight-line code, tiny for most
+	// branches.
+	e.uvarint(uint64(len(t.si)))
+	for i := range t.si {
+		e.uvarint(uint64(t.si[i]))
+		fall := int64(t.staticPC[t.si[i]]) + isa.InstBytes
+		e.varint(int64(t.next[i]) - fall)
+		e.buf = append(e.buf, t.flags[i])
+		e.uvarint(uint64(t.ea[i]))
+		e.uvarint(uint64(t.val[i]))
+	}
+
+	// OUT stream: record indices as deltas, then the raw bytes.
+	e.uvarint(uint64(len(t.outAt)))
+	var prevAt uint64
+	for _, at := range t.outAt {
+		e.uvarint(at - prevAt)
+		prevAt = at
+	}
+	e.raw(t.out)
+
+	e.u32le(crc32.ChecksumIEEE(e.buf))
+
+	file := traceFileName(dir, t.name, t.budget)
+	tmp := file + ".tmp"
+	if err := os.WriteFile(tmp, e.buf, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, file)
+}
+
+// loadTrace loads and validates the persisted trace for (name, budget).
+// Returns (nil, file, nil) when no file exists — a plain miss — and a
+// typed error for any validation failure.
+func loadTrace(dir, name string, budget uint64, prog *asm.Program) (*Trace, string, error) {
+	file := traceFileName(dir, name, budget)
+	raw, err := os.ReadFile(file)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, file, nil
+		}
+		return nil, file, err
+	}
+	if len(raw) < len(diskMagic)+4+4 {
+		return nil, file, ErrTruncated
+	}
+	if string(raw[:len(diskMagic)]) != diskMagic {
+		return nil, file, ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint32(raw[len(diskMagic):]); v != formatVersion {
+		return nil, file, fmt.Errorf("%w: got %d, want %d", ErrBadVersion, v, formatVersion)
+	}
+	body, sum := raw[:len(raw)-4], binary.LittleEndian.Uint32(raw[len(raw)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, file, ErrBadChecksum
+	}
+
+	d := decoder{buf: body[len(diskMagic)+4:]}
+	gotName, err := d.bytes()
+	if err != nil {
+		return nil, file, err
+	}
+	gotBudget, err := d.uvarint()
+	if err != nil {
+		return nil, file, err
+	}
+	if string(gotName) != name || gotBudget != budget {
+		return nil, file, fmt.Errorf("%w: file says (%s, %d)", ErrKeyMismatch, gotName, gotBudget)
+	}
+	if len(d.buf) < 32 {
+		return nil, file, ErrTruncated
+	}
+	var gotHash [32]byte
+	copy(gotHash[:], d.buf[:32])
+	d.buf = d.buf[32:]
+	if gotHash != programHash(prog) {
+		return nil, file, ErrStaleProgram
+	}
+	halted, err := d.boolv()
+	if err != nil {
+		return nil, file, err
+	}
+
+	t := &Trace{name: name, budget: budget, halted: halted}
+
+	nStatic, err := d.uvarint()
+	if err != nil {
+		return nil, file, err
+	}
+	if nStatic > uint64(len(d.buf)) { // each entry is >= 2 bytes
+		return nil, file, ErrTruncated
+	}
+	t.staticPC = make([]uint32, nStatic)
+	t.staticWord = make([]uint32, nStatic)
+	t.staticInst = make([]isa.Inst, nStatic)
+	var prevPC int64
+	for i := range t.staticPC {
+		dpc, err := d.varint()
+		if err != nil {
+			return nil, file, err
+		}
+		prevPC += dpc
+		word, err := d.uvarint()
+		if err != nil {
+			return nil, file, err
+		}
+		t.staticPC[i] = uint32(prevPC)
+		t.staticWord[i] = uint32(word)
+		t.staticInst[i] = isa.Decode(isa.Word(word))
+	}
+
+	nRec, err := d.uvarint()
+	if err != nil {
+		return nil, file, err
+	}
+	if nRec > uint64(len(d.buf)) { // each record is >= 5 bytes
+		return nil, file, ErrTruncated
+	}
+	t.si = make([]uint32, nRec)
+	t.next = make([]uint32, nRec)
+	t.ea = make([]uint32, nRec)
+	t.val = make([]uint32, nRec)
+	t.flags = make([]uint8, nRec)
+	for i := range t.si {
+		si, err := d.uvarint()
+		if err != nil {
+			return nil, file, err
+		}
+		if si >= nStatic {
+			return nil, file, fmt.Errorf("%w: static index %d out of range", ErrTruncated, si)
+		}
+		dnext, err := d.varint()
+		if err != nil {
+			return nil, file, err
+		}
+		if len(d.buf) < 1 {
+			return nil, file, ErrTruncated
+		}
+		fl := d.buf[0]
+		d.buf = d.buf[1:]
+		ea, err := d.uvarint()
+		if err != nil {
+			return nil, file, err
+		}
+		val, err := d.uvarint()
+		if err != nil {
+			return nil, file, err
+		}
+		t.si[i] = uint32(si)
+		t.next[i] = uint32(int64(t.staticPC[si]) + isa.InstBytes + dnext)
+		t.flags[i] = fl
+		t.ea[i] = uint32(ea)
+		t.val[i] = uint32(val)
+	}
+
+	nOut, err := d.uvarint()
+	if err != nil {
+		return nil, file, err
+	}
+	if nOut > uint64(len(d.buf)) {
+		return nil, file, ErrTruncated
+	}
+	if nOut > 0 {
+		t.outAt = make([]uint64, nOut)
+		var prevAt uint64
+		for i := range t.outAt {
+			dat, err := d.uvarint()
+			if err != nil {
+				return nil, file, err
+			}
+			prevAt += dat
+			t.outAt[i] = prevAt
+		}
+		t.out = make([]byte, nOut)
+	}
+	if uint64(copy(t.out, d.buf)) != nOut || uint64(len(d.buf)) != nOut {
+		return nil, file, ErrTruncated
+	}
+	return t, file, nil
+}

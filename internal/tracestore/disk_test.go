@@ -1,0 +1,172 @@
+package tracestore
+
+import (
+	"errors"
+	"os"
+	"reflect"
+	"testing"
+)
+
+// TestDiskRoundTrip: a saved trace loads back with every column — and
+// therefore every reconstructed record and the OUT stream — identical.
+func TestDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w := mustWorkload(t, "compress")
+	prog := w.Build()
+	orig, err := Capture("compress", prog, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := saveTrace(dir, orig, prog); err != nil {
+		t.Fatal(err)
+	}
+	got, file, err := loadTrace(dir, "compress", 5000, prog)
+	if err != nil {
+		t.Fatalf("load %s: %v", file, err)
+	}
+	if got == nil {
+		t.Fatal("saved trace not found")
+	}
+	if got.Len() != orig.Len() || got.Complete() != orig.Complete() {
+		t.Fatalf("shape mismatch: %d/%v vs %d/%v", got.Len(), got.Complete(), orig.Len(), orig.Complete())
+	}
+	for i := uint64(0); i < orig.Len(); i++ {
+		if !reflect.DeepEqual(orig.record(i), got.record(i)) {
+			t.Fatalf("record %d differs:\n  orig %+v\n  load %+v", i, orig.record(i), got.record(i))
+		}
+	}
+	if !reflect.DeepEqual(orig.outAt, got.outAt) || !reflect.DeepEqual(orig.out, got.out) {
+		t.Fatal("OUT stream differs after round trip")
+	}
+}
+
+// TestDiskRejectsFailClosed: every corruption mode — flipped payload
+// byte, wrong version, wrong magic, truncation, a different program
+// image, a renamed key — must come back as the matching typed error, so
+// the store falls back to live capture instead of replaying garbage.
+func TestDiskRejectsFailClosed(t *testing.T) {
+	dir := t.TempDir()
+	w := mustWorkload(t, "compress")
+	prog := w.Build()
+	tr, err := Capture("compress", prog, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := saveTrace(dir, tr, prog); err != nil {
+		t.Fatal(err)
+	}
+	file := traceFileName(dir, "compress", 2000)
+	pristine, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore := func() {
+		if err := os.WriteFile(file, pristine, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	corrupt := func(name string, want error, mutate func(b []byte) []byte) {
+		t.Run(name, func(t *testing.T) {
+			restore()
+			b := append([]byte(nil), pristine...)
+			if err := os.WriteFile(file, mutate(b), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := loadTrace(dir, "compress", 2000, prog)
+			if got != nil || err == nil {
+				t.Fatalf("corrupted load returned (%v, %v), want typed error", got, err)
+			}
+			if want != nil && !errors.Is(err, want) {
+				t.Fatalf("error = %v, want %v", err, want)
+			}
+		})
+	}
+
+	corrupt("flipped-payload-byte", ErrBadChecksum, func(b []byte) []byte {
+		b[len(b)/2] ^= 0x40
+		return b
+	})
+	corrupt("bad-version", ErrBadVersion, func(b []byte) []byte {
+		b[4] = 0xFF // version field follows the 4-byte magic
+		return b
+	})
+	corrupt("bad-magic", ErrBadMagic, func(b []byte) []byte {
+		b[0] = 'X'
+		return b
+	})
+	corrupt("truncated", nil, func(b []byte) []byte {
+		return b[:len(b)/3]
+	})
+
+	t.Run("stale-program", func(t *testing.T) {
+		restore()
+		other := mustWorkload(t, "gcc").Build()
+		got, _, err := loadTrace(dir, "compress", 2000, other)
+		if got != nil || !errors.Is(err, ErrStaleProgram) {
+			t.Fatalf("stale-program load = (%v, %v), want ErrStaleProgram", got, err)
+		}
+	})
+	t.Run("key-mismatch", func(t *testing.T) {
+		restore()
+		if err := os.Rename(file, traceFileName(dir, "compress", 9999)); err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := loadTrace(dir, "compress", 9999, prog)
+		if got != nil || !errors.Is(err, ErrKeyMismatch) {
+			t.Fatalf("renamed-key load = (%v, %v), want ErrKeyMismatch", got, err)
+		}
+	})
+}
+
+// TestStoreDiskFailClosedToLiveCapture: with a corrupted file in the
+// trace directory, Get still succeeds — by live capture — and counts
+// the rejection; the repaired file then serves a disk load in a fresh
+// store.
+func TestStoreDiskFailClosedToLiveCapture(t *testing.T) {
+	dir := t.TempDir()
+
+	s1 := NewStore(0)
+	s1.SetDir(dir)
+	if _, out, err := s1.Get("compress", 2000); err != nil || out != OutcomeCapture {
+		t.Fatalf("priming Get = (%v, %v)", out, err)
+	}
+	if st := s1.Stats(); st.DiskSaves != 1 {
+		t.Fatalf("disk saves = %d, want 1", st.DiskSaves)
+	}
+	file := traceFileName(dir, "compress", 2000)
+	raw, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 1
+	if err := os.WriteFile(file, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := NewStore(0)
+	s2.SetDir(dir)
+	var logged []error
+	s2.RejectLog = func(_ string, err error) { logged = append(logged, err) }
+	ent, out, err := s2.Get("compress", 2000)
+	if err != nil || out != OutcomeCapture || ent == nil {
+		t.Fatalf("Get over corrupt file = (%v, %v, %v), want live capture", ent, out, err)
+	}
+	st := s2.Stats()
+	if st.DiskRejects != 1 || st.DiskLoads != 0 {
+		t.Fatalf("rejects/loads = %d/%d, want 1/0", st.DiskRejects, st.DiskLoads)
+	}
+	if len(logged) != 1 || !errors.Is(logged[0], ErrBadChecksum) {
+		t.Fatalf("reject log = %v, want one ErrBadChecksum", logged)
+	}
+
+	// The live capture re-persisted a valid file: a fresh store loads it.
+	s3 := NewStore(0)
+	s3.SetDir(dir)
+	if _, out, err := s3.Get("compress", 2000); err != nil || out != OutcomeCapture {
+		t.Fatalf("warm-restart Get = (%v, %v)", out, err)
+	}
+	if st := s3.Stats(); st.DiskLoads != 1 {
+		t.Fatalf("warm restart disk loads = %d, want 1", st.DiskLoads)
+	}
+}

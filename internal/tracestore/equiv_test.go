@@ -1,0 +1,71 @@
+package tracestore
+
+import (
+	"reflect"
+	"testing"
+
+	"tcsim/internal/emu"
+	"tcsim/internal/obs"
+	"tcsim/internal/pipeline"
+	"tcsim/internal/workload"
+)
+
+// TestReplayMatchesLiveEndToEnd is the soundness proof for the whole
+// store: for every bundled workload, under the default machine and an
+// ablation variant, a pipeline run replaying a captured stream must be
+// bit-for-bit identical to the live-emulated run — reflect.DeepEqual on
+// the full Stats, the identical OUT stream, and an identical timeline
+// event stream when tracing is on.
+func TestReplayMatchesLiveEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const budget = 20_000
+	variants := []struct {
+		name string
+		mut  func(*pipeline.Config)
+	}{
+		{"default", func(*pipeline.Config) {}},
+		{"no-inactive-issue", func(c *pipeline.Config) { c.InactiveIssue = false }},
+	}
+	for _, w := range workload.All() {
+		prog := w.Build()
+		tr, err := Capture(w.Name, prog, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range variants {
+			t.Run(w.Name+"/"+v.name, func(t *testing.T) {
+				run := func(oracle emu.Source) (pipeline.Stats, []byte, *obs.Timeline) {
+					cfg := pipeline.DefaultConfig()
+					cfg.MaxInsts = budget
+					v.mut(&cfg)
+					cfg.Oracle = oracle
+					rec := obs.NewRecorder(1 << 14)
+					cfg.Recorder = rec
+					sim, err := pipeline.New(cfg, prog)
+					if err != nil {
+						t.Fatal(err)
+					}
+					st, err := sim.Run()
+					if err != nil {
+						t.Fatal(err)
+					}
+					return st, sim.Output(), rec.Timeline()
+				}
+				liveSt, liveOut, liveTL := run(nil)
+				repSt, repOut, repTL := run(tr.NewReplay())
+				if !reflect.DeepEqual(liveSt, repSt) {
+					t.Errorf("Stats diverge:\n live  %+v\n replay %+v", liveSt, repSt)
+				}
+				if !reflect.DeepEqual(liveOut, repOut) {
+					t.Errorf("Output diverges: live %d bytes, replay %d bytes", len(liveOut), len(repOut))
+				}
+				if !reflect.DeepEqual(liveTL, repTL) {
+					t.Errorf("timelines diverge: live %d events, replay %d events",
+						len(liveTL.Events), len(repTL.Events))
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,311 @@
+package tracestore
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tcsim/internal/asm"
+	"tcsim/internal/workload"
+)
+
+// DefaultMaxBytes bounds the shared store's resident trace bytes. All
+// fifteen bundled workloads at the default 300k-instruction budget fit
+// comfortably (~100 MiB); the LRU evicts least-recently-replayed traces
+// beyond the cap.
+const DefaultMaxBytes = 256 << 20
+
+// Entry is one resident capture: the built program image and its
+// correct-path stream. Both are immutable and shared by every replaying
+// simulation.
+type Entry struct {
+	Prog  *asm.Program
+	Trace *Trace
+}
+
+// Outcome reports how a Get was served, for metrics and the benchmark
+// harness's capture-vs-replay labeling.
+type Outcome int
+
+const (
+	// OutcomeReplay: the trace was already resident (or another caller's
+	// concurrent capture was joined); the run replays.
+	OutcomeReplay Outcome = iota
+	// OutcomeCapture: this call captured the trace (possibly loading it
+	// from the on-disk store instead of emulating).
+	OutcomeCapture
+)
+
+func (o Outcome) String() string {
+	if o == OutcomeCapture {
+		return "capture"
+	}
+	return "replay"
+}
+
+// Stats is a point-in-time snapshot of the store's counters.
+type Stats struct {
+	Captures       uint64 // streams captured by emulation
+	ReplayHits     uint64 // Gets served from a resident trace
+	Evictions      uint64 // traces evicted by the LRU byte bound
+	ResidentBytes  int64  // bytes held right now
+	ResidentTraces int    // traces held right now
+	CaptureNanos   int64  // cumulative wall time spent capturing
+	DiskLoads      uint64 // captures satisfied by a valid on-disk trace
+	DiskSaves      uint64 // captures persisted to the trace directory
+	DiskRejects    uint64 // on-disk traces rejected (corrupt/stale/version)
+}
+
+type key struct {
+	name   string
+	budget uint64
+}
+
+type entry struct {
+	key   key
+	ent   *Entry
+	bytes int64
+	prev  *entry
+	next  *entry
+}
+
+type captureFlight struct {
+	done chan struct{}
+	ent  *Entry
+	err  error
+}
+
+// Store is a bounded, process-wide LRU of captured traces with
+// singleflight capture: concurrent Gets for the same (workload, budget)
+// run one capture and share it. Safe for concurrent use.
+type Store struct {
+	mu       sync.Mutex
+	maxBytes int64
+	entries  map[key]*entry
+	head     *entry // most recently used
+	tail     *entry // least recently used
+	bytes    int64
+	flights  map[key]*captureFlight
+	dir      string // on-disk trace directory ("" = memory only)
+
+	captures     atomic.Uint64
+	replayHits   atomic.Uint64
+	evictions    atomic.Uint64
+	captureNanos atomic.Int64
+	diskLoads    atomic.Uint64
+	diskSaves    atomic.Uint64
+	diskRejects  atomic.Uint64
+
+	// rejectLog receives one line per rejected on-disk trace so the
+	// fail-closed path is loud even without a logger wired in. Nil
+	// discards. Set before serving.
+	RejectLog func(file string, err error)
+}
+
+// NewStore returns a store bounded to maxBytes of resident trace data
+// (<= 0 selects DefaultMaxBytes).
+func NewStore(maxBytes int64) *Store {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	return &Store{
+		maxBytes: maxBytes,
+		entries:  make(map[key]*entry),
+		flights:  make(map[key]*captureFlight),
+	}
+}
+
+var shared = NewStore(0)
+
+// Shared returns the process-wide store every workload run goes
+// through: tcsim.RunWorkload, the experiments sweep runner, and tcserved
+// jobs all capture once and replay many here.
+func Shared() *Store { return shared }
+
+// SetDir points the store at an on-disk trace directory: Gets that miss
+// in memory try to load a persisted trace before capturing, and fresh
+// captures are persisted for warm restarts. Validation is strict —
+// magic, version, payload checksum, workload name, budget, and the
+// program's content hash must all match, or the file is rejected
+// (counted, reported via RejectLog) and the store falls back to live
+// capture. An empty dir disables persistence.
+func (s *Store) SetDir(dir string) {
+	s.mu.Lock()
+	s.dir = dir
+	s.mu.Unlock()
+}
+
+// Dir returns the configured trace directory.
+func (s *Store) Dir() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dir
+}
+
+// Stats snapshots the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	bytes, n := s.bytes, len(s.entries)
+	s.mu.Unlock()
+	return Stats{
+		Captures:       s.captures.Load(),
+		ReplayHits:     s.replayHits.Load(),
+		Evictions:      s.evictions.Load(),
+		ResidentBytes:  bytes,
+		ResidentTraces: n,
+		CaptureNanos:   s.captureNanos.Load(),
+		DiskLoads:      s.diskLoads.Load(),
+		DiskSaves:      s.diskSaves.Load(),
+		DiskRejects:    s.diskRejects.Load(),
+	}
+}
+
+// Get returns the capture for (name, budget), capturing it on first use.
+// budget must be the fully resolved retirement bound (non-zero). The
+// returned Entry is immutable and shared; run a simulation off it with
+// Entry.Trace.NewReplay().
+func (s *Store) Get(name string, budget uint64) (*Entry, Outcome, error) {
+	if budget == 0 {
+		return nil, OutcomeReplay, fmt.Errorf("tracestore: budget must be resolved (non-zero) for %q", name)
+	}
+	k := key{name, budget}
+	for {
+		s.mu.Lock()
+		if e, ok := s.entries[k]; ok {
+			s.touch(e)
+			s.mu.Unlock()
+			s.replayHits.Add(1)
+			return e.ent, OutcomeReplay, nil
+		}
+		if f, ok := s.flights[k]; ok {
+			s.mu.Unlock()
+			<-f.done
+			if f.err != nil {
+				return nil, OutcomeReplay, f.err
+			}
+			// Joined a concurrent capture: for this caller it is a
+			// replay — the work was not repeated.
+			s.replayHits.Add(1)
+			return f.ent, OutcomeReplay, nil
+		}
+		f := &captureFlight{done: make(chan struct{})}
+		s.flights[k] = f
+		dir := s.dir
+		s.mu.Unlock()
+
+		f.ent, f.err = s.capture(k, dir)
+		s.mu.Lock()
+		if f.err == nil {
+			s.insert(k, f.ent)
+		}
+		delete(s.flights, k)
+		s.mu.Unlock()
+		close(f.done)
+		return f.ent, OutcomeCapture, f.err
+	}
+}
+
+// capture builds the program and captures (or disk-loads) its stream.
+func (s *Store) capture(k key, dir string) (*Entry, error) {
+	w, ok := workload.ByName(k.name)
+	if !ok {
+		return nil, fmt.Errorf("tracestore: unknown workload %q", k.name)
+	}
+	prog := w.Build()
+
+	if dir != "" {
+		tr, file, err := loadTrace(dir, k.name, k.budget, prog)
+		switch {
+		case err == nil && tr != nil:
+			s.captures.Add(1)
+			s.diskLoads.Add(1)
+			return &Entry{Prog: prog, Trace: tr}, nil
+		case err != nil:
+			// Fail closed to live capture, loudly.
+			s.diskRejects.Add(1)
+			if s.RejectLog != nil {
+				s.RejectLog(file, err)
+			}
+		}
+	}
+
+	t0 := time.Now()
+	tr, err := Capture(k.name, prog, k.budget)
+	if err != nil {
+		return nil, err
+	}
+	s.captureNanos.Add(time.Since(t0).Nanoseconds())
+	s.captures.Add(1)
+
+	if dir != "" && tr.stepErr == nil {
+		if err := saveTrace(dir, tr, prog); err == nil {
+			s.diskSaves.Add(1)
+		} else if s.RejectLog != nil {
+			s.RejectLog(traceFileName(dir, k.name, k.budget), err)
+		}
+	}
+	return &Entry{Prog: prog, Trace: tr}, nil
+}
+
+// --- LRU internals (s.mu held) ---
+
+func (s *Store) touch(e *entry) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}
+
+func (s *Store) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *Store) pushFront(e *entry) {
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *Store) insert(k key, ent *Entry) {
+	if _, dup := s.entries[k]; dup {
+		return
+	}
+	e := &entry{key: k, ent: ent, bytes: ent.Trace.Bytes()}
+	s.entries[k] = e
+	s.pushFront(e)
+	s.bytes += e.bytes
+	for s.bytes > s.maxBytes && s.tail != nil && s.tail != e {
+		victim := s.tail
+		s.unlink(victim)
+		delete(s.entries, victim.key)
+		s.bytes -= victim.bytes
+		s.evictions.Add(1)
+	}
+}
+
+// Reset drops every resident trace and zeroes nothing else (counters
+// keep accumulating). Test hook.
+func (s *Store) Reset() {
+	s.mu.Lock()
+	s.entries = make(map[key]*entry)
+	s.head, s.tail = nil, nil
+	s.bytes = 0
+	s.mu.Unlock()
+}

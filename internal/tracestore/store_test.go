@@ -1,0 +1,100 @@
+package tracestore
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestStoreSingleflightCapture: N concurrent Gets for the same key run
+// exactly one capture; everyone shares the same immutable entry.
+func TestStoreSingleflightCapture(t *testing.T) {
+	s := NewStore(0)
+	const n = 8
+	ents := make([]*Entry, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ent, _, err := s.Get("compress", 5000)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ents[i] = ent
+		}(i)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Captures != 1 {
+		t.Errorf("captures = %d, want 1", st.Captures)
+	}
+	if st.ReplayHits != n-1 {
+		t.Errorf("replay hits = %d, want %d", st.ReplayHits, n-1)
+	}
+	for i := 1; i < n; i++ {
+		if ents[i] != ents[0] {
+			t.Fatalf("caller %d got a different entry", i)
+		}
+	}
+	if st.ResidentTraces != 1 || st.ResidentBytes != ents[0].Trace.Bytes() {
+		t.Errorf("resident = %d traces / %d bytes, want 1 / %d",
+			st.ResidentTraces, st.ResidentBytes, ents[0].Trace.Bytes())
+	}
+	if st.CaptureNanos <= 0 {
+		t.Error("capture wall time not accounted")
+	}
+}
+
+// TestStoreGetOutcomes: first Get captures, second replays; distinct
+// budgets are distinct keys.
+func TestStoreGetOutcomes(t *testing.T) {
+	s := NewStore(0)
+	_, out1, err := s.Get("compress", 3000)
+	if err != nil || out1 != OutcomeCapture {
+		t.Fatalf("first Get = (%v, %v), want capture", out1, err)
+	}
+	_, out2, err := s.Get("compress", 3000)
+	if err != nil || out2 != OutcomeReplay {
+		t.Fatalf("second Get = (%v, %v), want replay", out2, err)
+	}
+	_, out3, err := s.Get("compress", 4000)
+	if err != nil || out3 != OutcomeCapture {
+		t.Fatalf("different-budget Get = (%v, %v), want capture", out3, err)
+	}
+	if _, _, err := s.Get("no-such-workload", 1000); err == nil {
+		t.Fatal("unknown workload did not error")
+	}
+	if _, _, err := s.Get("compress", 0); err == nil {
+		t.Fatal("zero budget did not error")
+	}
+}
+
+// TestStoreLRUEviction: a store bounded below two traces' footprint
+// evicts the least-recently-used one and keeps the byte accounting
+// consistent.
+func TestStoreLRUEviction(t *testing.T) {
+	ent, _, err := NewStore(0).Get("compress", 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := ent.Trace.Bytes()
+
+	s := NewStore(one + one/2) // fits one trace, not two
+	if _, _, err := s.Get("compress", 3000); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get("gcc", 3000); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Evictions != 1 || st.ResidentTraces != 1 {
+		t.Fatalf("evictions = %d, resident = %d; want 1 eviction leaving 1 trace",
+			st.Evictions, st.ResidentTraces)
+	}
+	// compress (least recently used) was the victim: getting it again is
+	// a fresh capture.
+	if _, out, _ := s.Get("compress", 3000); out != OutcomeCapture {
+		t.Errorf("evicted trace came back as %v, want re-capture", out)
+	}
+}

@@ -1,0 +1,253 @@
+// Package tracestore captures the correct-path dynamic instruction
+// stream of a workload once per (workload, instruction budget) and
+// replays it to any number of subsequent simulations.
+//
+// The stream the fill unit and the timing pipeline consume depends only
+// on the program and the retirement budget — never on the machine
+// configuration — so re-running the functional emulator for every config
+// variant of a sweep is pure redundancy. A captured Trace is an
+// immutable, compact, columnar (struct-of-arrays) record store:
+// per-static-instruction fields (the PC and decoded instruction) are
+// interned into a side table and each dynamic record carries a 4-byte
+// index into it, the dynamic sequence number is implicit in the record's
+// position, and the remaining per-record fields are packed flat arrays.
+// Replay reconstructs emu.Record values on the fly with zero
+// allocations and is bit-for-bit indistinguishable from live emulation.
+package tracestore
+
+import (
+	"fmt"
+	"sort"
+
+	"tcsim/internal/asm"
+	"tcsim/internal/emu"
+	"tcsim/internal/isa"
+)
+
+// CaptureSlack is how many records past the retirement budget a capture
+// extends. The pipeline fetches ahead of retirement by at most its
+// in-flight window plus the fetch/issue latches, so a replayed run can
+// legally touch records past its MaxInsts budget; the slack must exceed
+// that maximum lead for every reachable configuration. A test in this
+// package pins CaptureSlack against pipeline.MaxOracleLead, and Replay
+// panics loudly if a truncated trace is ever read past its end — a
+// silent divergence from live emulation is never possible.
+const CaptureSlack = 4096
+
+// Record flag bits (the bool columns of emu.Record, packed).
+const (
+	flagTaken = 1 << iota
+	flagLoad
+	flagStore
+)
+
+// Trace is one captured correct-path stream: an immutable columnar
+// record store plus the program OUT bytes needed to reconstruct
+// Machine.Output at any replay high-water mark. All fields are read-only
+// after capture (or load); a Trace is safe for concurrent replay.
+type Trace struct {
+	name   string
+	budget uint64
+
+	// Interned per-static-instruction side table. staticWord holds the
+	// raw encodings for serialization; staticInst the decoded forms the
+	// records are reconstructed from.
+	staticPC   []uint32
+	staticWord []uint32
+	staticInst []isa.Inst
+
+	// Per-record columns; the record's Seq is its index.
+	si    []uint32 // index into the static table
+	next  []uint32 // architecturally next PC
+	ea    []uint32 // effective address (memory ops; else 0)
+	val   []uint32 // destination/store value (else 0)
+	flags []uint8
+
+	// OUT reconstruction: out[i] was emitted by record outAt[i]
+	// (ascending).
+	outAt []uint64
+	out   []byte
+
+	// halted: the stream ends because the program executed HALT.
+	// stepErr: the stream ends because extending it hit an execution
+	// error (illegal instruction). When neither is set the capture was
+	// truncated at budget+slack and reading past the end is a bug.
+	halted  bool
+	stepErr error
+}
+
+// Capture runs the functional emulator over prog and records the
+// correct-path stream: budget+CaptureSlack records, or fewer if the
+// program halts (or faults) first. budget must be non-zero — an
+// unbounded capture of a non-halting workload would never return.
+func Capture(name string, prog *asm.Program, budget uint64) (*Trace, error) {
+	if budget == 0 {
+		return nil, fmt.Errorf("tracestore: refusing unbounded capture of %q (budget 0)", name)
+	}
+	limit := budget + CaptureSlack
+	t := &Trace{name: name, budget: budget}
+	t.si = make([]uint32, 0, limit)
+	t.next = make([]uint32, 0, limit)
+	t.ea = make([]uint32, 0, limit)
+	t.val = make([]uint32, 0, limit)
+	t.flags = make([]uint8, 0, limit)
+
+	// Intern key: the raw word as well as the PC, so self-modifying text
+	// (a store into the text image) can never alias two different
+	// dynamic instructions onto one static entry.
+	type staticKey struct{ pc, word uint32 }
+	intern := make(map[staticKey]uint32)
+
+	m := emu.New(prog)
+	for uint64(len(t.si)) < limit {
+		pc := m.PC
+		word := m.Mem.Read32(pc)
+		rec, err := m.Step()
+		if err != nil {
+			t.stepErr = err
+			break
+		}
+		k := staticKey{pc, word}
+		idx, ok := intern[k]
+		if !ok {
+			idx = uint32(len(t.staticPC))
+			intern[k] = idx
+			t.staticPC = append(t.staticPC, pc)
+			t.staticWord = append(t.staticWord, word)
+			t.staticInst = append(t.staticInst, rec.Inst)
+		}
+		var fl uint8
+		if rec.Taken {
+			fl |= flagTaken
+		}
+		if rec.Load {
+			fl |= flagLoad
+		}
+		if rec.Store {
+			fl |= flagStore
+		}
+		t.si = append(t.si, idx)
+		t.next = append(t.next, rec.NextPC)
+		t.ea = append(t.ea, rec.EA)
+		t.val = append(t.val, rec.Val)
+		t.flags = append(t.flags, fl)
+		if rec.Inst.Op == isa.OUT {
+			t.outAt = append(t.outAt, rec.Seq)
+		}
+		if m.Halted {
+			t.halted = true
+			break
+		}
+	}
+	t.out = append([]byte(nil), m.Output...)
+	if len(t.outAt) != len(t.out) {
+		return nil, fmt.Errorf("tracestore: capture of %q desynced OUT stream (%d records, %d bytes)",
+			name, len(t.outAt), len(t.out))
+	}
+	return t, nil
+}
+
+// Name returns the workload name the trace was captured for.
+func (t *Trace) Name() string { return t.name }
+
+// Budget returns the retirement budget the trace was captured under.
+func (t *Trace) Budget() uint64 { return t.budget }
+
+// Len reports the number of captured records.
+func (t *Trace) Len() uint64 { return uint64(len(t.si)) }
+
+// Complete reports whether the stream's end is architecturally defined
+// (HALT or an execution fault) rather than a capture truncation.
+func (t *Trace) Complete() bool { return t.halted || t.stepErr != nil }
+
+// Bytes estimates the trace's resident size, for the store's LRU
+// accounting.
+func (t *Trace) Bytes() int64 {
+	const instSize = 16 // isa.Inst: Op+3 regs padded + int32
+	return int64(len(t.staticPC))*(4+4+instSize) +
+		int64(len(t.si))*(4+4+4+4+1) +
+		int64(len(t.outAt))*8 + int64(len(t.out))
+}
+
+// record reconstructs the emu.Record at index i. Pure value
+// construction: no allocation.
+func (t *Trace) record(i uint64) emu.Record {
+	s := t.si[i]
+	fl := t.flags[i]
+	return emu.Record{
+		Seq:    i,
+		PC:     t.staticPC[s],
+		Inst:   t.staticInst[s],
+		NextPC: t.next[i],
+		Taken:  fl&flagTaken != 0,
+		EA:     t.ea[i],
+		Store:  fl&flagStore != 0,
+		Load:   fl&flagLoad != 0,
+		Val:    t.val[i],
+	}
+}
+
+// NewReplay returns a fresh replay cursor over the trace. Each simulator
+// run takes its own Replay; the underlying Trace is shared and
+// immutable.
+func (t *Trace) NewReplay() *Replay { return &Replay{t: t} }
+
+// Replay serves a captured Trace through the emu.Source interface with
+// live-oracle semantics: a sliding released window, lazy-machine OUT
+// reconstruction, and the live implementation's end-of-stream and error
+// behavior. The steady-state path (At/Release) never allocates.
+type Replay struct {
+	t       *Trace
+	base    uint64 // lowest non-released seq (for the released-read panic)
+	hw      uint64 // records "stepped": max seq served + 1, like the lazy machine
+	stepErr error  // set once replay extends past a faulting stream's end
+}
+
+var _ emu.Source = (*Replay)(nil)
+
+// At returns the record with dynamic sequence number seq, mirroring the
+// live oracle exactly: ok=false past the end of a complete stream,
+// panic on a released seq. Reading past the end of a truncated
+// (incomplete) trace panics — it means CaptureSlack was smaller than
+// the pipeline's fetch-ahead and silently diverging from live emulation
+// is not an option.
+func (r *Replay) At(seq uint64) (emu.Record, bool) {
+	if seq < r.base {
+		panic(fmt.Sprintf("emu: oracle record %d already released (base %d)", seq, r.base))
+	}
+	t := r.t
+	if seq >= uint64(len(t.si)) {
+		if !t.Complete() {
+			panic(fmt.Sprintf("tracestore: replay of %q read record %d past the %d captured (budget %d + slack %d): capture slack is smaller than the pipeline's fetch-ahead",
+				t.name, seq, len(t.si), t.budget, CaptureSlack))
+		}
+		// The live machine would have stepped everything up to the end
+		// while failing to reach seq.
+		r.hw = uint64(len(t.si))
+		r.stepErr = t.stepErr
+		return emu.Record{}, false
+	}
+	if seq+1 > r.hw {
+		r.hw = seq + 1
+	}
+	return t.record(seq), true
+}
+
+// Release discards records with Seq < upTo.
+func (r *Replay) Release(upTo uint64) {
+	if upTo > r.base {
+		r.base = upTo
+	}
+}
+
+// Err reports the execution error at the stream's end, once replay has
+// actually reached it — the same laziness as the live oracle.
+func (r *Replay) Err() error { return r.stepErr }
+
+// Output returns the OUT bytes the program had emitted by the replay's
+// high-water record — exactly what the lazily stepped live machine's
+// Output holds at the same point.
+func (r *Replay) Output() []byte {
+	n := sort.Search(len(r.t.outAt), func(i int) bool { return r.t.outAt[i] >= r.hw })
+	return r.t.out[:n]
+}

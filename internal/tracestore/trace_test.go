@@ -1,0 +1,180 @@
+package tracestore
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"tcsim/internal/asm"
+	"tcsim/internal/emu"
+	"tcsim/internal/isa"
+	"tcsim/internal/pipeline"
+	"tcsim/internal/workload"
+)
+
+func mustWorkload(t testing.TB, name string) workload.Workload {
+	t.Helper()
+	w, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("no workload %q", name)
+	}
+	return w
+}
+
+func mustCapture(t testing.TB, name string, budget uint64) *Trace {
+	t.Helper()
+	tr, err := Capture(name, mustWorkload(t, name).Build(), budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestCaptureMatchesLiveOracle: every record a Replay serves must be
+// identical to what the live oracle produces for the same seq, and the
+// reconstructed Output must track the live machine's exactly.
+func TestCaptureMatchesLiveOracle(t *testing.T) {
+	for _, name := range []string{"compress", "gcc", "python"} {
+		t.Run(name, func(t *testing.T) {
+			const budget = 20_000
+			w := mustWorkload(t, name)
+			tr := mustCapture(t, name, budget)
+			if tr.Len() == 0 {
+				t.Fatal("empty capture")
+			}
+			live := emu.NewOracle(emu.New(w.Build()))
+			rep := tr.NewReplay()
+			for seq := uint64(0); seq < tr.Len(); seq++ {
+				want, wok := live.At(seq)
+				got, gok := rep.At(seq)
+				if wok != gok || !reflect.DeepEqual(want, got) {
+					t.Fatalf("record %d: live (%+v, %v) != replay (%+v, %v)", seq, want, wok, got, gok)
+				}
+				if seq%512 == 0 {
+					live.Release(seq)
+					rep.Release(seq)
+				}
+				if !reflect.DeepEqual(live.Output(), rep.Output()) {
+					t.Fatalf("record %d: output diverged: live %d bytes, replay %d bytes",
+						seq, len(live.Output()), len(rep.Output()))
+				}
+			}
+			if live.Err() != nil || rep.Err() != nil {
+				t.Fatalf("unexpected errors: live %v replay %v", live.Err(), rep.Err())
+			}
+		})
+	}
+}
+
+// TestCaptureSlackCoversMaxOracleLead pins the soundness condition of
+// budget-truncated captures: the slack past the budget must cover the
+// farthest the pipeline can push the oracle cursor past retirement.
+func TestCaptureSlackCoversMaxOracleLead(t *testing.T) {
+	lead := pipeline.MaxOracleLead(pipeline.DefaultConfig())
+	if CaptureSlack < lead {
+		t.Fatalf("CaptureSlack = %d < pipeline.MaxOracleLead = %d: replay could overrun a truncated capture", CaptureSlack, lead)
+	}
+}
+
+// TestCaptureRefusesUnboundedBudget: a non-halting workload with budget
+// 0 would capture forever; the store must refuse, not hang.
+func TestCaptureRefusesUnboundedBudget(t *testing.T) {
+	if _, err := Capture("compress", mustWorkload(t, "compress").Build(), 0); err == nil {
+		t.Fatal("Capture with budget 0 succeeded; want refusal")
+	}
+}
+
+// TestReplayPanicsOnReleasedSeq mirrors the live oracle's contract: a
+// read below the released watermark is a pipeline retirement-ordering
+// bug and must panic identically.
+func TestReplayPanicsOnReleasedSeq(t *testing.T) {
+	tr := mustCapture(t, "compress", 1000)
+	rep := tr.NewReplay()
+	rep.At(10)
+	rep.Release(5)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("reading a released seq did not panic")
+		}
+		if !strings.Contains(r.(string), "already released") {
+			t.Fatalf("wrong panic: %v", r)
+		}
+	}()
+	rep.At(3)
+}
+
+// TestReplayPanicsOnTruncatedOverread: reading past the end of a
+// budget-truncated capture must fail loudly — a silent ok=false there
+// would diverge from live emulation.
+func TestReplayPanicsOnTruncatedOverread(t *testing.T) {
+	tr := mustCapture(t, "compress", 1000)
+	if tr.Complete() {
+		t.Skip("capture completed within budget; nothing truncated to overread")
+	}
+	rep := tr.NewReplay()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("reading past a truncated capture did not panic")
+		}
+		if !strings.Contains(r.(string), "capture slack") {
+			t.Fatalf("wrong panic: %v", r)
+		}
+	}()
+	rep.At(tr.Len())
+}
+
+// haltingProgram builds a tiny program that emits "hi" and halts —
+// the bundled workloads all outrun any budget, so the end-of-stream
+// semantics need a program with an architectural end.
+func haltingProgram(t testing.TB) *asm.Program {
+	t.Helper()
+	b := asm.NewBuilder()
+	b.Label("main")
+	b.Li(isa.T0, 'h')
+	b.Out(isa.T0)
+	b.Li(isa.T0, 'i')
+	b.Out(isa.T0)
+	b.Halt()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestReplayEndOfCompleteStream: past the end of a HALT-terminated
+// stream, replay must mirror the live oracle — ok=false, nil error —
+// and Output must return the full OUT stream.
+func TestReplayEndOfCompleteStream(t *testing.T) {
+	prog := haltingProgram(t)
+	tr, err := Capture("tiny", prog, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Complete() {
+		t.Fatal("tiny program did not record a HALT")
+	}
+	live := emu.NewOracle(emu.New(haltingProgram(t)))
+	rep := tr.NewReplay()
+	for seq := uint64(0); ; seq++ {
+		want, wok := live.At(seq)
+		got, gok := rep.At(seq)
+		if wok != gok || !reflect.DeepEqual(want, got) {
+			t.Fatalf("record %d: live (%v,%v) != replay (%v,%v)", seq, want, wok, got, gok)
+		}
+		if !wok {
+			break
+		}
+	}
+	if live.Err() != nil || rep.Err() != nil {
+		t.Fatalf("errors at end: live %v replay %v", live.Err(), rep.Err())
+	}
+	if !reflect.DeepEqual(live.Output(), rep.Output()) {
+		t.Fatalf("final output differs: live %q replay %q", live.Output(), rep.Output())
+	}
+	if got := string(rep.Output()); got != "hi" {
+		t.Fatalf("replay output = %q, want %q", got, "hi")
+	}
+}

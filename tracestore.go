@@ -1,0 +1,30 @@
+package tcsim
+
+import "tcsim/internal/tracestore"
+
+// TraceStoreStats is a snapshot of the process-wide trace store's
+// counters: captures, replay hits, evictions, resident bytes/traces,
+// cumulative capture wall time, and on-disk load/save/reject counts.
+type TraceStoreStats = tracestore.Stats
+
+// TraceStats snapshots the process-wide trace store every workload run
+// goes through. The serving layer exports these in /metrics, and the
+// benchmark harness diffs them around a run to record whether it was
+// served by capture or replay.
+func TraceStats() TraceStoreStats { return tracestore.Shared().Stats() }
+
+// SetTraceDir points the process-wide trace store at an on-disk trace
+// directory (the -tracedir flag): captures persist there and warm
+// restarts load them back instead of re-emulating. Files that fail
+// validation — wrong magic, version, checksum, or a trace captured from
+// a different program image — are rejected loudly and the run falls
+// back to live capture; a stale trace can never replay silently. An
+// empty dir disables persistence.
+func SetTraceDir(dir string) { tracestore.Shared().SetDir(dir) }
+
+// SetTraceRejectLog installs a callback invoked once per rejected
+// on-disk trace file (nil discards). The daemon wires this into its
+// structured logger.
+func SetTraceRejectLog(fn func(file string, err error)) {
+	tracestore.Shared().RejectLog = fn
+}
