@@ -10,6 +10,8 @@ import (
 	"tcsim/internal/experiments"
 	"tcsim/internal/obs"
 	"tcsim/internal/pipeline"
+	"tcsim/internal/replace"
+	"tcsim/internal/trace"
 	"tcsim/internal/tracestore"
 	"tcsim/internal/workload"
 )
@@ -65,6 +67,36 @@ func DefaultPassSpec() []string { return core.DefaultPassSpec() }
 // on CLI flag parsing).
 func ValidatePassSpec(spec []string) error { return core.ValidateSpec(spec) }
 
+// PolicyDesc describes one registered cache replacement policy
+// (selectable via Config.TCPolicy / Config.ICPolicy).
+type PolicyDesc struct {
+	Name string // Config.TCPolicy / -tc-policy name
+	Desc string // one-line description
+	// Default marks the policy "" resolves to (LRU).
+	Default bool
+	// Oracle marks policies that consult future knowledge of the
+	// reference stream (the Belady headroom bound). They only run over
+	// captured workload traces (RunWorkload), never live programs.
+	Oracle bool
+}
+
+// Policies lists every registered replacement policy in canonical order.
+func Policies() []PolicyDesc {
+	var out []PolicyDesc
+	for _, pi := range replace.Registered() {
+		out = append(out, PolicyDesc{Name: pi.Name, Desc: pi.Desc, Default: pi.Default, Oracle: pi.Oracle})
+	}
+	return out
+}
+
+// DefaultPolicy returns the name an empty policy field resolves to.
+func DefaultPolicy() string { return replace.Default() }
+
+// ValidatePolicy checks a policy name against the registry ("" is valid:
+// the default). The same check runs inside simulator construction; use
+// this to fail fast on CLI flags or wire requests.
+func ValidatePolicy(name string) error { return replace.Validate(name) }
+
 // Config describes one simulated machine. Zero values select the
 // paper's baseline; construct with DefaultConfig and override fields.
 type Config struct {
@@ -91,6 +123,16 @@ type Config struct {
 	// UseTraceCache enables the trace cache front end (default on;
 	// disable for the instruction-cache-only ablation).
 	UseTraceCache bool
+	// TCPolicy selects the trace cache's replacement policy by registered
+	// name (see Policies; "" = the default, LRU). The "belady" oracle
+	// needs future knowledge of the reference stream and therefore only
+	// runs under RunWorkload (which replays a captured trace); Run rejects
+	// it.
+	TCPolicy string
+	// ICPolicy selects the L1 instruction cache's replacement policy
+	// ("" = LRU). Data-side caches always use LRU: the replacement lab
+	// targets the fetch path.
+	ICPolicy string
 	// Clusters x FUsPerCluster organizes the 16 functional units
 	// (paper: 4 x 4).
 	Clusters      int
@@ -140,6 +182,8 @@ func (c Config) pipelineConfig() pipeline.Config {
 	pc.Fill.Promotion = c.Promotion
 	pc.InactiveIssue = c.InactiveIssue
 	pc.UseTraceCache = c.UseTraceCache
+	pc.TCache.Policy = c.TCPolicy
+	pc.Cache.L1IPolicy = c.ICPolicy
 	if c.Clusters > 0 {
 		pc.Exec.Clusters = c.Clusters
 		pc.Fill.Clusters = c.Clusters
@@ -197,6 +241,15 @@ type Result struct {
 	// segment was finalized.
 	SegLengths []uint64
 
+	// TraceReuse decants trace-cache line reuse by segment shape: one row
+	// per (instruction-mix, loop-back) class that retired at least one
+	// line generation, in canonical class order. Lines still resident at
+	// end of run are included.
+	TraceReuse []TraceReuseRow
+	// TCBypasses counts fills the replacement policy rejected outright
+	// (always zero except under a bypass-capable policy like "belady").
+	TCBypasses uint64
+
 	// Timeline is the recorded event timeline (nil unless
 	// Config.Timeline was set). Write it out with WriteChromeTrace for
 	// chrome://tracing / Perfetto.
@@ -214,6 +267,45 @@ type Timeline = obs.Timeline
 // TimelineEvent is one recorded event; see the obs package for the
 // event kinds and field meanings.
 type TimelineEvent = obs.Event
+
+// TraceReuseRow is one reuse-decanting class: trace-cache line
+// generations whose segments share an instruction-mix class and
+// loop-back shape, histogrammed by the demand hits each generation took
+// before eviction (or end of run).
+type TraceReuseRow struct {
+	// Mix is the segment's instruction-mix class: "alu", "mem" or
+	// "branchy".
+	Mix string
+	// Loop marks segments containing a loop-back edge.
+	Loop bool
+	// Lines is the number of line generations in this class.
+	Lines uint64
+	// Hits[n] counts generations that took exactly n demand hits; the
+	// last bucket (index trace.ReuseCap) aggregates n >= cap. Trailing
+	// zeros are trimmed.
+	Hits []uint64
+}
+
+func reuseRows(rs trace.ReuseStats) []TraceReuseRow {
+	var rows []TraceReuseRow
+	for class := 0; class < trace.NumReuseClasses; class++ {
+		lines := rs.Lines(class)
+		if lines == 0 {
+			continue
+		}
+		mix, loop := trace.ReuseClassLabel(class)
+		last := -1
+		for i, n := range rs.Counts[class] {
+			if n != 0 {
+				last = i
+			}
+		}
+		row := TraceReuseRow{Mix: mix.String(), Loop: loop, Lines: lines}
+		row.Hits = append(row.Hits, rs.Counts[class][:last+1]...)
+		rows = append(rows, row)
+	}
+	return rows
+}
 
 func resultFrom(st pipeline.Stats, out []byte) Result {
 	pct := func(n uint64) float64 {
@@ -245,6 +337,8 @@ func resultFrom(st pipeline.Stats, out []byte) Result {
 		OptimizedPct:      pct(st.RetiredAnyOpt),
 		PassStats:         st.Passes,
 		SegLengths:        segLens,
+		TraceReuse:        reuseRows(st.TCReuse),
+		TCBypasses:        st.TCBypasses,
 		Output:            out,
 	}
 }
@@ -259,18 +353,21 @@ func Run(cfg Config, prog *Program) (Result, error) {
 // the context's own error when it is cancelled or its deadline passes.
 // A completed run is bit-for-bit identical to Run with the same Config.
 func RunContext(ctx context.Context, cfg Config, prog *Program) (Result, error) {
-	return runContext(ctx, cfg, prog, nil, 0)
+	return runContext(ctx, cfg, prog, nil, nil, 0)
 }
 
 // runContext runs the pipeline over prog. When oracle is non-nil the
 // run replays a captured stream instead of emulating live; the two are
-// bit-for-bit identical. captured, when non-zero, is the record count of
-// a capture this run triggered — a cold run — and emits the
-// capture-phase timeline event (warm replays and live runs carry none,
-// so their timelines match each other exactly).
-func runContext(ctx context.Context, cfg Config, prog *Program, oracle emu.Source, captured uint64) (Result, error) {
+// bit-for-bit identical. future, when non-nil, is the future-reference
+// index oracle replacement policies consult (the captured trace itself);
+// nil rejects oracle policies at construction. captured, when non-zero,
+// is the record count of a capture this run triggered — a cold run — and
+// emits the capture-phase timeline event (warm replays and live runs
+// carry none, so their timelines match each other exactly).
+func runContext(ctx context.Context, cfg Config, prog *Program, oracle emu.Source, future pipeline.FutureIndex, captured uint64) (Result, error) {
 	pc := cfg.pipelineConfig()
 	pc.Oracle = oracle
+	pc.Future = future
 	if ctx.Done() != nil {
 		pc.Cancelled = func() bool { return ctx.Err() != nil }
 	}
@@ -337,7 +434,7 @@ func RunWorkloadContext(ctx context.Context, cfg Config, name string) (Result, e
 			if outcome == tracestore.OutcomeCapture {
 				captured = ent.Trace.Len()
 			}
-			return runContext(ctx, cfg, &Program{p: ent.Prog}, ent.Trace.NewReplay(), captured)
+			return runContext(ctx, cfg, &Program{p: ent.Prog}, ent.Trace.NewReplay(), ent.Trace, captured)
 		}
 		// A store failure (it cannot happen for the bundled workloads)
 		// falls back to plain live emulation.
@@ -441,11 +538,25 @@ func (s *Suite) Reproduce(id string) (string, error) {
 			return "", err
 		}
 		return a.Format(r.WorkloadNames()), nil
+	case PoliciesExperimentID:
+		p, err := r.PolicyLab()
+		if err != nil {
+			return "", err
+		}
+		return p.Format(r.WorkloadNames()), nil
 	}
 	return "", fmt.Errorf("tcsim: unknown experiment %q", id)
 }
 
-// ExperimentIDs lists every reproducible table/figure id.
+// ExperimentIDs lists every table/figure id reproduced by the "all"
+// sweep. The replacement-policy lab (PoliciesExperimentID) is reproduced
+// on explicit request only — it is this simulator's extension, not one
+// of the paper's figures, so "all" output stays stable.
 func ExperimentIDs() []string {
 	return []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table2", "ablations"}
 }
+
+// PoliciesExperimentID reproduces the registry-generated replacement
+// policy x workload figure (IPC and trace-cache hit rate under every
+// registered policy, the Belady oracle as the upper-bound column).
+const PoliciesExperimentID = "policies"

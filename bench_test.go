@@ -6,6 +6,7 @@ import (
 	"tcsim"
 	"tcsim/internal/experiments"
 	"tcsim/internal/pipeline"
+	"tcsim/internal/replace"
 	"tcsim/internal/tracestore"
 	"tcsim/internal/workload"
 )
@@ -142,34 +143,57 @@ func BenchmarkAblations(b *testing.B) {
 }
 
 // BenchmarkCycleLoop measures the steady-state per-cycle path in
-// isolation: one warm simulator advanced one cycle per iteration. The
-// allocs/op report pins the allocation-free invariant (uop pool, reused
-// fetch latch, recycled checkpoints and trace lines); any regression
-// shows up as a non-zero count.
+// isolation: one warm simulator advanced one cycle per iteration, one
+// sub-benchmark per registered replacement policy. The allocs/op report
+// pins the allocation-free invariant (uop pool, reused fetch latch,
+// recycled checkpoints and trace lines, and the policy's victim path —
+// including the belady oracle's future-index binary searches); any
+// regression shows up as a non-zero count. All variants replay a
+// captured trace so oracle policies have their future index; the
+// default policy's live-emulation path is covered by
+// BenchmarkCycleLoop/lru plus BenchmarkReplayCycleLoop's counterpart.
 func BenchmarkCycleLoop(b *testing.B) {
+	const budget = 300_000
 	w, _ := workload.ByName("compress")
-	cfg := pipeline.DefaultConfig()
-	cfg.MaxInsts = 0 // run until the benchmark stops it
-	warm := func() *pipeline.Simulator {
-		sim, err := pipeline.New(cfg, w.Build())
-		if err != nil {
-			b.Fatal(err)
-		}
-		for i := 0; i < 30_000; i++ {
-			sim.Step()
-		}
-		return sim
+	prog := w.Build()
+	tr, err := tracestore.Capture("compress", prog, budget)
+	if err != nil {
+		b.Fatal(err)
 	}
-	sim := warm()
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if sim.Done() {
-			b.StopTimer()
-			sim = warm()
-			b.StartTimer()
-		}
-		sim.Step()
+	for _, pol := range replace.Names() {
+		b.Run(pol, func(b *testing.B) {
+			cfg := pipeline.DefaultConfig()
+			cfg.MaxInsts = budget
+			cfg.TCache.Policy = pol
+			cfg.Cache.L1IPolicy = pol
+			cfg.Future = tr
+			warm := func() *pipeline.Simulator {
+				c := cfg
+				c.Oracle = tr.NewReplay()
+				sim, err := pipeline.New(c, prog)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for i := 0; i < 30_000; i++ {
+					sim.Step()
+				}
+				if sim.Done() {
+					b.Fatal("replay finished during warmup")
+				}
+				return sim
+			}
+			sim := warm()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if sim.Done() {
+					b.StopTimer()
+					sim = warm()
+					b.StartTimer()
+				}
+				sim.Step()
+			}
+		})
 	}
 }
 

@@ -143,6 +143,15 @@ func (c *Client) Passes(ctx context.Context) ([]Pass, error) {
 	return ps, nil
 }
 
+// Policies lists the registered cache replacement policies.
+func (c *Client) Policies(ctx context.Context) ([]Policy, error) {
+	var ps []Policy
+	if err := c.do(ctx, http.MethodGet, "/v1/policies", nil, &ps); err != nil {
+		return nil, err
+	}
+	return ps, nil
+}
+
 // Metrics fetches the daemon's counter snapshot (GET /metrics.json —
 // GET /metrics serves the same counters in the Prometheus text format).
 func (c *Client) Metrics(ctx context.Context) (*Metrics, error) {

@@ -56,6 +56,14 @@ type JobRequest struct {
 	FUsPerCluster int    `json:"fus_per_cluster,omitempty"` // 0 = 4
 	MaxCycles     uint64 `json:"max_cycles,omitempty"`
 
+	// TCPolicy and ICPolicy select the trace-cache and L1 instruction
+	// cache replacement policies by registered name (GET /v1/policies;
+	// "" = the default, LRU). The canonical cache key always carries the
+	// resolved name, so "" and an explicit "lru" hash identically — and
+	// any non-default policy hashes differently.
+	TCPolicy string `json:"tc_policy,omitempty"`
+	ICPolicy string `json:"ic_policy,omitempty"`
+
 	// TimeoutMS caps the job's wall time (0 = the server default; the
 	// server also enforces a maximum). Timeouts do not affect the cache
 	// key: the same machine config always hashes the same.
@@ -136,6 +144,16 @@ type Pass struct {
 	Default bool   `json:"default"`
 }
 
+// Policy is one registered cache replacement policy (GET /v1/policies).
+type Policy struct {
+	Name    string `json:"name"`
+	Desc    string `json:"desc"`
+	Default bool   `json:"default"`
+	// Oracle marks offline upper-bound policies (future knowledge from
+	// the captured trace stream; only valid for workload jobs).
+	Oracle bool `json:"oracle,omitempty"`
+}
+
 // Metrics is the GET /metrics snapshot: expvar-style monotonic counters
 // plus point-in-time gauges.
 type Metrics struct {
@@ -171,9 +189,27 @@ type Metrics struct {
 	// canonical pass order.
 	Passes []tcsim.PassStat `json:"passes,omitempty"`
 
+	// TraceReuse decants trace-cache line reuse by segment shape
+	// ("alu", "mem+loop", ...) across executed jobs: line generations
+	// retired and the demand hits they took.
+	TraceReuse []ReuseClassMetrics `json:"trace_reuse,omitempty"`
+	// TCBypasses counts trace-cache fills rejected by the replacement
+	// policy (non-zero only under bypass-capable policies like belady).
+	TCBypasses uint64 `json:"tc_bypasses,omitempty"`
+
 	// TraceStore reports the process-wide capture-once/replay-many trace
 	// store every simulation is served through.
 	TraceStore TraceStoreMetrics `json:"trace_store"`
+}
+
+// ReuseClassMetrics is one reuse-decanting class aggregate inside
+// Metrics: trace-cache line generations whose segments share an
+// instruction-mix class and loop-back shape, and the demand hits they
+// took before eviction.
+type ReuseClassMetrics struct {
+	Class string `json:"class"`
+	Lines uint64 `json:"lines"`
+	Hits  uint64 `json:"hits"`
 }
 
 // TraceStoreMetrics is the trace store's counter snapshot inside

@@ -21,7 +21,12 @@ type benchReport struct {
 	Insts     uint64   `json:"insts_per_workload"`
 	GoMaxProc int      `json:"gomaxprocs"`
 	PassSpec  []string `json:"pass_spec"`
-	TotalSecs float64  `json:"total_wall_secs"`
+	// TCPolicy/ICPolicy record the replacement policies the sweep ran
+	// under ("" on the wire never appears: the default resolves to its
+	// registered name, so provenance is always explicit).
+	TCPolicy  string  `json:"tc_policy"`
+	ICPolicy  string  `json:"ic_policy"`
+	TotalSecs float64 `json:"total_wall_secs"`
 
 	Workloads  []workloadBench `json:"workloads"`
 	GeomeanIPS float64         `json:"geomean_sim_inst_per_sec"`
@@ -84,15 +89,26 @@ type traceStoreBench struct {
 // configuration (or an explicit -passes spec), measuring wall time and
 // allocation deltas, then times each figure of the reproduction suite,
 // and writes the JSON report.
-func runBench(stdout io.Writer, logger *slog.Logger, insts uint64, outPath string, spec []string) error {
+func runBench(stdout io.Writer, logger *slog.Logger, insts uint64, outPath string, spec []string, tcPolicy, icPolicy string) error {
 	if spec == nil {
 		spec = tcsim.DefaultPassSpec()
 	}
-	rep := benchReport{Insts: insts, GoMaxProc: runtime.GOMAXPROCS(0), PassSpec: spec}
+	rep := benchReport{
+		Insts: insts, GoMaxProc: runtime.GOMAXPROCS(0), PassSpec: spec,
+		TCPolicy: tcPolicy, ICPolicy: icPolicy,
+	}
+	if rep.TCPolicy == "" {
+		rep.TCPolicy = tcsim.DefaultPolicy()
+	}
+	if rep.ICPolicy == "" {
+		rep.ICPolicy = tcsim.DefaultPolicy()
+	}
 	start := time.Now()
 
 	cfg := tcsim.DefaultConfig()
 	cfg.Passes = spec
+	cfg.TCPolicy = tcPolicy
+	cfg.ICPolicy = icPolicy
 	cfg.MaxInsts = insts
 
 	var ms0, ms1 runtime.MemStats

@@ -39,11 +39,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tcexp", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp      = fs.String("exp", "all", "experiment id: "+strings.Join(tcsim.ExperimentIDs(), ", ")+", 'all', or 'bench'")
+		exp      = fs.String("exp", "all", "experiment id: "+strings.Join(tcsim.ExperimentIDs(), ", ")+", '"+tcsim.PoliciesExperimentID+"', 'all', or 'bench'")
 		insts    = fs.Uint64("insts", 200_000, "retired-instruction budget per simulation (0 = workload defaults)")
 		benchOut = fs.String("bench-out", "BENCH_sweep.json", "output path for -exp bench")
 		passes   = fs.String("passes", "", "pass pipeline for the -exp bench sweep (default: the paper's combined configuration); figures always use their defined variants")
+		tcPolicy = fs.String("tc-policy", "", "trace-cache replacement policy for the -exp bench sweep (default "+tcsim.DefaultPolicy()+"; see -list-policies); the policies figure always sweeps all of them")
+		icPolicy = fs.String("ic-policy", "", "L1 instruction-cache replacement policy for the -exp bench sweep (default "+tcsim.DefaultPolicy()+")")
 		listPass = fs.Bool("list-passes", false, "list registered optimization passes and exit")
+		listPol  = fs.Bool("list-policies", false, "list registered cache replacement policies and exit")
 		progress = fs.Bool("progress", false, "emit structured per-figure/per-workload progress lines to stderr")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file at exit")
@@ -71,6 +74,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	if *listPol {
+		listPolicies(stdout)
+		return 0
+	}
+
 	if !validExperiment(*exp) {
 		return usagef("unknown experiment %q (valid: %s, all, bench)",
 			*exp, strings.Join(tcsim.ExperimentIDs(), ", "))
@@ -91,6 +99,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	for _, p := range []string{*tcPolicy, *icPolicy} {
+		if err := tcsim.ValidatePolicy(p); err != nil {
+			return usagef("%v", err)
+		}
+	}
+	if (*tcPolicy != "" || *icPolicy != "") && *exp != "bench" {
+		return usagef("-tc-policy/-ic-policy only apply to -exp bench; the %q figure sweeps every registered policy", tcsim.PoliciesExperimentID)
+	}
+
 	stop, err := prof.Start(*cpuProf, *memProf, *trc)
 	if err != nil {
 		fmt.Fprintf(stderr, "tcexp: %v\n", err)
@@ -106,7 +123,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	logger := slog.New(slog.NewTextHandler(logDst, nil))
 
 	if *exp == "bench" {
-		err = runBench(stdout, logger, *insts, *benchOut, spec)
+		err = runBench(stdout, logger, *insts, *benchOut, spec, *tcPolicy, *icPolicy)
 	} else {
 		err = runFigures(stdout, logger, *exp, *insts)
 	}
@@ -121,8 +138,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // validExperiment reports whether id names a reproducible experiment.
+// The policy lab is valid standalone but not part of "all" (it is this
+// simulator's extension, not a paper figure).
 func validExperiment(id string) bool {
-	if id == "all" || id == "bench" {
+	if id == "all" || id == "bench" || id == tcsim.PoliciesExperimentID {
 		return true
 	}
 	for _, known := range tcsim.ExperimentIDs() {
@@ -161,4 +180,20 @@ func runFigures(stdout io.Writer, logger *slog.Logger, exp string, insts uint64)
 // secs rounds a duration to milliseconds for stable JSON output.
 func secs(d time.Duration) float64 {
 	return float64(d.Round(time.Millisecond)) / float64(time.Second)
+}
+
+// listPolicies prints the replacement-policy registry (-list-policies;
+// tcsim has the same flag).
+func listPolicies(stdout io.Writer) {
+	for _, p := range tcsim.Policies() {
+		mark := " "
+		switch {
+		case p.Default:
+			mark = "*"
+		case p.Oracle:
+			mark = "o"
+		}
+		fmt.Fprintf(stdout, "%s %-8s %s\n", mark, p.Name, p.Desc)
+	}
+	fmt.Fprintln(stdout, "(* = default; o = oracle bound, runs over captured workload traces only)")
 }

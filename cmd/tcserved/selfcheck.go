@@ -207,6 +207,12 @@ func runSelfcheck(stdout, stderr io.Writer, scfg server.Config, jobs int, insts 
 		}
 	}
 
+	// Policy phase: the served registry must match the in-process one,
+	// an explicit default policy must hash (and cache) identically to an
+	// absent one, and non-default policies must split the cache key while
+	// still matching a direct run bit-for-bit.
+	polUnique := checkPolicies(ctx, cl, insts, &fails)
+
 	// Cache effectiveness: the storm repeated every config, so hits and
 	// joins together must cover jobs-unique, and hits must be nonzero.
 	met, err := cl.Metrics(ctx)
@@ -217,9 +223,9 @@ func runSelfcheck(stdout, stderr io.Writer, scfg server.Config, jobs int, insts 
 	if met.CacheHits == 0 {
 		fails.failf("cache hit counter is zero after %d submissions of %d unique configs", jobs, len(unique))
 	}
-	if met.CacheMisses > uint64(len(unique)) {
+	if met.CacheMisses > uint64(len(unique)+polUnique) {
 		fails.failf("%d cache misses for %d unique configs: canonical hashing is splitting identical jobs",
-			met.CacheMisses, len(unique))
+			met.CacheMisses, len(unique)+polUnique)
 	}
 	if met.JobsCompleted < uint64(jobs) {
 		fails.failf("jobs_completed %d < submitted %d", met.JobsCompleted, jobs)
@@ -289,6 +295,91 @@ func runSelfcheck(stdout, stderr io.Writer, scfg server.Config, jobs int, insts 
 		met.TraceStore.Captures, met.TraceStore.ReplayHits,
 		rejected, time.Since(t0).Seconds())
 	return 0
+}
+
+// checkPolicies is the replacement-policy phase: GET /v1/policies must
+// mirror the registry exactly; "" and the explicit default name must
+// resolve to one cache key (the explicit job must therefore hit the
+// cache warmed by the storm); and each non-default policy must produce a
+// distinct key whose served result is bit-for-bit a direct run's. It
+// returns how many fresh unique configs it submitted, so the caller can
+// widen its cache-miss bound.
+func checkPolicies(ctx context.Context, cl *client.Client, insts uint64, fails *checkFailure) int {
+	served, err := cl.Policies(ctx)
+	if err != nil {
+		fails.failf("GET /v1/policies: %v", err)
+	} else {
+		reg := tcsim.Policies()
+		if len(served) != len(reg) {
+			fails.failf("GET /v1/policies returned %d policies, registry has %d", len(served), len(reg))
+		} else {
+			for i, p := range reg {
+				got := served[i]
+				if got.Name != p.Name || got.Desc != p.Desc || got.Default != p.Default || got.Oracle != p.Oracle {
+					fails.failf("/v1/policies[%d] = %+v, registry has %+v", i, got, p)
+				}
+			}
+		}
+	}
+
+	base := client.JobRequest{Workload: "m88ksim", Insts: insts, Preset: client.PresetAll}
+	_, defKey, err := server.ResolveConfig(&base, server.Limits{})
+	if err != nil {
+		fails.failf("policy phase: resolve default config: %v", err)
+		return 0
+	}
+
+	// Explicit default == implicit default: same key, and the storm
+	// already ran this config, so the job must be served from cache.
+	explicit := base
+	explicit.TCPolicy = tcsim.DefaultPolicy()
+	if _, key, err := server.ResolveConfig(&explicit, server.Limits{}); err != nil {
+		fails.failf("policy phase: resolve explicit-default config: %v", err)
+	} else if key != defKey {
+		fails.failf("explicit policy %q hashes to %s, implicit default to %s — canonical resolution split them",
+			explicit.TCPolicy, key, defKey)
+	}
+	if job, err := cl.SubmitJob(ctx, &explicit); err != nil {
+		fails.failf("explicit-default policy job: %v", err)
+	} else if !job.Cached {
+		fails.failf("explicit-default policy job missed the cache although the storm ran the same config (key %s)", job.Key)
+	}
+
+	// Non-default policies: distinct keys, bit-for-bit served results.
+	fresh := 0
+	for _, pol := range []string{"srrip", "belady"} {
+		req := base
+		req.TCPolicy = pol
+		dcfg, key, err := server.ResolveConfig(&req, server.Limits{})
+		if err != nil {
+			fails.failf("policy %s: resolve: %v", pol, err)
+			continue
+		}
+		if key == defKey {
+			fails.failf("policy %s hashes to the default policy's key %s — the policy is not in the canonical config", pol, key)
+			continue
+		}
+		fresh++
+		// The oracle policy needs the captured trace stream, so the
+		// reference run goes through the workload path like the server's.
+		expected, err := tcsim.RunWorkload(dcfg, req.Workload)
+		if err != nil {
+			fails.failf("policy %s: direct run: %v", pol, err)
+			continue
+		}
+		job, err := cl.SubmitJob(ctx, &req)
+		if err != nil {
+			fails.failf("policy %s: submit: %v", pol, err)
+			continue
+		}
+		if job.Key != key {
+			fails.failf("policy %s: server key %s != client-computed key %s", pol, job.Key, key)
+		}
+		if job.Result == nil || !reflect.DeepEqual(*job.Result, expected) {
+			fails.failf("policy %s (key %s): served result differs from direct run", pol, key)
+		}
+	}
+	return fresh
 }
 
 // checkObservability validates the daemon's observability surface:

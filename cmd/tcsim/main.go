@@ -38,6 +38,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		opts     = fs.String("opt", "", "fill-unit optimizations: comma list of moves,reassoc,scadd,place, or 'all'")
 		passes   = fs.String("passes", "", "explicit pass pipeline, ordered (e.g. reassoc,moves,scadd,place); overrides -opt; see -list-passes")
 		listPass = fs.Bool("list-passes", false, "list registered optimization passes and exit")
+		tcPolicy = fs.String("tc-policy", "", "trace-cache replacement policy (default "+tcsim.DefaultPolicy()+"; see -list-policies); 'belady' needs -workload")
+		icPolicy = fs.String("ic-policy", "", "L1 instruction-cache replacement policy (default "+tcsim.DefaultPolicy()+")")
+		listPol  = fs.Bool("list-policies", false, "list registered cache replacement policies and exit")
 		timePass = fs.Bool("time-passes", false, "collect per-pass wall time (adds clock reads to the fill path)")
 		fillLat  = fs.Int("fill-latency", 1, "fill unit latency in cycles")
 		noTC     = fs.Bool("no-tcache", false, "disable the trace cache (instruction-cache front end only)")
@@ -79,6 +82,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		listPasses(stdout)
 		return 0
 	}
+	if *listPol {
+		listPolicies(stdout)
+		return 0
+	}
 
 	cfg := tcsim.DefaultConfig()
 	cfg.MaxInsts = *insts
@@ -92,6 +99,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg.TimePasses = *timePass
 	cfg.Timeline = *timeline != ""
 	cfg.TimelineEvents = *tlEvents
+	cfg.TCPolicy = *tcPolicy
+	cfg.ICPolicy = *icPolicy
+	for _, p := range []string{*tcPolicy, *icPolicy} {
+		if err := tcsim.ValidatePolicy(p); err != nil {
+			return usagef("%v", err)
+		}
+	}
 	if *passes != "" {
 		if *opts != "" {
 			return usagef("pass either -opt or -passes, not both")
@@ -185,6 +199,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "reassociated        %.2f%%\n", res.ReassocPct)
 	fmt.Fprintf(stdout, "scaled ops          %.2f%%\n", res.ScaledPct)
 	fmt.Fprintf(stdout, "any transformation  %.2f%%\n", res.OptimizedPct)
+	if res.TCBypasses > 0 {
+		fmt.Fprintf(stdout, "tc fill bypasses    %d\n", res.TCBypasses)
+	}
+	for _, row := range res.TraceReuse {
+		var hits uint64
+		for h, n := range row.Hits {
+			hits += uint64(h) * n
+		}
+		shape := row.Mix
+		if row.Loop {
+			shape += "+loop"
+		}
+		fmt.Fprintf(stdout, "tc reuse %-11s %9d lines  %9d hits  %6.2f hits/line\n",
+			shape, row.Lines, hits, float64(hits)/float64(row.Lines))
+	}
 	for _, ps := range res.PassStats {
 		fmt.Fprintf(stdout, "pass %-14s %9d segs  %9d touched  %9d rewritten  %9d edges removed",
 			ps.Name, ps.Segments, ps.Touched, ps.Rewritten, ps.EdgesRemoved)
@@ -209,6 +238,22 @@ func splitSpec(s string) []string {
 		}
 	}
 	return out
+}
+
+// listPolicies prints the replacement-policy registry in canonical
+// order.
+func listPolicies(w io.Writer) {
+	for _, p := range tcsim.Policies() {
+		mark := " "
+		switch {
+		case p.Default:
+			mark = "*"
+		case p.Oracle:
+			mark = "o"
+		}
+		fmt.Fprintf(w, "%s %-8s %s\n", mark, p.Name, p.Desc)
+	}
+	fmt.Fprintln(w, "(* = default; o = oracle bound, runs over captured workload traces only)")
 }
 
 // listPasses prints the registered pass roster in canonical order.

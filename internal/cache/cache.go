@@ -1,25 +1,31 @@
 // Package cache models the simulator's memory hierarchy: a generic
-// set-associative cache with true-LRU replacement and the three-level
-// hierarchy the paper configures (4KB 4-way L1 instruction cache, 64KB
-// 4-way L1 data cache, 1MB unified L2 at 6 cycles, memory at 50 cycles,
-// no bus contention).
+// set-associative cache with pluggable replacement (internal/replace;
+// true LRU by default) and the three-level hierarchy the paper
+// configures (4KB 4-way L1 instruction cache, 64KB 4-way L1 data
+// cache, 1MB unified L2 at 6 cycles, memory at 50 cycles, no bus
+// contention).
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"tcsim/internal/replace"
+)
 
 // line is one cache way's state; lines are stored flat ([set*ways+way])
 // so a set's ways share a cache line of host memory and construction is
-// a single allocation.
+// a single allocation. Replacement recency lives in the policy, not
+// here.
 type line struct {
 	tag   uint32
 	valid bool
 	dirty bool
-	lru   uint64 // larger = more recently used
 }
 
-// Cache is a set-associative cache with true LRU replacement. It tracks
-// tags only (the simulator never needs cached data — values come from the
-// functional oracle), which matches how timing simulators model caches.
+// Cache is a set-associative cache whose victim choice is delegated to
+// a registered replacement policy. It tracks tags only (the simulator
+// never needs cached data — values come from the functional oracle),
+// which matches how timing simulators model caches.
 type Cache struct {
 	name      string
 	sets      int
@@ -31,16 +37,25 @@ type Cache struct {
 	setMask   uint32
 
 	lines []line // [set*ways + way]
-	clock uint64
+	pol   replace.Policy
 
 	Hits   uint64
 	Misses uint64
+	// Bypasses counts miss fills the policy rejected (oracle policies
+	// only); a bypassed miss still reports its full miss latency.
+	Bypasses uint64
 }
 
-// New constructs a cache of totalBytes capacity with the given
+// New constructs a true-LRU cache of totalBytes capacity with the given
 // associativity and line size. totalBytes must be an exact multiple of
 // ways*lineBytes and all sizes powers of two.
 func New(name string, totalBytes, ways, lineBytes int) (*Cache, error) {
+	return NewWithPolicy(name, totalBytes, ways, lineBytes, "")
+}
+
+// NewWithPolicy is New with an explicit replacement policy name ("" =
+// the registry default, true LRU).
+func NewWithPolicy(name string, totalBytes, ways, lineBytes int, policy string) (*Cache, error) {
 	if totalBytes <= 0 || ways <= 0 || lineBytes <= 0 {
 		return nil, fmt.Errorf("cache %s: non-positive geometry", name)
 	}
@@ -51,9 +66,15 @@ func New(name string, totalBytes, ways, lineBytes int) (*Cache, error) {
 	if sets <= 0 || sets*ways*lineBytes != totalBytes || !pow2(sets) {
 		return nil, fmt.Errorf("cache %s: %dB/%d-way/%dB-line does not divide into power-of-two sets", name, totalBytes, ways, lineBytes)
 	}
+	pol, err := replace.New(policy)
+	if err != nil {
+		return nil, fmt.Errorf("cache %s: %v", name, err)
+	}
+	pol.Resize(sets, ways)
 	c := &Cache{
 		name: name, sets: sets, ways: ways, lineBytes: lineBytes,
 		lineShift: log2(lineBytes), setShift: log2(sets), setMask: uint32(sets - 1),
+		pol: pol,
 	}
 	c.lines = make([]line, sets*ways)
 	return c, nil
@@ -80,64 +101,72 @@ func log2(n int) uint {
 	return s
 }
 
-// set returns the ways of the set containing addr, plus the line's tag.
-func (c *Cache) set(addr uint32) ([]line, uint32) {
-	l := addr >> c.lineShift
-	s := int(l & c.setMask)
-	return c.lines[s*c.ways : s*c.ways+c.ways], l >> c.setShift
+// set returns the ways of the set containing addr, the set index, the
+// line's tag, and the global line number (the policy key).
+func (c *Cache) set(addr uint32) (ways []line, s int, tag, key uint32) {
+	key = addr >> c.lineShift
+	s = int(key & c.setMask)
+	return c.lines[s*c.ways : s*c.ways+c.ways], s, key >> c.setShift, key
+}
+
+// Policy exposes the cache's replacement-policy instance (the pipeline
+// binds oracle state through it; tests inspect it).
+func (c *Cache) Policy() replace.Policy { return c.pol }
+
+// findWay scans a set for a valid line with the given tag, the shared
+// way-probe loop of Access, Probe and Invalidate. Returns -1 on miss.
+func findWay(set []line, tag uint32) int {
+	for w := range set {
+		if set[w].valid && set[w].tag == tag {
+			return w
+		}
+	}
+	return -1
 }
 
 // Access performs a demand access: on a miss the line is allocated,
-// evicting the LRU way. It returns true on hit. isStore marks the line
-// dirty (write-allocate, write-back).
+// evicting the policy's victim. It returns true on hit. isStore marks
+// the line dirty (write-allocate, write-back).
 func (c *Cache) Access(addr uint32, isStore bool) bool {
-	set, tag := c.set(addr)
-	c.clock++
-	for w := range set {
-		l := &set[w]
-		if l.valid && l.tag == tag {
-			l.lru = c.clock
-			if isStore {
-				l.dirty = true
-			}
-			c.Hits++
-			return true
+	set, s, tag, key := c.set(addr)
+	if w := findWay(set, tag); w >= 0 {
+		if isStore {
+			set[w].dirty = true
 		}
+		c.pol.Touch(s, w, key)
+		c.Hits++
+		return true
 	}
 	c.Misses++
-	victim := 0
-	for w := 1; w < len(set); w++ {
-		if !set[w].valid {
-			victim = w
-			break
-		}
-		if set[w].lru < set[victim].lru {
-			victim = w
-		}
+	victim := replace.FindVictim(c.pol, s, c.ways, key,
+		func(w int) bool { return !set[w].valid }, nil)
+	if victim == replace.Bypass {
+		c.Bypasses++
+		return false
 	}
-	set[victim] = line{tag: tag, valid: true, dirty: isStore, lru: c.clock}
+	set[victim] = line{tag: tag, valid: true, dirty: isStore}
+	c.pol.Insert(s, victim, key)
 	return false
 }
 
-// Probe reports whether addr currently hits without updating any state.
+// Probe reports whether addr currently hits without updating any
+// replacement state (the policy's Probe hook is required to be a
+// non-mutating observation).
 func (c *Cache) Probe(addr uint32) bool {
-	set, tag := c.set(addr)
-	for w := range set {
-		if set[w].valid && set[w].tag == tag {
-			return true
-		}
+	set, s, tag, key := c.set(addr)
+	w := findWay(set, tag)
+	if w < 0 {
+		return false
 	}
-	return false
+	c.pol.Probe(s, w, key)
+	return true
 }
 
 // Invalidate drops the line containing addr if present.
 func (c *Cache) Invalidate(addr uint32) {
-	set, tag := c.set(addr)
-	for w := range set {
-		if set[w].valid && set[w].tag == tag {
-			set[w].valid = false
-			return
-		}
+	set, _, tag, _ := c.set(addr)
+	if w := findWay(set, tag); w >= 0 {
+		set[w].valid = false
 	}
 }
 
@@ -146,11 +175,17 @@ func (c *Cache) Reset() {
 	for i := range c.lines {
 		c.lines[i] = line{}
 	}
-	c.clock, c.Hits, c.Misses = 0, 0, 0
+	c.pol.Reset()
+	c.Hits, c.Misses, c.Bypasses = 0, 0, 0
 }
 
 // LineBytes returns the cache's line size.
 func (c *Cache) LineBytes() int { return c.lineBytes }
+
+// LineShift returns log2 of the line size (the policy key is
+// addr >> LineShift; the belady oracle's future index needs the same
+// granularity).
+func (c *Cache) LineShift() uint { return c.lineShift }
 
 // Sets returns the number of sets (test hook).
 func (c *Cache) Sets() int { return c.sets }

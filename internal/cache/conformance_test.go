@@ -1,0 +1,116 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"tcsim/internal/replace"
+)
+
+// conformFuture gives every line key a finite next use so the belady
+// policy ranks rather than bypasses during conformance runs.
+type conformFuture struct{}
+
+func (conformFuture) Next(key uint32, from uint64) (uint64, bool) {
+	return from + uint64(key%512) + 1, true
+}
+
+// newPolicyCache builds a small cache under the named policy, binding a
+// stub oracle when the policy needs one.
+func newPolicyCache(t *testing.T, policy string) *Cache {
+	t.Helper()
+	c, err := NewWithPolicy("t", 2*64, 2, 64, policy) // 1 set, 2 ways
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink, ok := c.Policy().(replace.OracleSink); ok {
+		var pos uint64
+		sink.BindOracle(conformFuture{}, func() uint64 { pos++; return pos })
+	}
+	return c
+}
+
+// TestPolicyConformanceReplacement generalizes TestLRUReplacement to
+// every registered policy: filling a 2-way set with a third line must
+// evict exactly one resident (which one is the policy's business), and
+// the just-inserted line must be resident.
+func TestPolicyConformanceReplacement(t *testing.T) {
+	for _, policy := range replace.Names() {
+		t.Run(policy, func(t *testing.T) {
+			c := newPolicyCache(t, policy)
+			c.Access(0x0000, false) // A
+			c.Access(0x1000, false) // B
+			c.Access(0x2000, false) // C evicts exactly one of A, B
+			if !c.Probe(0x2000) {
+				t.Error("just-inserted line must be resident")
+			}
+			resident := 0
+			for _, a := range []uint32{0x0000, 0x1000} {
+				if c.Probe(a) {
+					resident++
+				}
+			}
+			if resident != 1 {
+				t.Errorf("%d of A,B resident, want exactly 1", resident)
+			}
+			if c.Bypasses != 0 {
+				t.Errorf("conformance future must never bypass, got %d", c.Bypasses)
+			}
+		})
+	}
+}
+
+// TestPolicyConformanceProbePure generalizes TestProbeDoesNotTouch:
+// for every policy, a cache that receives interleaved Probe calls must
+// end bit-for-bit in the same state as a twin that does not — same
+// residency, same hit/miss counts — because Probe never mutates
+// replacement state.
+func TestPolicyConformanceProbePure(t *testing.T) {
+	for _, policy := range replace.Names() {
+		t.Run(policy, func(t *testing.T) {
+			clean := newPolicyCache(t, policy)
+			probed := newPolicyCache(t, policy)
+			rng := rand.New(rand.NewSource(3))
+			for i := 0; i < 2_000; i++ {
+				a := uint32(rng.Intn(64)) << 6 // line-aligned, 64 distinct lines
+				st := rng.Intn(2) == 0
+				h1 := clean.Access(a, st)
+				h2 := probed.Access(a, st)
+				if h1 != h2 {
+					t.Fatalf("step %d: access diverged after probes", i)
+				}
+				for j := 0; j < rng.Intn(4); j++ {
+					probed.Probe(uint32(rng.Intn(64)) << 6)
+				}
+			}
+			if clean.Hits != probed.Hits || clean.Misses != probed.Misses {
+				t.Errorf("stats diverged: %d/%d vs %d/%d",
+					clean.Hits, clean.Misses, probed.Hits, probed.Misses)
+			}
+			for a := uint32(0); a < 64<<6; a += 64 {
+				if clean.Probe(a) != probed.Probe(a) {
+					t.Errorf("residency diverged at %#x", a)
+				}
+			}
+		})
+	}
+}
+
+// TestPolicyConformanceRepeatHit pins the fundamental cache property
+// for every policy: an immediately repeated access hits (the line a
+// non-bypassed miss just allocated is resident).
+func TestPolicyConformanceRepeatHit(t *testing.T) {
+	for _, policy := range replace.Names() {
+		t.Run(policy, func(t *testing.T) {
+			c := newPolicyCache(t, policy)
+			rng := rand.New(rand.NewSource(5))
+			for i := 0; i < 1_000; i++ {
+				a := uint32(rng.Intn(256)) << 6
+				c.Access(a, false)
+				if !c.Probe(a) {
+					t.Fatalf("step %d: line %#x absent immediately after access", i, a)
+				}
+			}
+		})
+	}
+}

@@ -11,6 +11,11 @@ type Params struct {
 	L1DLatency int // load-use latency on an L1D hit, after address generation
 	L2Latency  int // additional cycles to fill from L2
 	MemLatency int // additional cycles to fill from memory
+
+	// L1IPolicy names the L1 instruction cache's replacement policy
+	// ("" = the registry default, true LRU). The data-side caches keep
+	// LRU: the replacement lab targets the fetch path.
+	L1IPolicy string
 }
 
 // DefaultParams is the paper's configuration: 4KB 4-way L1I, 64KB 4-way
@@ -62,7 +67,7 @@ func NewHierarchy(p Params) (*Hierarchy, error) {
 	if p.MemLatency == 0 {
 		p.MemLatency = d.MemLatency
 	}
-	l1i, err := New("L1I", p.L1IBytes, p.L1IWays, p.LineBytes)
+	l1i, err := NewWithPolicy("L1I", p.L1IBytes, p.L1IWays, p.LineBytes, p.L1IPolicy)
 	if err != nil {
 		return nil, err
 	}

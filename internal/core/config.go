@@ -160,4 +160,10 @@ type Stats struct {
 	// per segment — and the source of the serving layer's segment-length
 	// histogram.
 	SegLen [trace.MaxInsts + 1]uint64
+
+	// SegClass counts finalized segments by reuse-decanting class
+	// (trace.ReuseClass: instruction-type mix × loop-back presence).
+	// Always collected, like SegLen; the per-class reuse histograms the
+	// trace cache accumulates use the same class indices.
+	SegClass [trace.NumReuseClasses]uint64
 }

@@ -376,8 +376,13 @@ func (f *FillUnit) finalize(cycle uint64) {
 	markDependencies(seg)
 	f.opts.Run(seg, cycle)
 
+	// Decanting classification: stamp the segment so the trace cache can
+	// attribute this generation's reuse to its mix × loop class.
+	seg.Mix, seg.LoopBack = trace.ClassifySegment(seg)
+
 	f.Stats.SegmentsBuilt++
 	f.Stats.SegLen[len(seg.Insts)]++
+	f.Stats.SegClass[trace.ReuseClass(seg.Mix, seg.LoopBack)]++
 	if r := f.cfg.Recorder; r != nil {
 		r.Emit(cycle, obs.KSegFinal, uint64(seg.StartPC),
 			uint64(len(seg.Insts)), uint64(seg.CondBranches))

@@ -234,6 +234,9 @@ func (r *Runner) simulate(ctx context.Context, w workload.Workload, v ConfigVari
 		if ent, _, err := tracestore.Shared().Get(w.Name, cfg.MaxInsts); err == nil {
 			prog = ent.Prog
 			cfg.Oracle = ent.Trace.NewReplay()
+			// The captured trace doubles as the future-reference index
+			// oracle replacement policies (the Belady bound) consult.
+			cfg.Future = ent.Trace
 		}
 	}
 	if prog == nil {

@@ -107,6 +107,11 @@ func (t *Timeline) chromeEvents() []chromeEvent {
 					Name: "window", Ph: "C", Ts: e.Cycle, Pid: 1,
 					Args: map[string]any{"occupancy": e.B},
 				})
+		case KReuse:
+			evs = append(evs, chromeEvent{
+				Name: "reuse", Ph: "i", Ts: e.Cycle, Pid: 1, Tid: tidFill, S: "t",
+				Args: map[string]any{"class": e.A, "hits": e.B, "start_pc": hexPC(e.C)},
+			})
 		case KCapture:
 			evs = append(evs, chromeEvent{
 				Name: "trace-capture", Ph: "i", Ts: e.Cycle, Pid: 1, Tid: tidFetch, S: "g",

@@ -47,6 +47,13 @@ const (
 	// carry no such event, matching a live-emulated run's timeline).
 	// A = records captured, B = instruction budget.
 	KCapture
+	// KReuse: the trace cache retired a line generation (eviction or
+	// in-place rebuild), the unit of reuse decanting. A = reuse-class
+	// index (instruction-mix × loop-back; trace.ReuseClassLabel decodes
+	// it), B = demand hits the generation took, C = segment start PC.
+	// Appended after KCapture so earlier kinds keep their serialized
+	// values.
+	KReuse
 )
 
 // String names the kind for trace output.
@@ -66,6 +73,8 @@ func (k Kind) String() string {
 		return "issue"
 	case KRetire:
 		return "retire"
+	case KReuse:
+		return "reuse"
 	case KCapture:
 		return "capture"
 	}

@@ -5,6 +5,8 @@ import (
 
 	"tcsim/internal/emu"
 	"tcsim/internal/obs"
+	"tcsim/internal/replace"
+	"tcsim/internal/tracestore"
 	"tcsim/internal/workload"
 )
 
@@ -51,6 +53,55 @@ func TestStepSteadyStateAllocs(t *testing.T) {
 			// growth (e.g. the program's output buffer doubling).
 			if avg > 0.01 {
 				t.Errorf("steady-state Step allocates %.4f allocs/cycle, want ~0", avg)
+			}
+		})
+	}
+}
+
+// TestStepSteadyStateAllocsPerPolicy pins the allocation-free cycle
+// loop under every registered replacement policy: the policy seam's
+// touch/insert/victim hooks — including the belady oracle's
+// future-index binary searches — must not put allocations on the hot
+// path. Runs replay a captured trace so oracle policies have their
+// future index bound.
+func TestStepSteadyStateAllocsPerPolicy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	w, ok := workload.ByName("compress")
+	if !ok {
+		t.Fatal("no workload compress")
+	}
+	prog := w.Build()
+	const budget = 200_000
+	tr, err := tracestore.Capture("compress", prog, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range replace.Names() {
+		t.Run(pol, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.MaxInsts = budget
+			cfg.TCache.Policy = pol
+			cfg.Cache.L1IPolicy = pol
+			cfg.Oracle = tr.NewReplay()
+			cfg.Future = tr
+			sim, err := New(cfg, prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 30_000; i++ {
+				sim.Step()
+			}
+			if sim.Done() {
+				t.Fatal("workload halted during warmup; cannot measure steady state")
+			}
+			avg := testing.AllocsPerRun(2000, sim.Step)
+			if sim.Done() {
+				t.Fatal("workload halted during measurement")
+			}
+			if avg > 0.01 {
+				t.Errorf("policy %s: steady-state Step allocates %.4f allocs/cycle, want ~0", pol, avg)
 			}
 		})
 	}

@@ -68,6 +68,14 @@ type Config struct {
 	// emu.Oracle, pre-sized to MaxOracleLead.
 	Oracle emu.Source
 
+	// Future, when non-nil, supplies the future-reference index over
+	// the run's correct-path stream that oracle replacement policies
+	// (the "belady" headroom bound) consult — typically the
+	// *tracestore.Trace the run replays, which implements the interface.
+	// Required when Config names an oracle policy for the trace cache or
+	// L1I; New rejects the configuration otherwise.
+	Future FutureIndex
+
 	// Recorder, when non-nil, receives cycle-level timeline events:
 	// fetch source (trace-cache hit / instruction-cache fetch / miss),
 	// issue and retirement occupancy, and — forwarded to the fill unit —
@@ -76,6 +84,50 @@ type Config struct {
 	// compare per emission site; recording itself never allocates (the
 	// ring is preallocated). Timing is unaffected either way.
 	Recorder *obs.Recorder
+}
+
+// FutureIndex answers future-reference queries over the correct-path
+// stream: the next position at which a PC — or any instruction in an
+// aligned block of 1<<shift bytes — executes at or after from.
+// *tracestore.Trace implements it over its captured columns.
+type FutureIndex interface {
+	NextPC(pc uint32, from uint64) (pos uint64, ok bool)
+	// NextFetchPC restricts NextPC to fetch-head positions (redirect
+	// targets): the only points where the trace cache is looked up, and
+	// therefore the reuse signal the Belady trace-cache oracle ranks by.
+	NextFetchPC(pc uint32, from uint64) (pos uint64, ok bool)
+	NextBlock(block uint32, shift uint, from uint64) (pos uint64, ok bool)
+}
+
+// pcFuture adapts a FutureIndex to the trace-cache policy's key space
+// (segment start PCs). Ranking blends the two per-PC views: a future
+// fetch redirect to the key is a *guaranteed* trace-cache lookup, so
+// when one exists its position is the reuse distance; otherwise the key
+// can only be re-looked-up at a sequential continuation head, whose
+// position depends on how the previous fetch group ends — NextPC (the
+// key's next execution) is the tightest complete lower bound on that.
+// Neither alone works: pure NextPC invents reuse for PCs that execute
+// mid-segment but are never looked up (phantom-hot lines pin ways),
+// and pure NextFetchPC declares sequentially re-entered lines dead
+// (gcc loses several points of hit rate under capacity pressure).
+type pcFuture struct{ f FutureIndex }
+
+func (a pcFuture) Next(key uint32, from uint64) (uint64, bool) {
+	if pos, ok := a.f.NextFetchPC(key, from); ok {
+		return pos, true
+	}
+	return a.f.NextPC(key, from)
+}
+
+// blockFuture adapts a FutureIndex to a memory cache's key space (line
+// numbers: addr >> shift).
+type blockFuture struct {
+	f     FutureIndex
+	shift uint
+}
+
+func (a blockFuture) Next(key uint32, from uint64) (uint64, bool) {
+	return a.f.NextBlock(key, a.shift, from)
 }
 
 // DefaultConfig returns the paper's baseline machine configuration (all
@@ -141,6 +193,7 @@ type Stats struct {
 	TCLookups       uint64
 	TCHits          uint64
 	TCHitRate       float64
+	TCBypasses      uint64 // fills the replacement policy rejected (oracle only)
 	FetchedInsts    uint64
 	FetchedTC       uint64
 	InactiveIssued  uint64
@@ -173,6 +226,12 @@ type Stats struct {
 	DL1Hits, DL1Misses uint64
 	IL1Hits, IL1Misses uint64
 	L2Hits, L2Misses   uint64
+
+	// TCReuse holds the trace cache's reuse-decanting histograms: per
+	// (instruction-mix × loop-back) class, how many demand hits each
+	// line generation took before retiring. Includes lines still
+	// resident at end of run.
+	TCReuse trace.ReuseStats
 
 	// Fill unit.
 	Fill core.Stats

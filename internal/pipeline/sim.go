@@ -12,6 +12,7 @@ import (
 	"tcsim/internal/isa"
 	"tcsim/internal/obs"
 	"tcsim/internal/rename"
+	"tcsim/internal/replace"
 	"tcsim/internal/trace"
 )
 
@@ -118,7 +119,33 @@ func New(cfg Config, prog *asm.Program) (*Simulator, error) {
 	for i, w := range prog.Text {
 		s.text[i] = isa.Decode(w)
 	}
+	if err := s.bindOraclePolicies(); err != nil {
+		return nil, err
+	}
 	return s, nil
+}
+
+// bindOraclePolicies hands oracle replacement policies (belady) their
+// future-reference index and the fetch cursor. Construction-time only:
+// the adapters are allocated here, the per-victim queries they serve
+// are allocation-free.
+func (s *Simulator) bindOraclePolicies() error {
+	cursor := func() uint64 { return s.oracleIdx }
+	if sink, ok := s.tc.Policy().(replace.OracleSink); ok {
+		if s.cfg.Future == nil {
+			return fmt.Errorf("pipeline: trace-cache policy %q needs future knowledge: supply Config.Future (run over a captured workload trace)",
+				s.tc.Policy().Name())
+		}
+		sink.BindOracle(pcFuture{s.cfg.Future}, cursor)
+	}
+	if sink, ok := s.hier.L1I.Policy().(replace.OracleSink); ok {
+		if s.cfg.Future == nil {
+			return fmt.Errorf("pipeline: L1I policy %q needs future knowledge: supply Config.Future (run over a captured workload trace)",
+				s.hier.L1I.Policy().Name())
+		}
+		sink.BindOracle(blockFuture{s.cfg.Future, s.hier.L1I.LineShift()}, cursor)
+	}
+	return nil
 }
 
 // Run simulates until the program halts (or the retirement bound is
@@ -178,10 +205,20 @@ func (s *Simulator) Step() {
 // it (the latch keeps SegInst pointers into the segment until issue).
 func (s *Simulator) drainFill(c uint64) {
 	for _, seg := range s.fill.Drain(c) {
-		if ev := s.tc.Insert(seg); ev != nil {
-			if s.fetchBuf == nil || s.fetchBuf.seg != ev {
-				s.fill.RecycleSegment(ev)
-			}
+		ev := s.tc.Insert(seg)
+		if ev == nil {
+			continue
+		}
+		// A policy bypass hands the incoming segment straight back (it
+		// was never stored); a real eviction retires a line generation,
+		// worth a decanting event on the timeline.
+		if s.rec != nil && ev != seg {
+			s.rec.Emit(c, obs.KReuse,
+				uint64(trace.ReuseClass(ev.Mix, ev.LoopBack)),
+				uint64(s.tc.LastRetiredHits), uint64(ev.StartPC))
+		}
+		if s.fetchBuf == nil || s.fetchBuf.seg != ev {
+			s.fill.RecycleSegment(ev)
 		}
 	}
 }
@@ -208,6 +245,8 @@ func (s *Simulator) finalizeStats() {
 	st.TCLookups = s.tc.Lookups
 	st.TCHits = s.tc.HitLines
 	st.TCHitRate = s.tc.HitRate()
+	st.TCBypasses = s.tc.Bypasses
+	st.TCReuse = s.tc.ReuseSnapshot()
 	if st.CondBranches > 0 {
 		st.MispredictRate = float64(st.Mispredicts) / float64(st.CondBranches)
 	}

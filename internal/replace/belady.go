@@ -1,0 +1,108 @@
+package replace
+
+func init() {
+	Register(Info{
+		Name:   "belady",
+		Desc:   "Belady/MIN oracle over the captured correct-path stream (headroom upper bound)",
+		Order:  3,
+		Oracle: true,
+		New:    func() Policy { return &beladyPolicy{} },
+	})
+}
+
+// beladyPolicy approximates Belady's MIN using the trace store's
+// future-reference index: at replacement time it evicts the resident
+// line whose key is re-referenced farthest in the future (or never),
+// measured from the pipeline's current fetch position in the captured
+// correct-path stream. When the incoming line itself is the
+// farthest-referenced candidate the fill is bypassed outright —
+// MIN-with-bypass dominates plain MIN for caches that may decline an
+// allocation.
+//
+// The oracle is exact with respect to the correct-path reference
+// stream the trace store replays (PR 5); wrong-path fetches and the
+// gap between fetch position and a line's actual next lookup make it
+// an approximation of true per-run MIN, which is unknowable anyway
+// because the access stream itself shifts with the policy. See
+// DESIGN.md §10 for the soundness argument.
+type beladyPolicy struct {
+	ways   int
+	keys   []uint32 // [set*ways + way]: key resident in each line
+	future Future
+	cursor func() uint64
+}
+
+func (p *beladyPolicy) Name() string { return "belady" }
+
+func (p *beladyPolicy) Resize(sets, ways int) {
+	p.ways = ways
+	p.keys = make([]uint32, sets*ways)
+}
+
+func (p *beladyPolicy) BindOracle(f Future, cursor func() uint64) {
+	p.future, p.cursor = f, cursor
+}
+
+func (p *beladyPolicy) OracleBound() bool { return p.future != nil && p.cursor != nil }
+
+func (p *beladyPolicy) Touch(set, way int, key uint32) {
+	// Keys are content identity, not recency: nothing to update. A hit
+	// can legitimately retarget the way to a different key in the trace
+	// cache (path-associative ways share a start PC), so refresh it.
+	p.keys[set*p.ways+way] = key
+}
+
+func (p *beladyPolicy) Probe(set, way int, key uint32) {}
+
+func (p *beladyPolicy) Insert(set, way int, key uint32) {
+	p.keys[set*p.ways+way] = key
+}
+
+// never ranks keys with no future reference: infinitely far.
+const never = ^uint64(0)
+
+// nextUse resolves key's next reference position; keys never seen
+// again rank as infinitely far.
+func (p *beladyPolicy) nextUse(key uint32, from uint64) uint64 {
+	pos, ok := p.future.Next(key, from)
+	if !ok {
+		return never
+	}
+	return pos
+}
+
+func (p *beladyPolicy) Victim(set int, key uint32) int {
+	if !p.OracleBound() {
+		// The pipeline refuses to construct an unbound oracle; this is a
+		// defensive fallback for direct library misuse.
+		return 0
+	}
+	from := p.cursor()
+	base := set * p.ways
+	victim, farthest := 0, uint64(0)
+	for w := 0; w < p.ways; w++ {
+		if d := p.nextUse(p.keys[base+w], from); d >= farthest {
+			// >= so later ways win ties: all-never-referenced sets then
+			// cycle rather than thrash way 0.
+			victim, farthest = w, d
+		}
+	}
+	if p.nextUse(key, from) == never {
+		// Bypass only lines the stream provably never references again.
+		// The future index is a complete lower bound on the next lookup
+		// (it may fire early, never late), so "never" is exact — but a
+		// finite distance is not, and bypassing on a mistaken "farther
+		// than every resident" is the one unrecoverable oracle error:
+		// the key re-misses, the fill unit rebuilds it, and it is
+		// bypassed again, a permanent miss loop no refill can break.
+		// Mistaken evictions self-correct at the next refill.
+		return Bypass
+	}
+	return victim
+}
+
+func (p *beladyPolicy) Reset() {
+	for i := range p.keys {
+		p.keys[i] = 0
+	}
+}

@@ -1,0 +1,131 @@
+package replace
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// seqFuture gives every key a finite, deterministic next-use position
+// so oracle policies exercise their ranking path (and never bypass)
+// during conformance runs.
+type seqFuture struct{}
+
+func (seqFuture) Next(key uint32, from uint64) (uint64, bool) {
+	return from + uint64(key%1024) + 1, true
+}
+
+// newConformant constructs a named policy sized sets x ways, binding a
+// stub future to oracle policies so their Victim path is live.
+func newConformant(t *testing.T, name string, sets, ways int) Policy {
+	t.Helper()
+	p, err := New(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Resize(sets, ways)
+	if sink, ok := p.(OracleSink); ok {
+		var pos uint64
+		sink.BindOracle(seqFuture{}, func() uint64 { pos++; return pos })
+	}
+	return p
+}
+
+// TestPolicyConformanceProbePure pins the Probe contract for every
+// registered policy: Probe is a non-mutating observation. Two policy
+// instances are driven through an identical Insert/Touch/Victim
+// stream; one additionally receives interleaved Probe calls. Every
+// Victim decision must match — any divergence means Probe leaked into
+// replacement state.
+func TestPolicyConformanceProbePure(t *testing.T) {
+	const sets, ways = 4, 4
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			clean := newConformant(t, name, sets, ways)
+			probed := newConformant(t, name, sets, ways)
+			rng := rand.New(rand.NewSource(7))
+			for i := 0; i < 5_000; i++ {
+				set := rng.Intn(sets)
+				way := rng.Intn(ways)
+				key := uint32(rng.Intn(64))
+				switch rng.Intn(3) {
+				case 0:
+					clean.Insert(set, way, key)
+					probed.Insert(set, way, key)
+				case 1:
+					clean.Touch(set, way, key)
+					probed.Touch(set, way, key)
+				case 2:
+					// Victim may mutate (SRRIP ages on scan) — but it does so
+					// identically on both twins, so decisions must agree.
+					v1 := clean.Victim(set, key)
+					v2 := probed.Victim(set, key)
+					if v1 != v2 {
+						t.Fatalf("step %d: victim diverged (%d vs %d) after probes", i, v1, v2)
+					}
+				}
+				// Extra probes on one twin only.
+				for j := 0; j < rng.Intn(3); j++ {
+					probed.Probe(rng.Intn(sets), rng.Intn(ways), uint32(rng.Intn(64)))
+				}
+			}
+		})
+	}
+}
+
+// TestPolicyConformanceVictimInRange pins Victim's range contract for
+// every policy: the returned way is within [0, ways) or the Bypass
+// sentinel, under arbitrary state.
+func TestPolicyConformanceVictimInRange(t *testing.T) {
+	const sets, ways = 2, 4
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			p := newConformant(t, name, sets, ways)
+			rng := rand.New(rand.NewSource(11))
+			for i := 0; i < 2_000; i++ {
+				switch rng.Intn(3) {
+				case 0:
+					p.Insert(rng.Intn(sets), rng.Intn(ways), uint32(rng.Intn(64)))
+				case 1:
+					p.Touch(rng.Intn(sets), rng.Intn(ways), uint32(rng.Intn(64)))
+				default:
+					v := p.Victim(rng.Intn(sets), uint32(rng.Intn(64)))
+					if v != Bypass && (v < 0 || v >= ways) {
+						t.Fatalf("victim %d out of range [0,%d)", v, ways)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPolicyConformanceReset pins Reset for every policy: a reset
+// instance must make the same decisions as a fresh one.
+func TestPolicyConformanceReset(t *testing.T) {
+	const sets, ways = 2, 4
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			used := newConformant(t, name, sets, ways)
+			fresh := newConformant(t, name, sets, ways)
+			rng := rand.New(rand.NewSource(13))
+			for i := 0; i < 1_000; i++ {
+				used.Insert(rng.Intn(sets), rng.Intn(ways), uint32(rng.Intn(64)))
+				used.Touch(rng.Intn(sets), rng.Intn(ways), uint32(rng.Intn(64)))
+			}
+			used.Reset()
+			// Drive both through one identical stream; decisions must match.
+			for i := 0; i < 1_000; i++ {
+				set := rng.Intn(sets)
+				way := rng.Intn(ways)
+				key := uint32(rng.Intn(64))
+				used.Insert(set, way, key)
+				fresh.Insert(set, way, key)
+				if i%7 == 0 {
+					v1, v2 := used.Victim(set, key), fresh.Victim(set, key)
+					if v1 != v2 {
+						t.Fatalf("step %d: reset instance diverged from fresh (%d vs %d)", i, v1, v2)
+					}
+				}
+			}
+		})
+	}
+}

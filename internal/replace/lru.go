@@ -1,0 +1,61 @@
+package replace
+
+func init() {
+	Register(Info{
+		Name:    "lru",
+		Desc:    "true LRU: evict the least recently touched way (the paper's baseline)",
+		Order:   0,
+		Default: true,
+		New:     func() Policy { return &lruPolicy{} },
+	})
+}
+
+// lruPolicy is true LRU via monotonic recency stamps: one counter per
+// cache, one stamp per line, larger = more recent. This reproduces the
+// caches' original embedded implementation exactly — the stamp
+// sequence advances on the same events (demand hits and fills) in the
+// same order, so victim choices are bit-for-bit identical to the
+// pre-registry simulator.
+type lruPolicy struct {
+	ways  int
+	clock uint64
+	stamp []uint64 // [set*ways + way]
+}
+
+func (p *lruPolicy) Name() string { return "lru" }
+
+func (p *lruPolicy) Resize(sets, ways int) {
+	p.ways = ways
+	p.stamp = make([]uint64, sets*ways)
+	p.clock = 0
+}
+
+func (p *lruPolicy) Touch(set, way int, key uint32) {
+	p.clock++
+	p.stamp[set*p.ways+way] = p.clock
+}
+
+func (p *lruPolicy) Probe(set, way int, key uint32) {}
+
+func (p *lruPolicy) Insert(set, way int, key uint32) {
+	p.clock++
+	p.stamp[set*p.ways+way] = p.clock
+}
+
+func (p *lruPolicy) Victim(set int, key uint32) int {
+	base := set * p.ways
+	victim := 0
+	for w := 1; w < p.ways; w++ {
+		if p.stamp[base+w] < p.stamp[base+victim] {
+			victim = w
+		}
+	}
+	return victim
+}
+
+func (p *lruPolicy) Reset() {
+	for i := range p.stamp {
+		p.stamp[i] = 0
+	}
+	p.clock = 0
+}

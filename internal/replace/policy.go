@@ -1,0 +1,206 @@
+// Package replace is the pluggable replacement-policy layer shared by
+// the trace cache (internal/trace) and the memory-hierarchy caches
+// (internal/cache). It mirrors the optimization-pass registry of
+// internal/core: policies register themselves at init time, are looked
+// up by name, and each cache instantiates its own private Policy so
+// per-line replacement state never crosses cache boundaries.
+//
+// The contract is built around the simulator's zero-allocation cycle
+// loop: a Policy allocates all of its state in Resize (called once at
+// cache construction and again only on geometry changes), and the
+// per-access hooks — Touch, Probe, Insert, Victim — never allocate.
+package replace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Bypass is the sentinel Victim may return to reject the fill
+// entirely: the incoming line is predicted to be re-referenced later
+// than everything resident, so replacing any way would only lower the
+// hit rate. Only oracle policies bypass; demand-fetched hardware
+// policies always pick a way.
+const Bypass = -1
+
+// Policy is one cache instance's replacement state. The owning cache
+// maps its lines onto a dense (set, way) grid and guarantees:
+//
+//   - Resize(sets, ways) is called before any other hook;
+//   - Touch is called on every demand hit, Insert on every fill;
+//   - Probe is called on non-mutating lookups and MUST NOT change any
+//     state that could alter a later victim choice (the conformance
+//     suite enforces this for every registered policy);
+//   - Victim is only consulted when every way of the set holds a valid
+//     line — invalid ways and in-place rebuilds are resolved by the
+//     shared FindVictim scan first.
+//
+// key identifies the line's contents in a cache-specific way (the
+// trace cache passes the segment start PC, the memory caches the
+// line-aligned address); hardware policies may hash it into prediction
+// tables, the Belady oracle resolves it against the captured
+// correct-path stream.
+type Policy interface {
+	// Name reports the registered policy name.
+	Name() string
+	// Resize (re)allocates state for a sets×ways geometry and resets it.
+	Resize(sets, ways int)
+	// Touch records a demand hit on (set, way).
+	Touch(set, way int, key uint32)
+	// Probe observes a non-mutating lookup of (set, way). It must not
+	// change replacement state.
+	Probe(set, way int, key uint32)
+	// Insert records a fill of (set, way) with the line identified by key.
+	Insert(set, way int, key uint32)
+	// Victim picks the way to replace in a full set, given the incoming
+	// line's key, or returns Bypass to reject the fill.
+	Victim(set int, key uint32) int
+	// Reset clears all replacement state without reallocating.
+	Reset()
+}
+
+// Future answers "at which stream position is key referenced next?"
+// queries against a precomputed index over the captured correct-path
+// instruction stream. from is the current position (the pipeline's
+// fetch cursor); ok is false when key never appears again.
+type Future interface {
+	Next(key uint32, from uint64) (pos uint64, ok bool)
+}
+
+// OracleSink is implemented by policies that consult future knowledge.
+// The pipeline binds the trace store's reference index and its fetch
+// cursor at construction time; running an oracle policy without a
+// binding is a configuration error the pipeline reports.
+type OracleSink interface {
+	// BindOracle supplies the future-reference index and a cursor
+	// returning the current position in the same stream.
+	BindOracle(f Future, cursor func() uint64)
+	// OracleBound reports whether BindOracle has been called.
+	OracleBound() bool
+}
+
+// Info describes one registered policy.
+type Info struct {
+	// Name is the registry key ("lru", "srrip", ...).
+	Name string
+	// Desc is a one-line human description for -list-policies and the
+	// GET /v1/policies endpoint.
+	Desc string
+	// Order fixes the listing position (ascending; ties break by name).
+	Order int
+	// Default marks the policy selected by an empty config string.
+	Default bool
+	// Oracle marks policies that require future knowledge (a captured
+	// trace) and therefore bound achievable headroom rather than model
+	// implementable hardware.
+	Oracle bool
+	// New constructs a fresh, unsized instance; the cache calls Resize
+	// before first use.
+	New func() Policy
+}
+
+var registry = map[string]Info{}
+
+// Register adds a policy to the registry. It panics on duplicate or
+// malformed registrations — registration happens in init, so a panic
+// here is a programming error caught by any test run.
+func Register(info Info) {
+	if info.Name == "" || info.Desc == "" || info.New == nil {
+		panic(fmt.Sprintf("replace: malformed registration %+v", info))
+	}
+	if _, dup := registry[info.Name]; dup {
+		panic(fmt.Sprintf("replace: duplicate policy %q", info.Name))
+	}
+	if info.Default {
+		for _, other := range registry {
+			if other.Default {
+				panic(fmt.Sprintf("replace: second default policy %q (have %q)", info.Name, other.Name))
+			}
+		}
+	}
+	registry[info.Name] = info
+}
+
+// Lookup returns the registration for name; ok is false if unknown.
+func Lookup(name string) (Info, bool) {
+	info, ok := registry[name]
+	return info, ok
+}
+
+// Registered returns all registrations sorted by Order then Name.
+func Registered() []Info {
+	out := make([]Info, 0, len(registry))
+	for _, info := range registry {
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Order != out[j].Order {
+			return out[i].Order < out[j].Order
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Names returns the registered policy names in listing order.
+func Names() []string {
+	infos := Registered()
+	names := make([]string, len(infos))
+	for i, info := range infos {
+		names[i] = info.Name
+	}
+	return names
+}
+
+// Default returns the name of the default policy.
+func Default() string {
+	for _, info := range registry {
+		if info.Default {
+			return info.Name
+		}
+	}
+	panic("replace: no default policy registered")
+}
+
+// Validate checks that name is registered ("" selects the default).
+func Validate(name string) error {
+	if name == "" {
+		return nil
+	}
+	if _, ok := registry[name]; !ok {
+		return fmt.Errorf("replace: unknown policy %q (have %v)", name, Names())
+	}
+	return nil
+}
+
+// New instantiates the named policy ("" selects the default). The
+// caller must Resize the instance before use.
+func New(name string) (Policy, error) {
+	if name == "" {
+		name = Default()
+	}
+	info, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("replace: unknown policy %q (have %v)", name, Names())
+	}
+	return info.New(), nil
+}
+
+// FindVictim is the victim scan both caches share: the first way that
+// is invalid — or that the cache wants replaced in place (e.g. a
+// trace-segment rebuild with an identical embedded path) — wins in way
+// order; only when every way holds a valid, non-replaceable line does
+// the policy choose. inPlace may be nil. The closures are invoked and
+// discarded here, never retained, so callers' closures stay on their
+// stacks and the scan is allocation-free.
+func FindVictim(p Policy, set, ways int, key uint32, invalid func(w int) bool, inPlace func(w int) bool) int {
+	for w := 0; w < ways; w++ {
+		if invalid(w) {
+			return w
+		}
+		if inPlace != nil && inPlace(w) {
+			return w
+		}
+	}
+	return p.Victim(set, key)
+}

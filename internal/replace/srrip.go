@@ -1,0 +1,68 @@
+package replace
+
+func init() {
+	Register(Info{
+		Name:  "srrip",
+		Desc:  "static re-reference interval prediction (2-bit RRPV, hit-priority)",
+		Order: 1,
+		New:   func() Policy { return &srripPolicy{} },
+	})
+}
+
+// RRPV constants for the 2-bit SRRIP family (Jaleel et al., ISCA'10):
+// 0 = near-immediate re-reference, 3 = distant. New lines enter at
+// "long" (2) so a single reuse promotes them over streaming fills; a
+// hit promotes to 0.
+const (
+	rrpvBits   = 2
+	rrpvMax    = 1<<rrpvBits - 1 // 3: eviction candidate
+	rrpvLong   = rrpvMax - 1     // 2: SRRIP insertion point
+	rrpvNear   = 0               // hit promotion
+	rrpvBypass = rrpvMax         // cold/bypass-class insertion (TRRIP)
+)
+
+// srripPolicy implements SRRIP-HP with one RRPV per line. Victim
+// selection scans for an RRPV-3 way and ages the whole set until one
+// appears — bounded by rrpvMax rounds, allocation-free.
+type srripPolicy struct {
+	ways int
+	rrpv []uint8 // [set*ways + way]
+}
+
+func (p *srripPolicy) Name() string { return "srrip" }
+
+func (p *srripPolicy) Resize(sets, ways int) {
+	p.ways = ways
+	p.rrpv = make([]uint8, sets*ways)
+	p.Reset()
+}
+
+func (p *srripPolicy) Touch(set, way int, key uint32) {
+	p.rrpv[set*p.ways+way] = rrpvNear
+}
+
+func (p *srripPolicy) Probe(set, way int, key uint32) {}
+
+func (p *srripPolicy) Insert(set, way int, key uint32) {
+	p.rrpv[set*p.ways+way] = rrpvLong
+}
+
+func (p *srripPolicy) Victim(set int, key uint32) int {
+	base := set * p.ways
+	for {
+		for w := 0; w < p.ways; w++ {
+			if p.rrpv[base+w] == rrpvMax {
+				return w
+			}
+		}
+		for w := 0; w < p.ways; w++ {
+			p.rrpv[base+w]++
+		}
+	}
+}
+
+func (p *srripPolicy) Reset() {
+	for i := range p.rrpv {
+		p.rrpv[i] = rrpvMax
+	}
+}

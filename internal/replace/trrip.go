@@ -1,0 +1,91 @@
+package replace
+
+func init() {
+	Register(Info{
+		Name:  "trrip",
+		Desc:  "temperature-based RRIP: reuse counters steer hot lines near, cold lines distant",
+		Order: 2,
+		New:   func() Policy { return &trripPolicy{} },
+	})
+}
+
+// Temperature table geometry. The table is a direct-mapped array of
+// saturating reuse counters hashed by line key: for the trace cache
+// the key is a segment start PC, so an entry accumulates exactly the
+// per-segment reuse the fill unit's decanting statistics observe,
+// surviving across line generations.
+const (
+	trripTableSize = 1 << 11 // 2048 counters, ~2KB of predictor state
+	trripTempMax   = 7       // saturation ceiling
+	trripHot       = 4       // >= this: proven hot, insert at RRPV 0
+	trripWarm      = 1       // >= this: some reuse, insert at SRRIP's long
+)
+
+// trripHash spreads keys over the table (Fibonacci hashing; the
+// constant is 2^32/phi rounded to odd).
+func trripHash(key uint32) uint32 {
+	return (key * 2654435761) >> (32 - 11) & (trripTableSize - 1)
+}
+
+// trripPolicy is the temperature-based variant of RRIP after "A TRRIP
+// Down Memory Lane": SRRIP's aging and promotion machinery, but the
+// insertion RRPV depends on how much reuse the line's key has shown in
+// past generations. Never-reused (cold) keys insert at RRPV max and are
+// evicted before they can displace proven-hot lines — the trace-cache
+// analogue of scan resistance.
+type trripPolicy struct {
+	ways int
+	rrpv []uint8 // [set*ways + way]
+	temp [trripTableSize]uint8
+}
+
+func (p *trripPolicy) Name() string { return "trrip" }
+
+func (p *trripPolicy) Resize(sets, ways int) {
+	p.ways = ways
+	p.rrpv = make([]uint8, sets*ways)
+	p.Reset()
+}
+
+func (p *trripPolicy) Touch(set, way int, key uint32) {
+	p.rrpv[set*p.ways+way] = rrpvNear
+	if t := &p.temp[trripHash(key)]; *t < trripTempMax {
+		*t++
+	}
+}
+
+func (p *trripPolicy) Probe(set, way int, key uint32) {}
+
+func (p *trripPolicy) Insert(set, way int, key uint32) {
+	r := uint8(rrpvBypass)
+	switch t := p.temp[trripHash(key)]; {
+	case t >= trripHot:
+		r = rrpvNear
+	case t >= trripWarm:
+		r = rrpvLong
+	}
+	p.rrpv[set*p.ways+way] = r
+}
+
+func (p *trripPolicy) Victim(set int, key uint32) int {
+	base := set * p.ways
+	for {
+		for w := 0; w < p.ways; w++ {
+			if p.rrpv[base+w] == rrpvMax {
+				return w
+			}
+		}
+		for w := 0; w < p.ways; w++ {
+			p.rrpv[base+w]++
+		}
+	}
+}
+
+func (p *trripPolicy) Reset() {
+	for i := range p.rrpv {
+		p.rrpv[i] = rrpvMax
+	}
+	for i := range p.temp {
+		p.temp[i] = 0
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"tcsim"
+	"tcsim/client"
 	"tcsim/internal/obs"
 )
 
@@ -22,6 +23,9 @@ var (
 	// segLenBuckets covers finalized segment lengths (1..trace.MaxInsts
 	// instructions).
 	segLenBuckets = []float64{1, 2, 4, 6, 8, 10, 12, 14, 16}
+	// reuseBuckets covers demand hits per trace-cache line generation
+	// (the per-line counts are capped at 32 in core).
+	reuseBuckets = []float64{0, 1, 2, 4, 8, 16, 32}
 )
 
 // metrics holds the daemon's expvar-style counters: monotonic atomics
@@ -47,21 +51,35 @@ type metrics struct {
 
 	sweepCells atomic.Uint64
 
+	tcBypasses atomic.Uint64 // trace-cache fills the policy rejected
+
 	// Histograms (exposed on GET /metrics).
 	jobDur    *obs.Hist // executed-job wall time, seconds
 	queueWait *obs.Hist // admission-to-worker-slot wait, seconds
 	cacheAge  *obs.Hist // result age at cache-hit time, seconds
 	segLen    *obs.Hist // finalized-segment instruction counts
+	reuseHist *obs.Hist // demand hits per trace-cache line generation
 
 	mu     sync.Mutex
 	passes map[string]*tcsim.PassStat
 	order  []string // first-seen order of pass names (canonical run order)
+	// reuse decants line generations and their demand hits by segment
+	// shape ("alu", "mem+loop", ...), aggregated across executed jobs.
+	reuse      map[string]*reuseAgg
+	reuseOrder []string
+}
+
+// reuseAgg is one reuse class's aggregate across executed jobs.
+type reuseAgg struct {
+	lines uint64
+	hits  uint64
 }
 
 func newMetrics() *metrics {
 	return &metrics{
 		start:  time.Now(),
 		passes: make(map[string]*tcsim.PassStat),
+		reuse:  make(map[string]*reuseAgg),
 		jobDur: obs.NewHist("tcserved_job_duration_seconds",
 			"Wall time of executed (non-cached) simulation jobs.", durationBuckets),
 		queueWait: obs.NewHist("tcserved_queue_wait_seconds",
@@ -70,6 +88,8 @@ func newMetrics() *metrics {
 			"Age of cached results at hit time.", cacheAgeBuckets),
 		segLen: obs.NewHist("tcserved_segment_length_insts",
 			"Instruction counts of trace segments finalized by served simulations.", segLenBuckets),
+		reuseHist: obs.NewHist("tcserved_trace_reuse_hits",
+			"Demand hits taken by each trace-cache line generation before eviction (capped at 32).", reuseBuckets),
 	}
 }
 
@@ -85,11 +105,35 @@ func (m *metrics) recordRun(res *tcsim.Result, wall time.Duration) {
 			m.segLen.ObserveN(float64(n), count)
 		}
 	}
-	if len(res.PassStats) == 0 {
+	m.tcBypasses.Add(res.TCBypasses)
+	for _, row := range res.TraceReuse {
+		for h, count := range row.Hits {
+			if count > 0 {
+				m.reuseHist.ObserveN(float64(h), count)
+			}
+		}
+	}
+	if len(res.PassStats) == 0 && len(res.TraceReuse) == 0 {
 		return
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	for _, row := range res.TraceReuse {
+		label := row.Mix
+		if row.Loop {
+			label += "+loop"
+		}
+		agg, ok := m.reuse[label]
+		if !ok {
+			agg = &reuseAgg{}
+			m.reuse[label] = agg
+			m.reuseOrder = append(m.reuseOrder, label)
+		}
+		agg.lines += row.Lines
+		for h, count := range row.Hits {
+			agg.hits += uint64(h) * count
+		}
+	}
 	for _, ps := range res.PassStats {
 		agg, ok := m.passes[ps.Name]
 		if !ok {
@@ -113,6 +157,20 @@ func (m *metrics) passSnapshot() []tcsim.PassStat {
 	out := make([]tcsim.PassStat, 0, len(m.order))
 	for _, n := range m.order {
 		out = append(out, *m.passes[n])
+	}
+	return out
+}
+
+// reuseSnapshot copies the per-class reuse aggregates in first-seen
+// order (results list classes in canonical order, so first-seen matches
+// it).
+func (m *metrics) reuseSnapshot() []client.ReuseClassMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]client.ReuseClassMetrics, 0, len(m.reuseOrder))
+	for _, label := range m.reuseOrder {
+		agg := m.reuse[label]
+		out = append(out, client.ReuseClassMetrics{Class: label, Lines: agg.lines, Hits: agg.hits})
 	}
 	return out
 }

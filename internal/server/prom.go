@@ -88,6 +88,24 @@ func (s *Server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
 			"Dependency edges removed per optimization pass.", edg)
 	}
 
+	reuse := m.reuseSnapshot()
+	if len(reuse) > 0 {
+		lines := make([]obs.LabeledValue, 0, len(reuse))
+		hits := make([]obs.LabeledValue, 0, len(reuse))
+		for _, rc := range reuse {
+			l := [][2]string{{"class", rc.Class}}
+			lines = append(lines, obs.LabeledValue{Labels: l, Value: float64(rc.Lines)})
+			hits = append(hits, obs.LabeledValue{Labels: l, Value: float64(rc.Hits)})
+		}
+		e.CounterVec("tcserved_trace_reuse_lines_total",
+			"Trace-cache line generations retired, decanted by segment shape (mix x loop-back).", lines)
+		e.CounterVec("tcserved_trace_reuse_line_hits_total",
+			"Demand hits taken by retired trace-cache line generations, decanted by segment shape.", hits)
+	}
+	e.Counter("tcserved_tc_fill_bypasses_total",
+		"Trace-cache fills rejected by the replacement policy (bypass-capable policies only).",
+		float64(m.tcBypasses.Load()))
+
 	ts := traceStoreMetrics()
 	e.Counter("tcserved_tracestore_captures_total",
 		"Correct-path streams captured into the trace store (emulated or disk-loaded).",
@@ -116,6 +134,7 @@ func (s *Server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
 	e.Hist(m.queueWait)
 	e.Hist(m.cacheAge)
 	e.Hist(m.segLen)
+	e.Hist(m.reuseHist)
 	// Write errors mean the client went away mid-scrape; nothing to do.
 	_ = e.Err()
 }

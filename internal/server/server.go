@@ -72,6 +72,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
 	mux.HandleFunc("GET /v1/passes", s.handlePasses)
+	mux.HandleFunc("GET /v1/policies", s.handlePolicies)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handlePrometheus)
 	mux.HandleFunc("GET /metrics.json", s.handleMetrics)
@@ -302,6 +303,16 @@ func (s *Server) handlePasses(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// handlePolicies implements GET /v1/policies from the replacement-policy
+// registry, mirroring /v1/passes.
+func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
+	var out []client.Policy
+	for _, p := range tcsim.Policies() {
+		out = append(out, client.Policy{Name: p.Name, Desc: p.Desc, Default: p.Default, Oracle: p.Oracle})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
 // handleHealth implements GET /healthz.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -352,6 +363,9 @@ func (s *Server) Metrics() *client.Metrics {
 		SweepInFlight:    s.sweeps.InFlight(),
 
 		Passes: m.passSnapshot(),
+
+		TraceReuse: m.reuseSnapshot(),
+		TCBypasses: m.tcBypasses.Load(),
 
 		TraceStore: traceStoreMetrics(),
 	}

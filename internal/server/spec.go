@@ -44,6 +44,11 @@ type jobSpec struct {
 	FUs      int      `json:"fus_per_cluster"`
 	MaxCyc   uint64   `json:"max_cycles"`
 	Timeline bool     `json:"timeline"`
+	// TCPolicy/ICPolicy are always the resolved registered names (never
+	// ""), so "default" and "explicit default" hash to the same key and
+	// any non-default policy splits the cache.
+	TCPolicy string `json:"tc_policy"`
+	ICPolicy string `json:"ic_policy"`
 
 	// timeout is the per-job wall-clock cap. Deliberately excluded from
 	// the canonical JSON: it bounds the run, it does not configure the
@@ -113,6 +118,20 @@ func resolveSpec(req *client.JobRequest, lim Limits) (jobSpec, error) {
 	s.MaxCyc = req.MaxCycles
 	s.Timeline = req.Timeline
 
+	for _, p := range []string{req.TCPolicy, req.ICPolicy} {
+		if err := tcsim.ValidatePolicy(p); err != nil {
+			return s, &badRequest{msg: err.Error()}
+		}
+	}
+	s.TCPolicy = req.TCPolicy
+	if s.TCPolicy == "" {
+		s.TCPolicy = tcsim.DefaultPolicy()
+	}
+	s.ICPolicy = req.ICPolicy
+	if s.ICPolicy == "" {
+		s.ICPolicy = tcsim.DefaultPolicy()
+	}
+
 	if req.TimeoutMS < 0 {
 		return s, badRequestf("timeout_ms must be >= 0, got %d", req.TimeoutMS)
 	}
@@ -154,6 +173,8 @@ func (s jobSpec) Config() tcsim.Config {
 	cfg.Clusters = s.Clusters
 	cfg.FUsPerCluster = s.FUs
 	cfg.MaxCycles = s.MaxCyc
+	cfg.TCPolicy = s.TCPolicy
+	cfg.ICPolicy = s.ICPolicy
 	if s.Timeline {
 		cfg.Timeline = true
 		// Served timelines are bounded tighter than the library default:

@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"testing"
+
+	"tcsim/internal/replace"
+)
+
+// conformFuture gives every segment start PC a finite next use so the
+// belady policy ranks rather than bypasses during conformance runs.
+type conformFuture struct{}
+
+func (conformFuture) Next(key uint32, from uint64) (uint64, bool) {
+	return from + uint64(key%4096) + 1, true
+}
+
+// newPolicyTCache builds a trace cache under the named policy, binding
+// a stub oracle when the policy needs one.
+func newPolicyTCache(t *testing.T, policy string, entries, ways int) *Cache {
+	t.Helper()
+	c, err := NewCache(CacheConfig{Entries: entries, Ways: ways, Policy: policy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink, ok := c.Policy().(replace.OracleSink); ok {
+		var pos uint64
+		sink.BindOracle(conformFuture{}, func() uint64 { pos++; return pos })
+	}
+	return c
+}
+
+// TestPolicyConformanceSamePathInPlace generalizes
+// TestCacheRebuildReplacesSamePath to every registered policy: a
+// rebuilt segment with an identical start PC and embedded path must
+// replace its predecessor in place, never consume a second way.
+func TestPolicyConformanceSamePathInPlace(t *testing.T) {
+	for _, policy := range replace.Names() {
+		t.Run(policy, func(t *testing.T) {
+			c := newPolicyTCache(t, policy, 4, 4) // 1 set, 4 ways
+			a := mkSeg(0x400000, 4)
+			c.Insert(a)
+			a2 := mkSeg(0x400000, 4) // identical path, rebuilt
+			if evicted := c.Insert(a2); evicted != a {
+				t.Errorf("rebuild evicted %v, want the original same-path segment", evicted)
+			}
+			// Fill the remaining three ways; nothing may be displaced if the
+			// rebuild really replaced in place.
+			others := []*Segment{
+				mkSeg(0x400100, 4), mkSeg(0x400200, 4), mkSeg(0x400300, 4),
+			}
+			for _, s := range others {
+				c.Insert(s)
+			}
+			if got := c.Lookup(0x400000, nil); got != a2 {
+				t.Errorf("lookup returned %v, want the rebuilt segment", got)
+			}
+			for _, s := range others {
+				if c.Lookup(s.StartPC, nil) != s {
+					t.Errorf("segment %#x displaced; rebuild must not consume a second way", s.StartPC)
+				}
+			}
+		})
+	}
+}
+
+// TestPolicyConformanceWithinSet generalizes TestCacheLRUWithinSet to
+// every registered policy: overflowing a 2-way set evicts exactly one
+// resident, and the incoming segment is resident afterwards.
+func TestPolicyConformanceWithinSet(t *testing.T) {
+	for _, policy := range replace.Names() {
+		t.Run(policy, func(t *testing.T) {
+			c := newPolicyTCache(t, policy, 2, 2) // 1 set, 2 ways
+			s1 := mkSeg(0x400000, 1)
+			s2 := mkSeg(0x400100, 1)
+			s3 := mkSeg(0x400200, 1)
+			c.Insert(s1)
+			c.Insert(s2)
+			c.Lookup(0x400000, nil) // touch s1
+			evicted := c.Insert(s3)
+			if evicted != s1 && evicted != s2 {
+				t.Fatalf("overflow evicted %v, want one of the residents", evicted)
+			}
+			if c.Lookup(0x400200, nil) != s3 {
+				t.Error("incoming segment must be resident after a non-bypassed insert")
+			}
+			survivor := s1
+			if evicted == s1 {
+				survivor = s2
+			}
+			if c.Lookup(survivor.StartPC, nil) != survivor {
+				t.Error("surviving resident disappeared")
+			}
+			if c.Bypasses != 0 {
+				t.Errorf("conformance future must never bypass, got %d", c.Bypasses)
+			}
+		})
+	}
+}
+
+// TestPolicyConformanceLRUStaysLRU pins the default policy's exact
+// behavior through the registry seam: the explicit "lru" name and the
+// empty default must both preserve the pre-registry eviction order
+// (touched line survives, least-recently-used goes).
+func TestPolicyConformanceLRUStaysLRU(t *testing.T) {
+	for _, policy := range []string{"", "lru"} {
+		c, err := NewCache(CacheConfig{Entries: 2, Ways: 2, Policy: policy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s1 := mkSeg(0x400000, 1)
+		s2 := mkSeg(0x400100, 1)
+		c.Insert(s1)
+		c.Insert(s2)
+		c.Lookup(0x400000, nil) // s1 MRU; s2 is LRU
+		if evicted := c.Insert(mkSeg(0x400200, 1)); evicted != s2 {
+			t.Errorf("policy %q: evicted %v, want the LRU segment", policy, evicted)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package trace
+
+// Reuse "decanting" — after "Decanting the Contribution of Instruction
+// Types and Loop Structures in the Reuse of Traces": trace reuse is
+// highly skewed by what a trace contains, so the simulator breaks its
+// per-line reuse histograms down by instruction-type mix and loop-back
+// presence. The fill unit classifies every finalized segment (always —
+// the cost is one O(16) scan per segment, allocation-free) and the
+// trace cache folds each retired line generation's hit count into the
+// class histogram on eviction, in-place rebuild, invalidation, and
+// end-of-run snapshot.
+
+// MixClass buckets a segment by its dominant instruction mix.
+type MixClass uint8
+
+const (
+	// MixALU: neither memory- nor branch-heavy.
+	MixALU MixClass = iota
+	// MixMem: at least a third of the instructions touch data memory.
+	MixMem
+	// MixBranch: at least a quarter transfer control (and the segment
+	// is not memory-heavy).
+	MixBranch
+	// NumMix counts the mix classes.
+	NumMix
+)
+
+// String names the class for tables, metrics labels, and JSON.
+func (m MixClass) String() string {
+	switch m {
+	case MixALU:
+		return "alu"
+	case MixMem:
+		return "mem"
+	case MixBranch:
+		return "branchy"
+	}
+	return "unknown"
+}
+
+// ReuseCap caps the per-line hit counts the histograms resolve; counts
+// at or above it fold into the final bucket.
+const ReuseCap = 32
+
+// NumReuseClasses is the number of (mix, loop-back) histogram rows.
+const NumReuseClasses = int(NumMix) * 2
+
+// ReuseStats holds one reuse histogram per (mix, loop-back) class:
+// Counts[class][h] line generations that took exactly h hits before
+// retiring (h = ReuseCap means "ReuseCap or more"). Plain value type:
+// snapshotting is an array copy, folding never allocates.
+type ReuseStats struct {
+	Counts [NumReuseClasses][ReuseCap + 1]uint64
+}
+
+// ReuseClass maps a (mix, loop-back) pair to its histogram row.
+func ReuseClass(mix MixClass, loop bool) int {
+	c := int(mix) * 2
+	if loop {
+		c++
+	}
+	return c
+}
+
+// ReuseClassLabel is the inverse of ReuseClass.
+func ReuseClassLabel(class int) (MixClass, bool) {
+	return MixClass(class / 2), class%2 == 1
+}
+
+// Add folds one retired line generation into its class histogram.
+func (r *ReuseStats) Add(mix MixClass, loop bool, hits uint32) {
+	if hits > ReuseCap {
+		hits = ReuseCap
+	}
+	r.Counts[ReuseClass(mix, loop)][hits]++
+}
+
+// Lines totals the line generations recorded in one class.
+func (r *ReuseStats) Lines(class int) uint64 {
+	var n uint64
+	for _, c := range r.Counts[class] {
+		n += c
+	}
+	return n
+}
+
+// Hits totals the demand hits recorded in one class (capped counts
+// contribute ReuseCap each).
+func (r *ReuseStats) Hits(class int) uint64 {
+	var n uint64
+	for h, c := range r.Counts[class] {
+		n += uint64(h) * c
+	}
+	return n
+}
+
+// ClassifySegment derives a finished segment's mix class and whether
+// its embedded path contains a loop-back edge (a control transfer to a
+// lower or equal address, including one exiting the segment).
+func ClassifySegment(s *Segment) (MixClass, bool) {
+	n := len(s.Insts)
+	if n == 0 {
+		return MixALU, false
+	}
+	mem, ctl := 0, 0
+	loop := false
+	for i := range s.Insts {
+		si := &s.Insts[i]
+		op := si.Inst.Op
+		if op.IsMem() {
+			mem++
+		}
+		if op.IsControl() {
+			ctl++
+		}
+		// Embedded back-edge: the next instruction in the trace sits at
+		// or below this one.
+		if i < n-1 && s.Insts[i+1].PC <= si.PC {
+			loop = true
+		}
+	}
+	// Terminal backward branch: the segment ends on a control transfer
+	// whose (static) target is at or below it.
+	last := &s.Insts[n-1]
+	if op := last.Orig.Op; op.IsCondBranch() || op.IsUncondJump() {
+		if last.Orig.BranchTarget(last.PC) <= last.PC {
+			loop = true
+		}
+	}
+	switch {
+	case 3*mem >= n:
+		return MixMem, loop
+	case 4*ctl >= n:
+		return MixBranch, loop
+	}
+	return MixALU, loop
+}

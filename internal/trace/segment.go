@@ -80,6 +80,12 @@ type Segment struct {
 	Blocks       int // number of blocks (checkpoints needed <= this)
 	FillID       uint64
 
+	// Reuse-decanting classification, stamped by the fill unit at
+	// finalization (ClassifySegment): the dominant instruction mix and
+	// whether the embedded path contains a loop-back edge.
+	Mix      MixClass
+	LoopBack bool
+
 	// Optimization provenance for statistics and tests.
 	NMoves, NReassoc, NScaled, NPlaced, NDead int
 }

@@ -1,12 +1,19 @@
 package trace
 
-import "fmt"
+import (
+	"fmt"
+
+	"tcsim/internal/replace"
+)
 
 // CacheConfig sizes the trace cache. The zero value selects the paper's
 // configuration via DefaultCacheConfig.
 type CacheConfig struct {
 	Entries int // total lines; paper: 2K
 	Ways    int // associativity; paper: 4
+	// Policy names the registered replacement policy ("" = the
+	// registry default, true LRU).
+	Policy string
 }
 
 // DefaultCacheConfig is the paper's 2K-entry, 4-way trace cache
@@ -18,26 +25,39 @@ func DefaultCacheConfig() CacheConfig {
 type tcLine struct {
 	valid bool
 	seg   *Segment
-	lru   uint64
+	lru   uint64 // path-selection recency (Lookup tie-break), not the victim choice
+	hits  uint32 // demand hits this line generation (reuse decanting)
 }
 
 // Cache is the trace cache: set-associative storage of Segments indexed
 // by their starting fetch address. Multiple ways may hold segments with
 // the same start address but different embedded paths (path
 // associativity); Lookup selects the way whose path agrees longest with
-// the supplied predictions.
+// the supplied predictions. Victim selection is delegated to a
+// replacement policy from internal/replace; the recency stamps kept
+// here only break path-selection ties between equally matching ways.
 type Cache struct {
 	sets  int
 	ways  int
 	mask  uint32
 	lines [][]tcLine
 	clock uint64
+	pol   replace.Policy
+	reuse ReuseStats
 
 	Lookups     uint64
 	HitLines    uint64
 	MissLines   uint64
 	InstsServed uint64
 	Writes      uint64
+	// Bypasses counts fills the policy rejected outright (oracle
+	// policies only; hardware policies always allocate).
+	Bypasses uint64
+
+	// LastRetiredHits is the hit count of the line generation most
+	// recently folded into the reuse histograms by Insert (eviction or
+	// in-place rebuild); the pipeline reads it to emit timeline events.
+	LastRetiredHits uint32
 }
 
 // NewCache builds the trace cache; zero config fields take defaults.
@@ -56,7 +76,12 @@ func NewCache(cfg CacheConfig) (*Cache, error) {
 	if sets&(sets-1) != 0 {
 		return nil, fmt.Errorf("trace: %d sets not a power of two", sets)
 	}
-	c := &Cache{sets: sets, ways: cfg.Ways, mask: uint32(sets - 1)}
+	pol, err := replace.New(cfg.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %v", err)
+	}
+	pol.Resize(sets, cfg.Ways)
+	c := &Cache{sets: sets, ways: cfg.Ways, mask: uint32(sets - 1), pol: pol}
 	c.lines = make([][]tcLine, sets)
 	for s := range c.lines {
 		c.lines[s] = make([]tcLine, cfg.Ways)
@@ -64,7 +89,14 @@ func NewCache(cfg CacheConfig) (*Cache, error) {
 	return c, nil
 }
 
-func (c *Cache) set(pc uint32) []tcLine { return c.lines[(pc>>2)&c.mask] }
+func (c *Cache) setFor(pc uint32) ([]tcLine, int) {
+	s := int((pc >> 2) & c.mask)
+	return c.lines[s], s
+}
+
+// Policy exposes the cache's replacement-policy instance (the pipeline
+// binds oracle state through it; tests inspect it).
+func (c *Cache) Policy() replace.Policy { return c.pol }
 
 // PathMatcher scores how well a segment's embedded path agrees with the
 // current predictions; Lookup uses it to pick among ways. It returns the
@@ -76,7 +108,7 @@ type PathMatcher func(seg *Segment) int
 // to the most recently used). Returns nil on miss.
 func (c *Cache) Lookup(pc uint32, match PathMatcher) *Segment {
 	c.Lookups++
-	set := c.set(pc)
+	set, s := c.setFor(pc)
 	bestW := -1
 	bestScore := -1
 	for w := range set {
@@ -97,6 +129,8 @@ func (c *Cache) Lookup(pc uint32, match PathMatcher) *Segment {
 	}
 	c.clock++
 	set[bestW].lru = c.clock
+	set[bestW].hits++
+	c.pol.Touch(s, bestW, pc)
 	c.HitLines++
 	c.InstsServed += uint64(len(set[bestW].seg.Insts))
 	return set[bestW].seg
@@ -104,32 +138,51 @@ func (c *Cache) Lookup(pc uint32, match PathMatcher) *Segment {
 
 // Insert writes a finished segment, replacing an existing way with the
 // same start PC and identical embedded path if present (segment rebuild),
-// else the LRU way. It returns the evicted segment (nil when the way was
-// empty) so the caller can recycle its storage once no reader remains.
+// else the policy's victim. It returns the evicted segment (nil when the
+// way was empty) so the caller can recycle its storage once no reader
+// remains; a policy bypass returns seg itself — never stored, ready for
+// immediate recycling.
 func (c *Cache) Insert(seg *Segment) *Segment {
-	set := c.set(seg.StartPC)
+	set, s := c.setFor(seg.StartPC)
+	victim := replace.FindVictim(c.pol, s, c.ways, seg.StartPC,
+		func(w int) bool { return !set[w].valid },
+		func(w int) bool {
+			return set[w].seg.StartPC == seg.StartPC && samePath(set[w].seg, seg)
+		})
+	if victim == replace.Bypass {
+		c.Bypasses++
+		return seg
+	}
 	c.clock++
 	c.Writes++
-	victim := 0
-	for w := range set {
-		if !set[w].valid {
-			victim = w
-			break
-		}
-		if set[w].seg.StartPC == seg.StartPC && samePath(set[w].seg, seg) {
-			victim = w
-			break
-		}
-		if set[w].lru < set[victim].lru {
-			victim = w
-		}
-	}
 	var evicted *Segment
 	if set[victim].valid {
 		evicted = set[victim].seg
+		c.retire(&set[victim])
 	}
 	set[victim] = tcLine{valid: true, seg: seg, lru: c.clock}
+	c.pol.Insert(s, victim, seg.StartPC)
 	return evicted
+}
+
+// retire folds a dying line generation into the reuse histograms.
+func (c *Cache) retire(l *tcLine) {
+	c.reuse.Add(l.seg.Mix, l.seg.LoopBack, l.hits)
+	c.LastRetiredHits = l.hits
+}
+
+// ReuseSnapshot returns the decanting histograms including the
+// generations still resident (counted as if retired now). Pure read.
+func (c *Cache) ReuseSnapshot() ReuseStats {
+	r := c.reuse
+	for s := range c.lines {
+		for w := range c.lines[s] {
+			if l := &c.lines[s][w]; l.valid {
+				r.Add(l.seg.Mix, l.seg.LoopBack, l.hits)
+			}
+		}
+	}
+	return r
 }
 
 // samePath reports whether two segments follow the identical dynamic path
@@ -161,6 +214,7 @@ func (c *Cache) InvalidateContaining(pc uint32) int {
 			}
 			for i := range l.seg.Insts {
 				if l.seg.Insts[i].PC == pc {
+					c.retire(l)
 					l.valid = false
 					dropped++
 					break
@@ -187,7 +241,10 @@ func (c *Cache) Reset() {
 		}
 	}
 	c.clock = 0
+	c.pol.Reset()
+	c.reuse = ReuseStats{}
 	c.Lookups, c.HitLines, c.MissLines, c.InstsServed, c.Writes = 0, 0, 0, 0, 0
+	c.Bypasses, c.LastRetiredHits = 0, 0
 }
 
 // Sets reports the set count (test hook).

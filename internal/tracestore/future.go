@@ -1,0 +1,141 @@
+package tracestore
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"tcsim/internal/isa"
+)
+
+// Future-reference indexes for the Belady oracle replacement policy
+// (internal/replace): given a PC (or an aligned instruction block) and
+// a current stream position, answer "at which record is it referenced
+// next?". The indexes are derived views of the immutable captured
+// stream — per-key ascending position lists — built lazily on first
+// use, once, and shared by every concurrent replay of the Trace.
+// Lookups after the build are read-only map probes plus a binary
+// search: allocation-free, so the oracle policy keeps the simulator's
+// cycle loop at zero allocations per op.
+//
+// Positions are stored as uint32: a capture long enough to overflow
+// them (4G records) would already be hundreds of gigabytes of columns,
+// far past the store's byte bound. futureIndexable guards the
+// assumption anyway.
+
+const futureIndexable = math.MaxUint32
+
+// pcFutureIndex builds (once) the per-PC position lists.
+func (t *Trace) pcFutureIndex() map[uint32][]uint32 {
+	t.pcIdxOnce.Do(func() {
+		if uint64(len(t.si)) > futureIndexable {
+			return
+		}
+		idx := make(map[uint32][]uint32, len(t.staticPC))
+		for i, si := range t.si {
+			pc := t.staticPC[si]
+			idx[pc] = append(idx[pc], uint32(i))
+		}
+		t.pcIdx = idx
+	})
+	return t.pcIdx
+}
+
+// NextPC returns the first position >= from at which the correct-path
+// stream executes pc; ok is false when it never does again (or the
+// trace is too large to index).
+func (t *Trace) NextPC(pc uint32, from uint64) (uint64, bool) {
+	return nextAt(t.pcFutureIndex()[pc], from)
+}
+
+// fetchFutureIndex builds (once) per-PC position lists restricted to
+// fetch heads: positions where the correct-path stream arrived by
+// redirect (the PC does not fall through from its predecessor), plus
+// position 0. The trace cache is only looked up at fetch-group head
+// PCs — a mid-group execution of a segment's start PC never probes the
+// cache — so ranking victims by NextPC over *all* executions invents
+// phantom reuse and makes the Belady policy hold dead lines. Redirect
+// targets are the policy-invariant subset of head positions (sequential
+// continuation heads depend on how the previous group ended, which
+// varies with cache contents), and in practice dominate them: segments
+// and IC groups overwhelmingly end at taken branches.
+func (t *Trace) fetchFutureIndex() map[uint32][]uint32 {
+	t.fetchIdxOnce.Do(func() {
+		if uint64(len(t.si)) > futureIndexable {
+			return
+		}
+		idx := make(map[uint32][]uint32)
+		var prev uint32
+		for i, si := range t.si {
+			pc := t.staticPC[si]
+			if i == 0 || pc != prev+isa.InstBytes {
+				idx[pc] = append(idx[pc], uint32(i))
+			}
+			prev = pc
+		}
+		t.fetchIdx = idx
+	})
+	return t.fetchIdx
+}
+
+// NextFetchPC returns the first position >= from at which the
+// correct-path stream fetch-redirects to pc; ok is false when it never
+// does again. This — not NextPC — is the reuse signal for trace-cache
+// lines, whose demand lookups happen only at fetch heads.
+func (t *Trace) NextFetchPC(pc uint32, from uint64) (uint64, bool) {
+	return nextAt(t.fetchFutureIndex()[pc], from)
+}
+
+// blockFutureIndex builds (once per shift) position lists keyed by
+// pc >> shift — the granularity of an instruction-cache line.
+func (t *Trace) blockFutureIndex(shift uint) map[uint32][]uint32 {
+	t.blockIdxMu.RLock()
+	idx, ok := t.blockIdx[shift]
+	t.blockIdxMu.RUnlock()
+	if ok {
+		return idx
+	}
+	t.blockIdxMu.Lock()
+	defer t.blockIdxMu.Unlock()
+	if idx, ok = t.blockIdx[shift]; ok {
+		return idx
+	}
+	if uint64(len(t.si)) <= futureIndexable {
+		idx = make(map[uint32][]uint32)
+		for i, si := range t.si {
+			b := t.staticPC[si] >> shift
+			idx[b] = append(idx[b], uint32(i))
+		}
+	}
+	if t.blockIdx == nil {
+		t.blockIdx = make(map[uint]map[uint32][]uint32)
+	}
+	t.blockIdx[shift] = idx
+	return idx
+}
+
+// NextBlock returns the first position >= from at which the stream
+// executes any instruction in the aligned block `block` (= pc >> shift);
+// ok is false when it never does again.
+func (t *Trace) NextBlock(block uint32, shift uint, from uint64) (uint64, bool) {
+	return nextAt(t.blockFutureIndex(shift)[block], from)
+}
+
+// nextAt finds the first position >= from in an ascending list.
+func nextAt(pos []uint32, from uint64) (uint64, bool) {
+	if len(pos) == 0 || from > uint64(pos[len(pos)-1]) {
+		return 0, false
+	}
+	i := sort.Search(len(pos), func(i int) bool { return uint64(pos[i]) >= from })
+	return uint64(pos[i]), true
+}
+
+// futureState carries the lazily built indexes; embedded in Trace.
+type futureState struct {
+	pcIdxOnce    sync.Once
+	pcIdx        map[uint32][]uint32
+	fetchIdxOnce sync.Once
+	fetchIdx     map[uint32][]uint32
+	blockIdxMu   sync.RWMutex
+	blockIdx     map[uint]map[uint32][]uint32
+}

@@ -74,6 +74,10 @@ type Trace struct {
 	// truncated at budget+slack and reading past the end is a bug.
 	halted  bool
 	stepErr error
+
+	// Lazily built future-reference indexes for the Belady oracle
+	// replacement policy (future.go). Derived views: never serialized.
+	futureState
 }
 
 // Capture runs the functional emulator over prog and records the
