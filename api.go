@@ -421,15 +421,27 @@ func RunWorkload(cfg Config, name string) (Result, error) {
 // (workload, budget) pair captures the correct-path stream, every later
 // run replays it — bit-for-bit identical, minus the emulation cost.
 func RunWorkloadContext(ctx context.Context, cfg Config, name string) (Result, error) {
+	return RunWorkloadContextIn(ctx, cfg, name, tracestore.Shared())
+}
+
+// RunWorkloadContextIn is RunWorkloadContext against an explicit trace
+// store instead of the process-wide one. Serving layers that host
+// several isolated engines in one process (the cluster selfcheck boots
+// three nodes in-process) give each its own store so "captured once per
+// node" stays observable; a nil store selects the shared one.
+func RunWorkloadContextIn(ctx context.Context, cfg Config, name string, st *TraceStore) (Result, error) {
 	w, ok := workload.ByName(name)
 	if !ok {
 		return Result{}, fmt.Errorf("tcsim: unknown workload %q", name)
+	}
+	if st == nil {
+		st = tracestore.Shared()
 	}
 	if cfg.MaxInsts == 0 {
 		cfg.MaxInsts = w.DefaultInsts
 	}
 	if cfg.MaxInsts > 0 {
-		if ent, outcome, err := tracestore.Shared().Get(name, cfg.MaxInsts); err == nil {
+		if ent, outcome, err := st.Get(name, cfg.MaxInsts); err == nil {
 			var captured uint64
 			if outcome == tracestore.OutcomeCapture {
 				captured = ent.Trace.Len()

@@ -44,10 +44,12 @@ func requestIDFrom(ctx context.Context) string {
 	return hex.EncodeToString(b[:])
 }
 
-// Client talks to a tcserved daemon.
+// Client talks to a tcserved daemon — or to a tcgate cluster gateway,
+// which speaks the identical wire schema.
 type Client struct {
-	base string
-	http *http.Client
+	base  string
+	http  *http.Client
+	retry RetryPolicy
 }
 
 // New returns a client for the daemon at base (e.g.
@@ -162,14 +164,60 @@ func (c *Client) Metrics(ctx context.Context) (*Metrics, error) {
 	return &m, nil
 }
 
-// Health checks /healthz; nil means the daemon is serving.
+// Health checks /healthz (liveness); nil means the process is up. A
+// draining daemon is still live — use Ready to ask whether it should
+// receive new work.
 func (c *Client) Health(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
 }
 
-// do issues one JSON request and decodes either the 2xx body into out or
-// the error body into an *APIError.
+// Ready checks /healthz/ready (readiness); nil means the daemon accepts
+// new work. During graceful drain readiness flips to 503 ("draining")
+// while in-flight jobs finish, so balancers and the cluster gateway stop
+// routing before the listener closes.
+func (c *Client) Ready(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz/ready", nil, nil)
+}
+
+// Cluster fetches a gateway's per-node view (GET /v1/cluster). Against a
+// plain single-node daemon it returns a not_found *APIError.
+func (c *Client) Cluster(ctx context.Context) (*ClusterStatus, error) {
+	var cs ClusterStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/cluster", nil, &cs); err != nil {
+		return nil, err
+	}
+	return &cs, nil
+}
+
+// do issues one JSON exchange, retrying per the client's RetryPolicy:
+// transient failures (transport errors, 429/502/503/504) back off with
+// jittered exponential delays honoring Retry-After, until the policy's
+// attempt budget or the context runs out. The zero policy means exactly
+// one attempt.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	attempts := c.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	for attempt := 1; ; attempt++ {
+		err := c.doOnce(ctx, method, path, in, out)
+		if err == nil || attempt >= attempts || !Retryable(err) {
+			return err
+		}
+		d := c.retry.backoff(attempt, err)
+		if c.retry.OnRetry != nil {
+			c.retry.OnRetry(attempt, err, d)
+		}
+		if sleepCtx(ctx, d) != nil {
+			// Context died mid-backoff; the last real failure is the story.
+			return err
+		}
+	}
+}
+
+// doOnce issues one JSON request and decodes either the 2xx body into
+// out or the error body into an *APIError.
+func (c *Client) doOnce(ctx context.Context, method, path string, in, out any) error {
 	var body io.Reader
 	if in != nil {
 		b, err := json.Marshal(in)

@@ -228,6 +228,39 @@ type TraceStoreMetrics struct {
 	DiskLoads   uint64 `json:"disk_loads"`
 	DiskSaves   uint64 `json:"disk_saves"`
 	DiskRejects uint64 `json:"disk_rejects"`
+	// Trace CDN traffic (all zero outside a cluster): serialized traces
+	// exported to peers, captures satisfied by a peer fetch, and fetched
+	// bodies rejected by fail-closed validation.
+	CDNServes  uint64 `json:"cdn_serves,omitempty"`
+	CDNFetches uint64 `json:"cdn_fetches,omitempty"`
+	CDNRejects uint64 `json:"cdn_rejects,omitempty"`
+}
+
+// NodeStatus is one backend's health as the cluster gateway sees it
+// (GET /v1/cluster).
+type NodeStatus struct {
+	// Name is the node's stable ring identity ("node0", ...): consistent
+	// hashing keys on it, so a node restarted on a new address keeps its
+	// shard.
+	Name string `json:"name"`
+	URL  string `json:"url"`
+	// Healthy reports the last probe or proxy outcome; unhealthy nodes
+	// are demoted and their keys re-hash to the next ring replica.
+	Healthy bool `json:"healthy"`
+	// Demotions counts healthy->unhealthy transitions since gateway start.
+	Demotions uint64 `json:"demotions"`
+	// LastError is the failure that caused the current demotion (empty
+	// when healthy).
+	LastError string `json:"last_error,omitempty"`
+}
+
+// ClusterStatus is the gateway's cluster view (GET /v1/cluster).
+type ClusterStatus struct {
+	Nodes []NodeStatus `json:"nodes"`
+	// Healthy counts nodes currently routable.
+	Healthy int `json:"healthy"`
+	// RingPoints is the total number of virtual nodes on the hash ring.
+	RingPoints int `json:"ring_points"`
 }
 
 // ErrorBody is every non-2xx response's JSON shape.
@@ -248,7 +281,8 @@ type APIError struct {
 	RequestID string `json:"-"`
 	// Code is a stable machine-readable identifier: "invalid_argument",
 	// "not_found", "queue_full", "draining", "timeout", "canceled",
-	// "internal".
+	// "internal" — plus, from a cluster gateway, "bad_gateway" (no
+	// healthy backend could serve the request).
 	Code    string `json:"code"`
 	Message string `json:"message"`
 	// RetryAfterSecs accompanies "queue_full" and "draining": how long

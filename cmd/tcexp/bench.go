@@ -18,9 +18,13 @@ import (
 // geometric-mean throughput, and per-figure wall time for the full
 // reproduction suite (which shares one memoized runner).
 type benchReport struct {
-	Insts     uint64   `json:"insts_per_workload"`
-	GoMaxProc int      `json:"gomaxprocs"`
-	PassSpec  []string `json:"pass_spec"`
+	Insts     uint64 `json:"insts_per_workload"`
+	GoMaxProc int    `json:"gomaxprocs"`
+	// Cluster records the serving topology the numbers were measured
+	// under, so figures from a sharded run (cmd/tcgate fronting several
+	// tcserved nodes) are never mistaken for single-process ones.
+	Cluster  clusterBench `json:"cluster"`
+	PassSpec []string     `json:"pass_spec"`
 	// TCPolicy/ICPolicy record the replacement policies the sweep ran
 	// under ("" on the wire never appears: the default resolves to its
 	// registered name, so provenance is always explicit).
@@ -75,6 +79,15 @@ type figureBench struct {
 	ReplayHits uint64 `json:"replay_hits"`
 }
 
+// clusterBench is the serving-topology provenance block. The bench
+// drives the simulator in-process, so Mode is "local" with one node;
+// runs proxied through a gateway record its URL and backend count.
+type clusterBench struct {
+	Mode    string `json:"mode"` // "local" | "gateway"
+	Gateway string `json:"gateway,omitempty"`
+	Nodes   int    `json:"nodes"`
+}
+
 // traceStoreBench is the report-level trace store summary: the sweep's
 // capture-vs-replay split and what the captures cost.
 type traceStoreBench struct {
@@ -96,6 +109,7 @@ func runBench(stdout io.Writer, logger *slog.Logger, insts uint64, outPath strin
 	rep := benchReport{
 		Insts: insts, GoMaxProc: runtime.GOMAXPROCS(0), PassSpec: spec,
 		TCPolicy: tcPolicy, ICPolicy: icPolicy,
+		Cluster: clusterBench{Mode: "local", Nodes: 1},
 	}
 	if rep.TCPolicy == "" {
 		rep.TCPolicy = tcsim.DefaultPolicy()

@@ -12,13 +12,19 @@
 //
 // Endpoints:
 //
-//	POST /v1/jobs        submit a job (sync; ?async=1 to poll instead)
-//	GET  /v1/jobs/{id}   poll an async job
-//	POST /v1/sweeps      batch workloads x configs, deduplicated
-//	GET  /v1/passes      registered fill-unit optimization passes
-//	GET  /healthz        liveness
-//	GET  /metrics        Prometheus text-format exposition
-//	GET  /metrics.json   the same counters as a JSON snapshot
+//	POST /v1/jobs            submit a job (sync; ?async=1 to poll instead)
+//	GET  /v1/jobs/{id}       poll an async job
+//	POST /v1/sweeps          batch workloads x configs, deduplicated
+//	GET  /v1/passes          registered fill-unit optimization passes
+//	GET  /v1/traces/{sha}    content-addressed trace CDN export (also HEAD)
+//	GET  /healthz            liveness
+//	GET  /healthz/ready      readiness (503 once draining starts)
+//	GET  /metrics            Prometheus text-format exposition
+//	GET  /metrics.json       the same counters as a JSON snapshot
+//
+// In a cluster (see cmd/tcgate), -cdn points the node at the gateway's
+// trace CDN: a capture miss first asks the cluster for the workload's
+// content-addressed trace and only emulates if no peer has it.
 //
 // Every request is logged structurally (log/slog; -log-format, -log-level)
 // under an X-Request-ID the response echoes, so client-reported failures
@@ -48,6 +54,7 @@ import (
 	"time"
 
 	"tcsim"
+	"tcsim/internal/cluster"
 	"tcsim/internal/prof"
 	"tcsim/internal/server"
 )
@@ -72,8 +79,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		maxInsts   = fs.Uint64("max-insts", 50_000_000, "per-job retired-instruction cap (0 = unlimited)")
 		drainWait  = fs.Duration("drain", 30*time.Second, "graceful-drain deadline on SIGTERM/SIGINT")
 		pprofOn    = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
-		selfcheck  = fs.Bool("selfcheck", false, "run the end-to-end self check against an in-process daemon and exit")
+		selfcheck  = fs.Bool("selfcheck", false, "run the end-to-end self check (single daemon, then a 3-node cluster behind a gateway) and exit")
 		scJobs     = fs.Int("selfcheck-jobs", 56, "selfcheck: job submissions (>= 50, duplicates included)")
+		scCluster  = fs.Int("selfcheck-cluster-jobs", 2000, "selfcheck: jobs driven through the 3-node cluster phase (>= 2000; 0 skips the phase)")
 		scInsts    = fs.Uint64("insts", 50_000, "selfcheck: retired-instruction budget per job")
 		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = fs.String("memprofile", "", "write a heap profile to this file at exit")
@@ -81,6 +89,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		logFormat  = fs.String("log-format", "text", "structured log format: text or json")
 		logLevel   = fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
 		traceDir   = fs.String("tracedir", "", "directory for persisted workload traces: warm restarts load captures from disk instead of re-emulating (invalid/stale files are rejected and re-captured)")
+		cdnURL     = fs.String("cdn", "", "cluster gateway base URL: capture misses fetch the trace from peers through GET {cdn}/v1/traces/{sha} before emulating (fetched bodies are fail-closed validated)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -103,8 +112,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *traceDir != "" {
 		tcsim.SetTraceDir(*traceDir)
+	}
+	if *cdnURL != "" {
+		tcsim.SetTraceFetcher(cluster.TraceFetcher(*cdnURL, nil))
+		logger.Info("trace CDN enabled", "gateway", *cdnURL)
+	}
+	if *traceDir != "" || *cdnURL != "" {
 		tcsim.SetTraceRejectLog(func(file string, err error) {
-			logger.Warn("rejected on-disk trace, re-capturing live", "file", file, "error", err.Error())
+			logger.Warn("rejected trace, re-capturing live", "source", file, "error", err.Error())
 		})
 	}
 
@@ -126,6 +141,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	code := 0
 	if *selfcheck {
 		code = runSelfcheck(stdout, stderr, scfg, *scJobs, *scInsts)
+		if code == 0 && *scCluster > 0 {
+			code = runClusterSelfcheck(stdout, stderr, scfg, *scCluster, *scInsts)
+		}
 	} else {
 		code = serve(stdout, stderr, logger, scfg, *addr, *drainWait, *pprofOn)
 	}
@@ -198,6 +216,10 @@ func serve(stdout, stderr io.Writer, logger *slog.Logger, scfg server.Config, ad
 	}
 	stop() // restore default signal behavior: a second signal kills us
 
+	// Flip readiness first: load balancers and the cluster gateway stop
+	// routing here while the listener still answers in-flight (and
+	// already-routed) requests; only then stop accepting connections.
+	srv.BeginDrain()
 	logger.Info("draining", "deadline", drainWait)
 	drainCtx, cancel := context.WithTimeout(context.Background(), drainWait)
 	defer cancel()

@@ -1,0 +1,52 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// maxTraceBytes caps one fetched trace body (64 MiB). The decoder
+// validates everything else; this only bounds memory against a
+// misbehaving peer.
+const maxTraceBytes = 64 << 20
+
+// TraceFetcher returns a trace-store fetcher that resolves misses
+// through a gateway's content-addressed CDN: GET
+// {gateway}/v1/traces/{program-sha256}?budget=N. Wire the result into
+// tcsim.SetTraceFetcher (or a per-engine store) on each node; a 404 —
+// no peer has captured the workload yet — surfaces as an error, which
+// the store treats as a plain miss and captures live. The fetched body
+// is NOT trusted: the store re-runs full fail-closed validation
+// (magic, version, program hash, key, CRC) before replaying it.
+func TraceFetcher(gatewayURL string, httpc *http.Client) func(programSHA, name string, budget uint64) ([]byte, error) {
+	base := strings.TrimRight(gatewayURL, "/")
+	if httpc == nil {
+		httpc = &http.Client{Timeout: 30 * time.Second}
+	}
+	return func(programSHA, name string, budget uint64) ([]byte, error) {
+		u := fmt.Sprintf("%s/v1/traces/%s?budget=%s",
+			base, url.PathEscape(programSHA), strconv.FormatUint(budget, 10))
+		resp, err := httpc.Get(u)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: trace fetch %s: %w", name, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+			return nil, fmt.Errorf("cluster: trace fetch %s: gateway answered %d", name, resp.StatusCode)
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, maxTraceBytes+1))
+		if err != nil {
+			return nil, fmt.Errorf("cluster: trace fetch %s: %w", name, err)
+		}
+		if len(body) > maxTraceBytes {
+			return nil, fmt.Errorf("cluster: trace fetch %s: body exceeds %d bytes", name, maxTraceBytes)
+		}
+		return body, nil
+	}
+}

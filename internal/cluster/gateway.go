@@ -1,0 +1,655 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tcsim/client"
+	"tcsim/internal/server"
+)
+
+// Node is one backend tcserved instance. Name is its stable ring
+// identity — keys hash onto names, not URLs, so a node restarted on a
+// different address keeps its shard.
+type Node struct {
+	Name string
+	URL  string
+}
+
+// Config assembles a Gateway.
+type Config struct {
+	// Nodes is the static backend list (ROADMAP: dynamic membership
+	// later; the ring abstraction already supports rebuilding).
+	Nodes []Node
+	// Replicas is the virtual-node count per node (0 = DefaultReplicas).
+	Replicas int
+	// ProbeInterval spaces readiness probe rounds (0 = 250ms).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe (0 = 2s).
+	ProbeTimeout time.Duration
+	// SweepConcurrency bounds in-flight sweep cells across the cluster
+	// (0 = 4 per node).
+	SweepConcurrency int
+	// MaxBodyBytes caps request bodies (0 = 1 MiB).
+	MaxBodyBytes int64
+	// Retry is the per-node retry policy for proxied calls: a 429 backs
+	// off honoring Retry-After (clamped to the policy's MaxDelay) before
+	// the gateway re-hashes to the next ring replica. The zero value
+	// selects 2 attempts with a 100ms base and 1s cap.
+	Retry client.RetryPolicy
+	// Logger receives gateway events (nil discards).
+	Logger *slog.Logger
+	// HTTPClient overrides the transport used for trace proxying and
+	// node scrapes (nil = a dedicated client).
+	HTTPClient *http.Client
+}
+
+// gwMetrics are the gateway's own counters (node counters are scraped
+// live at exposition time).
+type gwMetrics struct {
+	start       time.Time
+	jobsOK      atomic.Uint64
+	jobsErr     atomic.Uint64
+	sweepCells  atomic.Uint64
+	retries     atomic.Uint64 // same-node retry attempts (backoff honored)
+	rehashes    atomic.Uint64 // failovers to the next ring replica
+	demotions   atomic.Uint64
+	promotions  atomic.Uint64
+	traceHits   atomic.Uint64 // trace CDN proxy requests served by some node
+	traceMisses atomic.Uint64 // ... that no node could serve
+}
+
+// Gateway fronts a tcserved cluster: it speaks the exact wire schema of
+// a single node, so client.Client (and every existing tool) works
+// unchanged against it.
+type Gateway struct {
+	cfg          Config
+	nodes        []Node
+	ring         *Ring
+	clients      []*client.Client // proxy path, retry policy installed
+	probeClients []*client.Client // probe path, no retries
+	health       []*nodeHealth
+	httpc        *http.Client
+	mux          *http.ServeMux
+	log          *slog.Logger
+	met          *gwMetrics
+	draining     atomic.Bool
+
+	probeCancel context.CancelFunc
+	probeDone   chan struct{}
+}
+
+// New builds a gateway over the given backends.
+func New(cfg Config) (*Gateway, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("cluster: at least one node is required")
+	}
+	names := make([]string, len(cfg.Nodes))
+	seen := map[string]bool{}
+	for i, n := range cfg.Nodes {
+		if n.Name == "" || n.URL == "" {
+			return nil, fmt.Errorf("cluster: node %d needs both a name and a URL", i)
+		}
+		if seen[n.Name] {
+			return nil, fmt.Errorf("cluster: duplicate node name %q", n.Name)
+		}
+		seen[n.Name] = true
+		names[i] = n.Name
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 250 * time.Millisecond
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 2 * time.Second
+	}
+	if cfg.SweepConcurrency <= 0 {
+		cfg.SweepConcurrency = 4 * len(cfg.Nodes)
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	if cfg.Retry.MaxAttempts == 0 {
+		cfg.Retry = client.RetryPolicy{MaxAttempts: 2, BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Jitter: 0.25}
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	httpc := cfg.HTTPClient
+	if httpc == nil {
+		httpc = &http.Client{}
+	}
+
+	g := &Gateway{
+		cfg:   cfg,
+		nodes: cfg.Nodes,
+		ring:  NewRing(names, cfg.Replicas),
+		httpc: httpc,
+		log:   log,
+		met:   &gwMetrics{start: time.Now()},
+	}
+	for _, n := range cfg.Nodes {
+		retry := cfg.Retry
+		retry.OnRetry = func(_ int, _ error, _ time.Duration) { g.met.retries.Add(1) }
+		g.clients = append(g.clients, client.New(n.URL).WithHTTPClient(httpc).WithRetry(retry))
+		g.probeClients = append(g.probeClients, client.New(n.URL).WithHTTPClient(httpc))
+		h := &nodeHealth{healthy: true} // optimistic: passive demotion corrects fast
+		g.health = append(g.health, h)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", g.handleJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", g.handleGetJob)
+	mux.HandleFunc("POST /v1/sweeps", g.handleSweeps)
+	mux.HandleFunc("GET /v1/passes", g.handlePasses)
+	mux.HandleFunc("GET /v1/policies", g.handlePolicies)
+	mux.HandleFunc("GET /v1/traces/{sha}", g.handleTraces) // also serves HEAD
+	mux.HandleFunc("GET /v1/cluster", g.handleCluster)
+	mux.HandleFunc("GET /healthz", g.handleHealth)
+	mux.HandleFunc("GET /healthz/ready", g.handleReady)
+	mux.HandleFunc("GET /metrics", g.handleMetrics)
+	g.mux = mux
+	return g, nil
+}
+
+// Handler returns the gateway's HTTP handler.
+func (g *Gateway) Handler() http.Handler { return g.mux }
+
+// Start launches the background readiness-probe loop (one synchronous
+// round first, so boot-time health is real before the first request).
+func (g *Gateway) Start() {
+	ctx, cancel := context.WithCancel(context.Background())
+	g.probeCancel = cancel
+	g.probeDone = make(chan struct{})
+	g.probeAll(ctx)
+	go func() {
+		defer close(g.probeDone)
+		g.probeLoop(ctx)
+	}()
+}
+
+// BeginDrain flips the gateway's own readiness to 503; proxying
+// continues until Shutdown.
+func (g *Gateway) BeginDrain() { g.draining.Store(true) }
+
+// Shutdown stops the probe loop.
+func (g *Gateway) Shutdown(ctx context.Context) error {
+	g.BeginDrain()
+	if g.probeCancel != nil {
+		g.probeCancel()
+		select {
+		case <-g.probeDone:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// Healthy counts currently routable nodes.
+func (g *Gateway) Healthy() int {
+	n := 0
+	for _, h := range g.health {
+		if h.ok() {
+			n++
+		}
+	}
+	return n
+}
+
+// --- helpers ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, code, msg string, retryAfterSecs int) {
+	if retryAfterSecs > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSecs))
+	}
+	writeJSON(w, status, client.ErrorBody{Error: client.APIError{
+		Code: code, Message: msg, RetryAfterSecs: retryAfterSecs}})
+}
+
+// writeUpstream relays a proxy-path failure: structured backend errors
+// pass through verbatim (status, code, Retry-After and all); anything
+// else — typically "no node could serve this" — becomes a 502.
+func (g *Gateway) writeUpstream(w http.ResponseWriter, err error) {
+	var ae *client.APIError
+	if errors.As(err, &ae) {
+		status := ae.Status
+		if status == 0 {
+			status = http.StatusBadGateway
+		}
+		writeErr(w, status, ae.Code, ae.Message, ae.RetryAfterSecs)
+		return
+	}
+	writeErr(w, http.StatusBadGateway, "bad_gateway",
+		"no healthy backend could serve the request: "+err.Error(), 0)
+}
+
+// decode parses a JSON body with the same strictness as a node.
+func (g *Gateway) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid_argument",
+			"malformed request body: "+err.Error(), 0)
+		return false
+	}
+	return true
+}
+
+// forwardCtx propagates the caller's X-Request-ID to the backend so one
+// ID traces a request across gateway and node logs.
+func forwardCtx(r *http.Request) context.Context {
+	if rid := r.Header.Get("X-Request-ID"); rid != "" {
+		return client.WithRequestID(r.Context(), rid)
+	}
+	return r.Context()
+}
+
+// terminalUpstream reports errors that prove the request itself is bad
+// (or genuinely done): a structured backend response other than the
+// load-shedding statuses. Those pass through; everything else — 429 after
+// the per-node retry budget, 5xx, transport failures — triggers
+// failover to the next ring replica.
+func terminalUpstream(err error) bool {
+	var ae *client.APIError
+	if !errors.As(err, &ae) {
+		return false
+	}
+	switch ae.Status {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return false
+	}
+	return true
+}
+
+// tryNodes runs call against key's ring preference order: healthy
+// candidates first, every candidate as a last resort (health data may
+// be stale). Demotes nodes that fail with transport/5xx errors, counts
+// re-hashes, and returns the index of the node that answered.
+func tryNodes[T any](g *Gateway, ctx context.Context, order []int, call func(i int, c *client.Client) (T, error)) (T, int, error) {
+	var zero T
+	candidates := make([]int, 0, 2*len(order))
+	for _, i := range order {
+		if g.health[i].ok() {
+			candidates = append(candidates, i)
+		}
+	}
+	// Stale health must never brick a key: demoted nodes form a second
+	// tier in the same ring order.
+	for _, i := range order {
+		if !g.health[i].ok() {
+			candidates = append(candidates, i)
+		}
+	}
+	var lastErr error
+	for _, i := range candidates {
+		if err := ctx.Err(); err != nil {
+			return zero, -1, err
+		}
+		if i != order[0] {
+			// Any attempt off the primary replica — whether the owner
+			// failed just now or was already demoted — is a re-hash.
+			g.met.rehashes.Add(1)
+		}
+		v, err := call(i, g.clients[i])
+		if err == nil {
+			if g.health[i].markUp() {
+				g.met.promotions.Add(1)
+				g.log.Info("node promoted", "node", g.nodes[i].Name, "via", "proxy")
+			}
+			return v, i, nil
+		}
+		if terminalUpstream(err) {
+			// The backend answered definitively; its word is the cluster's.
+			return zero, i, err
+		}
+		var ae *client.APIError
+		if !errors.As(err, &ae) || ae.Status >= 500 {
+			// Transport failure or 5xx: the node itself is suspect.
+			if g.health[i].markDown(err) {
+				g.met.demotions.Add(1)
+				g.log.Warn("node demoted", "node", g.nodes[i].Name, "via", "proxy", "error", err.Error())
+			}
+		}
+		lastErr = err
+		g.log.Warn("rehash", "node", g.nodes[i].Name, "error", err.Error())
+	}
+	if lastErr == nil {
+		lastErr = errors.New("no candidate nodes")
+	}
+	return zero, -1, lastErr
+}
+
+// --- job routing ---
+
+// prefixID namespaces a backend job ID with its node index so polls
+// route back to the node that owns the job. Backend IDs never contain
+// "." before the first path segment (they are "j" + counter), so the
+// encoding is unambiguous.
+func prefixID(node int, id string) string { return fmt.Sprintf("n%d.%s", node, id) }
+
+// splitID undoes prefixID.
+func splitID(id string) (node int, rest string, ok bool) {
+	if !strings.HasPrefix(id, "n") {
+		return 0, "", false
+	}
+	head, rest, found := strings.Cut(id[1:], ".")
+	if !found || rest == "" {
+		return 0, "", false
+	}
+	n, err := strconv.Atoi(head)
+	if err != nil || n < 0 {
+		return 0, "", false
+	}
+	return n, rest, true
+}
+
+// handleJobs implements POST /v1/jobs: resolve the canonical config
+// key exactly as a node would, hash it onto the ring, and proxy — with
+// per-node retry/backoff and re-hash failover. Submission is idempotent
+// by key, which is what makes blind failover safe: the worst case is a
+// cache hit on the second node.
+func (g *Gateway) handleJobs(w http.ResponseWriter, r *http.Request) {
+	var req client.JobRequest
+	if !g.decode(w, r, &req) {
+		return
+	}
+	_, key, err := server.ResolveConfig(&req, server.Limits{})
+	if err != nil {
+		if server.IsBadRequest(err) {
+			writeErr(w, http.StatusBadRequest, "invalid_argument", err.Error(), 0)
+		} else {
+			writeErr(w, http.StatusInternalServerError, "internal", err.Error(), 0)
+		}
+		return
+	}
+	async := r.URL.Query().Get("async") == "1"
+	ctx := forwardCtx(r)
+	job, idx, err := tryNodes(g, ctx, g.ring.Order(key), func(_ int, c *client.Client) (*client.Job, error) {
+		if async {
+			return c.SubmitJobAsync(ctx, &req)
+		}
+		return c.SubmitJob(ctx, &req)
+	})
+	if err != nil {
+		g.met.jobsErr.Add(1)
+		g.writeUpstream(w, err)
+		return
+	}
+	g.met.jobsOK.Add(1)
+	job.ID = prefixID(idx, job.ID)
+	status := http.StatusOK
+	if async {
+		status = http.StatusAccepted
+	}
+	writeJSON(w, status, job)
+}
+
+// handleGetJob implements GET /v1/jobs/{id}: the node index embedded in
+// the gateway-issued ID routes the poll; no failover — the job's state
+// lives on exactly that node.
+func (g *Gateway) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	node, rest, ok := splitID(id)
+	if !ok || node >= len(g.nodes) {
+		writeErr(w, http.StatusNotFound, "not_found",
+			fmt.Sprintf("no job %q (gateway job IDs look like n0.j123)", id), 0)
+		return
+	}
+	job, err := g.clients[node].GetJob(forwardCtx(r), rest)
+	if err != nil {
+		g.writeUpstream(w, err)
+		return
+	}
+	job.ID = prefixID(node, job.ID)
+	writeJSON(w, http.StatusOK, job)
+}
+
+// handleSweeps implements POST /v1/sweeps: the gateway expands the
+// cross product exactly as a node would, routes every cell by its
+// canonical key, forwards each as a single-cell sweep under a bounded
+// semaphore, and merges rows back in cell order. Identical cells land
+// on the same node by construction, so the cluster-wide dedup rate
+// matches a single node's.
+func (g *Gateway) handleSweeps(w http.ResponseWriter, r *http.Request) {
+	var req client.SweepRequest
+	if !g.decode(w, r, &req) {
+		return
+	}
+	cells, err := server.ResolveSweepCells(&req, server.Limits{})
+	if err != nil {
+		if server.IsBadRequest(err) {
+			writeErr(w, http.StatusBadRequest, "invalid_argument", err.Error(), 0)
+		} else {
+			writeErr(w, http.StatusInternalServerError, "internal", err.Error(), 0)
+		}
+		return
+	}
+	g.met.sweepCells.Add(uint64(len(cells)))
+	t0 := time.Now()
+	ctx, cancel := context.WithCancel(forwardCtx(r))
+	defer cancel()
+
+	rows := make([]client.SweepRow, len(cells))
+	errs := make([]error, len(cells))
+	var sims atomic.Uint64
+	sem := make(chan struct{}, g.cfg.SweepConcurrency)
+	var wg sync.WaitGroup
+	for i, cell := range cells {
+		wg.Add(1)
+		go func(i int, cell server.SweepCell) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-ctx.Done():
+				errs[i] = ctx.Err()
+				return
+			}
+			one := &client.SweepRequest{
+				Workloads: []string{cell.Workload},
+				Configs:   []client.JobRequest{cell.Req},
+			}
+			resp, _, err := tryNodes(g, ctx, g.ring.Order(cell.Key), func(_ int, c *client.Client) (*client.SweepResponse, error) {
+				return c.Sweep(ctx, one)
+			})
+			if err != nil {
+				errs[i] = err
+				cancel()
+				return
+			}
+			if len(resp.Rows) != 1 {
+				errs[i] = fmt.Errorf("cluster: node returned %d rows for one cell", len(resp.Rows))
+				cancel()
+				return
+			}
+			sims.Add(resp.Simulations)
+			rows[i] = resp.Rows[0]
+		}(i, cell)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, context.Canceled) {
+			g.writeUpstream(w, err)
+			return
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		g.writeUpstream(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, &client.SweepResponse{
+		Rows:        rows,
+		Cells:       len(cells),
+		Simulations: sims.Load(),
+		WallMS:      float64(time.Since(t0).Microseconds()) / 1000,
+	})
+}
+
+// --- registry proxies ---
+
+func (g *Gateway) handlePasses(w http.ResponseWriter, r *http.Request) {
+	ctx := forwardCtx(r)
+	out, _, err := tryNodes(g, ctx, g.anyOrder(), func(_ int, c *client.Client) ([]client.Pass, error) {
+		return c.Passes(ctx)
+	})
+	if err != nil {
+		g.writeUpstream(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (g *Gateway) handlePolicies(w http.ResponseWriter, r *http.Request) {
+	ctx := forwardCtx(r)
+	out, _, err := tryNodes(g, ctx, g.anyOrder(), func(_ int, c *client.Client) ([]client.Policy, error) {
+		return c.Policies(ctx)
+	})
+	if err != nil {
+		g.writeUpstream(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// anyOrder is the preference order for node-agnostic requests.
+func (g *Gateway) anyOrder() []int {
+	out := make([]int, len(g.nodes))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// --- trace CDN proxy ---
+
+// handleTraces implements GET/HEAD /v1/traces/{sha} at the gateway: ask
+// each node (hash-spread, healthy first) for the content-addressed
+// trace and stream back the first hit. This is what lets a node that
+// missed a trace fetch it from whichever peer captured it — one
+// workload, one capture, cluster-wide.
+func (g *Gateway) handleTraces(w http.ResponseWriter, r *http.Request) {
+	sha := r.PathValue("sha")
+	budget := r.URL.Query().Get("budget")
+	for _, i := range g.orderHealthyFirst(sha) {
+		u := fmt.Sprintf("%s/v1/traces/%s?budget=%s", g.nodes[i].URL, url.PathEscape(sha), url.QueryEscape(budget))
+		req, err := http.NewRequestWithContext(r.Context(), r.Method, u, nil)
+		if err != nil {
+			continue
+		}
+		resp, err := g.httpc.Do(req)
+		if err != nil {
+			if g.health[i].markDown(err) {
+				g.met.demotions.Add(1)
+				g.log.Warn("node demoted", "node", g.nodes[i].Name, "via", "trace-proxy", "error", err.Error())
+			}
+			continue
+		}
+		if resp.StatusCode == http.StatusOK {
+			g.met.traceHits.Add(1)
+			for _, h := range []string{"Content-Type", "Content-Length", "X-Trace-Workload", "X-Trace-Budget"} {
+				if v := resp.Header.Get(h); v != "" {
+					w.Header().Set(h, v)
+				}
+			}
+			w.Header().Set("X-Trace-Node", g.nodes[i].Name)
+			w.WriteHeader(http.StatusOK)
+			io.Copy(w, resp.Body)
+			resp.Body.Close()
+			return
+		}
+		if resp.StatusCode == http.StatusBadRequest {
+			// Malformed budget: every node would say the same.
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			writeErr(w, http.StatusBadRequest, "invalid_argument",
+				"budget query parameter must be a positive integer", 0)
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	g.met.traceMisses.Add(1)
+	writeErr(w, http.StatusNotFound, "not_found",
+		fmt.Sprintf("no node holds a trace for program %s", sha), 0)
+}
+
+// orderHealthyFirst is ring preference order for key with demoted nodes
+// moved to the back.
+func (g *Gateway) orderHealthyFirst(key string) []int {
+	order := g.ring.Order(key)
+	out := make([]int, 0, len(order))
+	for _, i := range order {
+		if g.health[i].ok() {
+			out = append(out, i)
+		}
+	}
+	for _, i := range order {
+		if !g.health[i].ok() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// --- cluster status & health ---
+
+// handleCluster implements GET /v1/cluster.
+func (g *Gateway) handleCluster(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, g.Status())
+}
+
+// Status snapshots the gateway's cluster view.
+func (g *Gateway) Status() *client.ClusterStatus {
+	cs := &client.ClusterStatus{RingPoints: len(g.ring.points)}
+	for i, n := range g.nodes {
+		healthy, lastErr, demotions := g.health[i].snapshot()
+		if healthy {
+			cs.Healthy++
+		}
+		cs.Nodes = append(cs.Nodes, client.NodeStatus{
+			Name: n.Name, URL: n.URL, Healthy: healthy,
+			Demotions: demotions, LastError: lastErr,
+		})
+	}
+	return cs
+}
+
+func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReady: the gateway is ready while it is not draining and at
+// least one backend is routable.
+func (g *Gateway) handleReady(w http.ResponseWriter, r *http.Request) {
+	if g.draining.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "draining", "gateway is draining", 2)
+		return
+	}
+	if g.Healthy() == 0 {
+		writeErr(w, http.StatusServiceUnavailable, "bad_gateway", "no healthy backend nodes", 2)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}

@@ -1,0 +1,151 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+
+	"tcsim/client"
+	"tcsim/internal/obs"
+)
+
+// scrapeTimeout bounds the per-node /metrics.json fetch during a
+// gateway exposition. A slow node costs one scrape interval, not a
+// hung dashboard.
+const scrapeTimeout = 2 * time.Second
+
+// handleMetrics implements GET /metrics: the gateway's own counters
+// plus a live per-node scrape aggregated under a `node` label, so one
+// Prometheus target observes the whole cluster — queue depths, cache
+// hits, and the trace CDN's capture-once economics.
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	type scrape struct {
+		m  *client.Metrics
+		up bool
+	}
+	scrapes := make([]scrape, len(g.nodes))
+	var wg sync.WaitGroup
+	for i := range g.nodes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(r.Context(), scrapeTimeout)
+			defer cancel()
+			m, err := g.probeClients[i].Metrics(ctx)
+			if err == nil {
+				scrapes[i] = scrape{m: m, up: true}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	w.Header().Set("Content-Type", obs.ExpoContentType)
+	e := obs.NewExpo(w)
+
+	e.Gauge("tcgate_uptime_seconds", "Seconds since the gateway started.",
+		time.Since(g.met.start).Seconds())
+	e.Gauge("tcgate_nodes", "Configured backend nodes.", float64(len(g.nodes)))
+	e.Gauge("tcgate_nodes_healthy", "Backend nodes currently routable.", float64(g.Healthy()))
+	e.Gauge("tcgate_ring_points", "Virtual nodes on the consistent-hash ring.",
+		float64(len(g.ring.points)))
+	e.CounterVec("tcgate_jobs_proxied_total", "Jobs proxied through the gateway by outcome.",
+		[]obs.LabeledValue{
+			{Labels: [][2]string{{"outcome", "ok"}}, Value: float64(g.met.jobsOK.Load())},
+			{Labels: [][2]string{{"outcome", "error"}}, Value: float64(g.met.jobsErr.Load())},
+		})
+	e.Counter("tcgate_sweep_cells_total", "Sweep cells fanned out across the cluster.",
+		float64(g.met.sweepCells.Load()))
+	e.Counter("tcgate_retries_total", "Same-node retry attempts (backoff, Retry-After honored).",
+		float64(g.met.retries.Load()))
+	e.Counter("tcgate_rehashes_total", "Requests re-hashed to a later ring replica.",
+		float64(g.met.rehashes.Load()))
+	e.Counter("tcgate_demotions_total", "Node demotions (probe or proxy failure).",
+		float64(g.met.demotions.Load()))
+	e.Counter("tcgate_promotions_total", "Node promotions back into rotation.",
+		float64(g.met.promotions.Load()))
+	e.CounterVec("tcgate_trace_proxy_total", "Trace CDN proxy lookups by outcome.",
+		[]obs.LabeledValue{
+			{Labels: [][2]string{{"outcome", "hit"}}, Value: float64(g.met.traceHits.Load())},
+			{Labels: [][2]string{{"outcome", "miss"}}, Value: float64(g.met.traceMisses.Load())},
+		})
+
+	// Per-node families. tcgate_node_up reflects this scrape (a node the
+	// gateway routes to but cannot scrape is down for dashboard purposes).
+	up := make([]obs.LabeledValue, len(g.nodes))
+	for i, n := range g.nodes {
+		v := 0.0
+		if scrapes[i].up {
+			v = 1
+		}
+		up[i] = obs.LabeledValue{Labels: [][2]string{{"node", n.Name}}, Value: v}
+	}
+	e.GaugeVec("tcgate_node_up", "Whether the node answered this scrape.", up)
+
+	nodeGauge := func(name, help string, pick func(*client.Metrics) float64) {
+		rows := make([]obs.LabeledValue, 0, len(g.nodes))
+		for i, n := range g.nodes {
+			if !scrapes[i].up {
+				continue
+			}
+			rows = append(rows, obs.LabeledValue{
+				Labels: [][2]string{{"node", n.Name}}, Value: pick(scrapes[i].m)})
+		}
+		if len(rows) == 0 {
+			return
+		}
+		e.GaugeVec(name, help, rows)
+	}
+	nodeCounterVec := func(name, help string, pick func(*client.Metrics, string) (float64, bool), outcomes ...string) {
+		rows := make([]obs.LabeledValue, 0, len(g.nodes)*len(outcomes))
+		for i, n := range g.nodes {
+			if !scrapes[i].up {
+				continue
+			}
+			for _, o := range outcomes {
+				if v, ok := pick(scrapes[i].m, o); ok {
+					rows = append(rows, obs.LabeledValue{
+						Labels: [][2]string{{"node", n.Name}, {"outcome", o}}, Value: v})
+				}
+			}
+		}
+		if len(rows) == 0 {
+			return
+		}
+		e.CounterVec(name, help, rows)
+	}
+
+	nodeGauge("tcgate_node_queue_depth", "Jobs admitted and waiting on the node.",
+		func(m *client.Metrics) float64 { return float64(m.QueueDepth) })
+	nodeGauge("tcgate_node_in_flight", "Jobs simulating on the node right now.",
+		func(m *client.Metrics) float64 { return float64(m.InFlight) })
+	nodeCounterVec("tcgate_node_cache_total", "Node result-cache traffic.",
+		func(m *client.Metrics, o string) (float64, bool) {
+			switch o {
+			case "hit":
+				return float64(m.CacheHits), true
+			case "miss":
+				return float64(m.CacheMisses), true
+			}
+			return 0, false
+		}, "hit", "miss")
+	nodeCounterVec("tcgate_node_tracestore_total", "Node trace-store traffic.",
+		func(m *client.Metrics, o string) (float64, bool) {
+			ts := m.TraceStore
+			switch o {
+			case "capture":
+				return float64(ts.Captures), true
+			case "replay":
+				return float64(ts.ReplayHits), true
+			case "disk_load":
+				return float64(ts.DiskLoads), true
+			case "cdn_serve":
+				return float64(ts.CDNServes), true
+			case "cdn_fetch":
+				return float64(ts.CDNFetches), true
+			case "cdn_reject":
+				return float64(ts.CDNRejects), true
+			}
+			return 0, false
+		}, "capture", "replay", "disk_load", "cdn_serve", "cdn_fetch", "cdn_reject")
+}

@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestRingDeterminism: placement is a pure function of (names,
+// replicas, key) — two rings built from the same names agree point for
+// point, and a ring built from a permuted name list maps every key to
+// the same node NAME (indices differ, names must not).
+func TestRingDeterminism(t *testing.T) {
+	names := []string{"node0", "node1", "node2"}
+	a := NewRing(names, 0)
+	b := NewRing(names, 0)
+	permuted := []string{"node2", "node0", "node1"}
+	p := NewRing(permuted, 0)
+	for k := 0; k < 500; k++ {
+		key := fmt.Sprintf("cfg-%d", k)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("two identical rings disagree on %q", key)
+		}
+		if names[a.Owner(key)] != permuted[p.Owner(key)] {
+			t.Fatalf("name-permuted ring moved %q: %s vs %s",
+				key, names[a.Owner(key)], permuted[p.Owner(key)])
+		}
+	}
+}
+
+// TestRingOrderCoversAllNodes: Order starts at the owner and visits
+// every node exactly once — the rehash-on-demotion walk is total.
+func TestRingOrderCoversAllNodes(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c", "d"}, 0)
+	for k := 0; k < 200; k++ {
+		key := fmt.Sprintf("key-%d", k)
+		order := r.Order(key)
+		if len(order) != 4 {
+			t.Fatalf("Order(%q) has %d entries, want 4", key, len(order))
+		}
+		if order[0] != r.Owner(key) {
+			t.Fatalf("Order(%q) does not start at the owner", key)
+		}
+		seen := map[int]bool{}
+		for _, n := range order {
+			if seen[n] {
+				t.Fatalf("Order(%q) repeats node %d", key, n)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+// TestRingDistribution: with DefaultReplicas virtual nodes, load across
+// 3 nodes stays within a loose band — no node starves or hogs.
+func TestRingDistribution(t *testing.T) {
+	r := NewRing([]string{"node0", "node1", "node2"}, 0)
+	counts := make([]int, 3)
+	const keys = 30000
+	for k := 0; k < keys; k++ {
+		counts[r.Owner(fmt.Sprintf("workload-%d/config-%d", k%7, k))]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / keys
+		if frac < 0.15 || frac > 0.55 {
+			t.Errorf("node %d owns %.1f%% of keys (counts %v)", i, 100*frac, counts)
+		}
+	}
+}
+
+// TestRingConsistency pins the property that gives consistent hashing
+// its name: deleting one node from a 3-node ring moves ONLY the keys
+// that node owned. Keys owned by survivors do not shuffle — which is
+// why a demotion re-hashes a bounded shard, not the whole keyspace.
+func TestRingConsistency(t *testing.T) {
+	full := NewRing([]string{"node0", "node1", "node2"}, 0)
+	reduced := NewRing([]string{"node0", "node2"}, 0) // node1 removed
+	fullNames := []string{"node0", "node1", "node2"}
+	reducedNames := []string{"node0", "node2"}
+	moved := 0
+	for k := 0; k < 5000; k++ {
+		key := fmt.Sprintf("key-%d", k)
+		before := fullNames[full.Owner(key)]
+		after := reducedNames[reduced.Owner(key)]
+		if before == "node1" {
+			// Orphaned keys must land on the full ring's next replica —
+			// deterministic failover placement.
+			order := full.Order(key)
+			if want := fullNames[order[1]]; after != want {
+				t.Fatalf("orphaned %q landed on %s, ring successor says %s", key, after, want)
+			}
+			moved++
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %q moved %s -> %s though its owner survived", key, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no key was owned by the removed node; distribution test is vacuous")
+	}
+}
+
+// TestSplitID: the gateway job-ID namespace round-trips and rejects
+// everything that is not its own encoding.
+func TestSplitID(t *testing.T) {
+	for _, tc := range []struct {
+		node int
+		id   string
+	}{{0, "j1"}, {2, "j42"}, {17, "j0.weird"}} {
+		got, rest, ok := splitID(prefixID(tc.node, tc.id))
+		if !ok || got != tc.node || rest != tc.id {
+			t.Errorf("splitID(prefixID(%d, %q)) = (%d, %q, %v)", tc.node, tc.id, got, rest, ok)
+		}
+	}
+	for _, bad := range []string{"", "j1", "n.j1", "nx.j1", "n-1.j1", "n1", "n1."} {
+		if _, _, ok := splitID(bad); ok {
+			t.Errorf("splitID(%q) accepted a non-gateway ID", bad)
+		}
+	}
+}
+
+// TestOrderMatchesOwnerAcrossReplicaCounts guards the successor-walk
+// contract NewRing relies on under different replica settings.
+func TestOrderMatchesOwnerAcrossReplicaCounts(t *testing.T) {
+	for _, replicas := range []int{1, 16, 128, 311} {
+		r := NewRing([]string{"x", "y", "z"}, replicas)
+		for k := 0; k < 100; k++ {
+			key := fmt.Sprintf("k%d", k)
+			order := r.Order(key)
+			if order[0] != r.Owner(key) || len(order) != 3 {
+				t.Fatalf("replicas=%d: Order(%q)=%v Owner=%d", replicas, key, order, r.Owner(key))
+			}
+		}
+		if !reflect.DeepEqual(r.Order("stable-key"), r.Order("stable-key")) {
+			t.Fatalf("replicas=%d: Order is not deterministic", replicas)
+		}
+	}
+}

@@ -36,6 +36,12 @@ type Runner struct {
 	// Parallel caps concurrent simulations (0 = GOMAXPROCS). Read once,
 	// when the first simulation starts.
 	Parallel int
+	// Store selects the trace store runs capture and replay through
+	// (nil = the process-wide shared store). The serving layer points
+	// this at its engine's store so a multi-engine process — the cluster
+	// selfcheck boots three nodes in-process — keeps sweep captures
+	// isolated per node.
+	Store *tracestore.Store
 
 	mu      sync.Mutex
 	flights map[string]*flight
@@ -229,9 +235,13 @@ func (r *Runner) simulate(ctx context.Context, w workload.Workload, v ConfigVari
 	// Every variant of a workload consumes the same correct-path stream:
 	// capture it once in the shared trace store and replay it here, so a
 	// sweep pays emulation per workload, not per (workload × variant).
+	store := r.Store
+	if store == nil {
+		store = tracestore.Shared()
+	}
 	var prog *asm.Program
 	if cfg.MaxInsts > 0 {
-		if ent, _, err := tracestore.Shared().Get(w.Name, cfg.MaxInsts); err == nil {
+		if ent, _, err := store.Get(w.Name, cfg.MaxInsts); err == nil {
 			prog = ent.Prog
 			cfg.Oracle = ent.Trace.NewReplay()
 			// The captured trace doubles as the future-reference index

@@ -114,6 +114,15 @@ func (e *Expo) CounterVec(name, help string, rows []LabeledValue) {
 	}
 }
 
+// GaugeVec emits a labeled gauge family. Each row is one label
+// pair-list plus its value; rows render in the order given.
+func (e *Expo) GaugeVec(name, help string, rows []LabeledValue) {
+	e.header(name, help, "gauge")
+	for _, r := range rows {
+		e.Sample(name, r.Labels, r.Value)
+	}
+}
+
 // LabeledValue is one sample of a labeled family.
 type LabeledValue struct {
 	Labels [][2]string

@@ -35,6 +35,11 @@ type EngineConfig struct {
 	CacheEntries int
 	// Limits bounds individual jobs.
 	Limits Limits
+	// Store selects the trace store jobs capture and replay through (nil
+	// = the process-wide shared store). Hosts embedding several engines
+	// in one process — the cluster selfcheck boots three nodes in-process
+	// — give each its own so per-node capture counters stay meaningful.
+	Store *tcsim.TraceStore
 }
 
 func (c EngineConfig) withDefaults() EngineConfig {
@@ -99,6 +104,7 @@ type Engine struct {
 // NewEngine builds an engine; Close (or Drain) releases it.
 func NewEngine(cfg EngineConfig) *Engine {
 	cfg = cfg.withDefaults()
+	st := cfg.Store
 	return &Engine{
 		cfg:     cfg,
 		met:     newMetrics(),
@@ -106,9 +112,15 @@ func NewEngine(cfg EngineConfig) *Engine {
 		slots:   make(chan struct{}, cfg.Workers),
 		cache:   make(map[string]*cacheEntry),
 		flights: make(map[string]*runFlight),
-		runSim:  tcsim.RunWorkloadContext,
+		runSim: func(ctx context.Context, cfg tcsim.Config, workload string) (tcsim.Result, error) {
+			return tcsim.RunWorkloadContextIn(ctx, cfg, workload, st)
+		},
 	}
 }
+
+// Store returns the trace store this engine's jobs run through (nil
+// means the process-wide shared store).
+func (e *Engine) Store() *tcsim.TraceStore { return e.cfg.Store }
 
 // Limits returns the engine's per-job bounds for request resolution.
 func (e *Engine) Limits() Limits { return e.cfg.Limits }

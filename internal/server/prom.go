@@ -106,7 +106,7 @@ func (s *Server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
 		"Trace-cache fills rejected by the replacement policy (bypass-capable policies only).",
 		float64(m.tcBypasses.Load()))
 
-	ts := traceStoreMetrics()
+	ts := s.traceStoreMetrics()
 	e.Counter("tcserved_tracestore_captures_total",
 		"Correct-path streams captured into the trace store (emulated or disk-loaded).",
 		float64(ts.Captures))
@@ -128,6 +128,13 @@ func (s *Server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
 			{Labels: [][2]string{{"outcome", "load"}}, Value: float64(ts.DiskLoads)},
 			{Labels: [][2]string{{"outcome", "save"}}, Value: float64(ts.DiskSaves)},
 			{Labels: [][2]string{{"outcome", "reject"}}, Value: float64(ts.DiskRejects)},
+		})
+	e.CounterVec("tcserved_tracestore_cdn_total",
+		"Trace CDN traffic by outcome (zero outside a cluster): serve = trace exported to a peer, fetch = capture satisfied from a peer, reject = fetched body failed validation.",
+		[]obs.LabeledValue{
+			{Labels: [][2]string{{"outcome", "serve"}}, Value: float64(ts.CDNServes)},
+			{Labels: [][2]string{{"outcome", "fetch"}}, Value: float64(ts.CDNFetches)},
+			{Labels: [][2]string{{"outcome", "reject"}}, Value: float64(ts.CDNRejects)},
 		})
 
 	e.Hist(m.jobDur)

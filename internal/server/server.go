@@ -9,11 +9,13 @@ import (
 	"log/slog"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"tcsim"
 	"tcsim/client"
 	"tcsim/internal/experiments"
+	"tcsim/internal/tracestore"
 )
 
 // Config assembles a Server.
@@ -46,6 +48,12 @@ type Server struct {
 	// the drain deadline abandons.
 	baseCtx    context.Context
 	cancelBase context.CancelFunc
+
+	// draining flips readiness (GET /healthz/ready) to 503 the moment a
+	// graceful shutdown begins — before any work stops being accepted —
+	// so balancers and the cluster gateway stop routing first. Liveness
+	// (GET /healthz) stays green for the whole drain.
+	draining atomic.Bool
 }
 
 // New builds a server.
@@ -58,11 +66,16 @@ func New(cfg Config) *Server {
 		log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	sweeps := experiments.NewRunner(0)
+	// Sweeps must capture and replay through the same store as jobs, or
+	// a multi-engine process would leak traces across nodes via the
+	// shared store and falsify per-node CDN accounting.
+	sweeps.Store = cfg.Engine.Store
 	s := &Server{
 		cfg:        cfg,
 		engine:     NewEngine(cfg.Engine),
 		jobs:       newJobStore(cfg.JobTTL),
-		sweeps:     experiments.NewRunner(0),
+		sweeps:     sweeps,
 		log:        log,
 		baseCtx:    ctx,
 		cancelBase: cancel,
@@ -73,7 +86,9 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
 	mux.HandleFunc("GET /v1/passes", s.handlePasses)
 	mux.HandleFunc("GET /v1/policies", s.handlePolicies)
+	mux.HandleFunc("GET /v1/traces/{sha}", s.handleTrace) // also serves HEAD
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /healthz/ready", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handlePrometheus)
 	mux.HandleFunc("GET /metrics.json", s.handleMetrics)
 	s.mux = mux
@@ -91,12 +106,23 @@ func (s *Server) Engine() *Engine { return s.engine }
 // JobCount reports how many async jobs the store currently holds.
 func (s *Server) JobCount() int { return s.jobs.len() }
 
+// BeginDrain flips readiness to 503 without refusing any work: jobs
+// already in flight and new submissions both still run. Call it first
+// on SIGTERM — before http.Server.Shutdown — so the gateway and any LB
+// stop routing to this node while it is still fully serving; then close
+// the listener and call Shutdown. Idempotent.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether a graceful drain has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
 // Shutdown drains the server: no new work is admitted, every admitted
 // job (sync and async) finishes or ctx expires, then background state
 // is released. Call http.Server.Shutdown first so no requests arrive
 // concurrently; async jobs survive their submitting request, which is
 // why the engine drain is separate.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.BeginDrain()
 	err := s.engine.Drain(ctx)
 	if err != nil {
 		// Deadline hit with jobs still running: cancel them so their
@@ -313,9 +339,74 @@ func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// handleHealth implements GET /healthz.
+// handleHealth implements GET /healthz — liveness. It answers 200 for
+// as long as the process serves HTTP, including during a graceful
+// drain: a draining node is alive, just not ready.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReady implements GET /healthz/ready — readiness. It flips to
+// 503 the moment BeginDrain is called, while submissions still succeed,
+// so routing stops strictly before work does.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining",
+			"server is draining and should receive no new work", 2*time.Second)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// ContentTypeTrace is the media type of serialized trace bodies served
+// by GET /v1/traces/{sha} — the PR 5 versioned on-disk format (magic
+// "TCTR", version, uvarint header, varint columns, CRC-32 trailer).
+const ContentTypeTrace = "application/x-tctrace"
+
+// handleTrace implements GET and HEAD /v1/traces/{program-sha256}: the
+// trace CDN. The path component is the hex sha256 of the built program
+// image (content-addressed: a recompiled workload gets a new address),
+// and the required budget query parameter selects the retirement bound
+// the stream was captured under. The body is re-validated before a
+// single byte leaves this node; a corrupt on-disk file is an error, not
+// a response. HEAD answers availability without counting a serve.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	sha := r.PathValue("sha")
+	name, ok := tracestore.WorkloadByHash(sha)
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found",
+			fmt.Sprintf("no bundled workload builds a program with hash %q", sha), 0)
+		return
+	}
+	budget, err := strconv.ParseUint(r.URL.Query().Get("budget"), 10, 64)
+	if err != nil || budget == 0 {
+		writeError(w, http.StatusBadRequest, "invalid_argument",
+			"budget query parameter must be a positive integer", 0)
+		return
+	}
+	raw, err := s.traceStore().ExportBytes(name, budget, r.Method != http.MethodHead)
+	switch {
+	case errors.Is(err, tracestore.ErrUnavailable):
+		writeError(w, http.StatusNotFound, "not_found",
+			fmt.Sprintf("trace for %s@%d is not resident on this node", name, budget), 0)
+		return
+	case err != nil:
+		// A persisted trace failed validation: refuse to serve it and say
+		// so loudly — the peer will capture live instead.
+		s.log.Warn("trace export rejected", "request_id", requestID(r.Context()),
+			"workload", name, "budget", budget, "error", err.Error())
+		writeError(w, http.StatusInternalServerError, "internal", err.Error(), 0)
+		return
+	}
+	w.Header().Set("Content-Type", ContentTypeTrace)
+	w.Header().Set("X-Trace-Workload", name)
+	w.Header().Set("X-Trace-Budget", strconv.FormatUint(budget, 10))
+	w.Header().Set("Content-Length", strconv.Itoa(len(raw)))
+	if r.Method == http.MethodHead {
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	w.Write(raw)
 }
 
 // handleMetrics implements GET /metrics.json, the JSON counter
@@ -367,15 +458,24 @@ func (s *Server) Metrics() *client.Metrics {
 		TraceReuse: m.reuseSnapshot(),
 		TCBypasses: m.tcBypasses.Load(),
 
-		TraceStore: traceStoreMetrics(),
+		TraceStore: s.traceStoreMetrics(),
 	}
 }
 
-// traceStoreMetrics snapshots the process-wide trace store for the
+// traceStore returns the store this server's jobs and trace CDN run
+// against: the engine's own when configured, else the process-wide one.
+func (s *Server) traceStore() *tcsim.TraceStore {
+	if st := s.engine.Store(); st != nil {
+		return st
+	}
+	return tracestore.Shared()
+}
+
+// traceStoreMetrics snapshots the server's trace store for the
 // /metrics.json body (the Prometheus exposition reads the same
 // snapshot).
-func traceStoreMetrics() client.TraceStoreMetrics {
-	ts := tcsim.TraceStats()
+func (s *Server) traceStoreMetrics() client.TraceStoreMetrics {
+	ts := s.traceStore().Stats()
 	return client.TraceStoreMetrics{
 		Captures:       ts.Captures,
 		ReplayHits:     ts.ReplayHits,
@@ -386,5 +486,8 @@ func traceStoreMetrics() client.TraceStoreMetrics {
 		DiskLoads:      ts.DiskLoads,
 		DiskSaves:      ts.DiskSaves,
 		DiskRejects:    ts.DiskRejects,
+		CDNServes:      ts.CDNServes,
+		CDNFetches:     ts.CDNFetches,
+		CDNRejects:     ts.CDNRejects,
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"time"
 
@@ -24,6 +25,15 @@ func (e *badRequest) Error() string { return e.msg }
 
 func badRequestf(format string, args ...any) error {
 	return &badRequest{msg: fmt.Sprintf(format, args...)}
+}
+
+// IsBadRequest reports whether err is a request-validation failure (the
+// kind the HTTP layer answers with a structured 400). The cluster
+// gateway uses it to reject malformed requests itself instead of
+// burning a backend round trip.
+func IsBadRequest(err error) bool {
+	var br *badRequest
+	return errors.As(err, &br)
 }
 
 // jobSpec is a fully resolved simulation request: every default applied,

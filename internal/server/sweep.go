@@ -41,9 +41,47 @@ func sweepVariant(spec jobSpec) experiments.ConfigVariant {
 	}
 }
 
-// sweepCell is one (workload, config) pair of the cross product.
+// sweepCell is one (workload, config) pair of the cross product. req is
+// the single-cell JobRequest the spec was resolved from (workload and
+// insts inlined), kept so the cluster gateway can re-issue the cell to
+// a backend node verbatim.
 type sweepCell struct {
 	spec jobSpec
+	req  client.JobRequest
+}
+
+// SweepCell is one resolved cell of a sweep's cross product, exported
+// for the cluster gateway: the gateway expands a SweepRequest exactly
+// as a node would, routes each cell by its canonical config key, and
+// forwards it as a single-cell sweep.
+type SweepCell struct {
+	// Workload is the cell's bundled benchmark name.
+	Workload string
+	// Key is the canonical config hash — the cluster routing key, and
+	// identical to the key the serving node computes.
+	Key string
+	// Req reproduces the cell as a standalone single-cell request
+	// (workload cleared: it travels in SweepRequest.Workloads).
+	Req client.JobRequest
+}
+
+// ResolveSweepCells expands a SweepRequest into routed cells using the
+// same resolution and validation the sweep handler runs, including the
+// maxSweepCells bound. lim bounds per-cell insts/timeout; the zero
+// Limits imposes only the daemon's universal checks (each backend
+// re-validates against its own limits anyway).
+func ResolveSweepCells(req *client.SweepRequest, lim Limits) ([]SweepCell, error) {
+	cells, err := resolveSweep(req, lim)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SweepCell, len(cells))
+	for i, c := range cells {
+		r := c.req
+		r.Workload = ""
+		out[i] = SweepCell{Workload: c.spec.Workload, Key: c.spec.Key(), Req: r}
+	}
+	return out, nil
 }
 
 // resolveSweep expands a SweepRequest into resolved cells.
@@ -74,7 +112,7 @@ func resolveSweep(req *client.SweepRequest, lim Limits) ([]sweepCell, error) {
 			if err != nil {
 				return nil, err
 			}
-			cells = append(cells, sweepCell{spec: spec})
+			cells = append(cells, sweepCell{spec: spec, req: jr})
 		}
 	}
 	return cells, nil

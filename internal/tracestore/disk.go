@@ -126,13 +126,10 @@ func (d *decoder) boolv() (bool, error) {
 	return b != 0, nil
 }
 
-// saveTrace persists a capture. Written atomically (tmp + rename) so a
-// crashed writer leaves no partial file under the final name; a partial
-// tmp file would fail the checksum anyway.
-func saveTrace(dir string, t *Trace, prog *asm.Program) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
+// encodeTrace serializes a capture into the versioned wire/disk format
+// (magic, version, header, payload, CRC-32). The same bytes are written
+// to the trace directory and served over the cluster's trace CDN.
+func encodeTrace(t *Trace, prog *asm.Program) []byte {
 	var e encoder
 	e.raw([]byte(diskMagic))
 	e.u32le(formatVersion)
@@ -175,10 +172,20 @@ func saveTrace(dir string, t *Trace, prog *asm.Program) error {
 	e.raw(t.out)
 
 	e.u32le(crc32.ChecksumIEEE(e.buf))
+	return e.buf
+}
 
+// saveTrace persists a capture. Written atomically (tmp + rename) so a
+// crashed writer leaves no partial file under the final name; a partial
+// tmp file would fail the checksum anyway.
+func saveTrace(dir string, t *Trace, prog *asm.Program) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	buf := encodeTrace(t, prog)
 	file := traceFileName(dir, t.name, t.budget)
 	tmp := file + ".tmp"
-	if err := os.WriteFile(tmp, e.buf, 0o644); err != nil {
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
 		return err
 	}
 	return os.Rename(tmp, file)
@@ -196,54 +203,65 @@ func loadTrace(dir, name string, budget uint64, prog *asm.Program) (*Trace, stri
 		}
 		return nil, file, err
 	}
+	t, err := decodeTrace(raw, name, budget, prog)
+	return t, file, err
+}
+
+// decodeTrace validates and decodes one serialized trace against the
+// (name, budget, program image) the caller is about to replay. Every
+// byte of framing is checked — magic, version, CRC-32, workload name,
+// budget, and the program's content hash — and any mismatch is a typed
+// error, so a stale or corrupt trace can never replay silently whether
+// it arrived from disk or from a cluster peer.
+func decodeTrace(raw []byte, name string, budget uint64, prog *asm.Program) (*Trace, error) {
 	if len(raw) < len(diskMagic)+4+4 {
-		return nil, file, ErrTruncated
+		return nil, ErrTruncated
 	}
 	if string(raw[:len(diskMagic)]) != diskMagic {
-		return nil, file, ErrBadMagic
+		return nil, ErrBadMagic
 	}
 	if v := binary.LittleEndian.Uint32(raw[len(diskMagic):]); v != formatVersion {
-		return nil, file, fmt.Errorf("%w: got %d, want %d", ErrBadVersion, v, formatVersion)
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrBadVersion, v, formatVersion)
 	}
 	body, sum := raw[:len(raw)-4], binary.LittleEndian.Uint32(raw[len(raw)-4:])
 	if crc32.ChecksumIEEE(body) != sum {
-		return nil, file, ErrBadChecksum
+		return nil, ErrBadChecksum
 	}
 
 	d := decoder{buf: body[len(diskMagic)+4:]}
 	gotName, err := d.bytes()
 	if err != nil {
-		return nil, file, err
+		return nil, err
 	}
 	gotBudget, err := d.uvarint()
 	if err != nil {
-		return nil, file, err
+		return nil, err
 	}
 	if string(gotName) != name || gotBudget != budget {
-		return nil, file, fmt.Errorf("%w: file says (%s, %d)", ErrKeyMismatch, gotName, gotBudget)
+		return nil, fmt.Errorf("%w: file says (%s, %d)", ErrKeyMismatch, gotName, gotBudget)
 	}
 	if len(d.buf) < 32 {
-		return nil, file, ErrTruncated
+		return nil, ErrTruncated
 	}
 	var gotHash [32]byte
 	copy(gotHash[:], d.buf[:32])
 	d.buf = d.buf[32:]
 	if gotHash != programHash(prog) {
-		return nil, file, ErrStaleProgram
+		return nil, ErrStaleProgram
 	}
 	halted, err := d.boolv()
 	if err != nil {
-		return nil, file, err
+		return nil, err
 	}
 
 	t := &Trace{name: name, budget: budget, halted: halted}
 
 	nStatic, err := d.uvarint()
 	if err != nil {
-		return nil, file, err
+		return nil, err
 	}
 	if nStatic > uint64(len(d.buf)) { // each entry is >= 2 bytes
-		return nil, file, ErrTruncated
+		return nil, ErrTruncated
 	}
 	t.staticPC = make([]uint32, nStatic)
 	t.staticWord = make([]uint32, nStatic)
@@ -252,12 +270,12 @@ func loadTrace(dir, name string, budget uint64, prog *asm.Program) (*Trace, stri
 	for i := range t.staticPC {
 		dpc, err := d.varint()
 		if err != nil {
-			return nil, file, err
+			return nil, err
 		}
 		prevPC += dpc
 		word, err := d.uvarint()
 		if err != nil {
-			return nil, file, err
+			return nil, err
 		}
 		t.staticPC[i] = uint32(prevPC)
 		t.staticWord[i] = uint32(word)
@@ -266,10 +284,10 @@ func loadTrace(dir, name string, budget uint64, prog *asm.Program) (*Trace, stri
 
 	nRec, err := d.uvarint()
 	if err != nil {
-		return nil, file, err
+		return nil, err
 	}
 	if nRec > uint64(len(d.buf)) { // each record is >= 5 bytes
-		return nil, file, ErrTruncated
+		return nil, ErrTruncated
 	}
 	t.si = make([]uint32, nRec)
 	t.next = make([]uint32, nRec)
@@ -279,27 +297,27 @@ func loadTrace(dir, name string, budget uint64, prog *asm.Program) (*Trace, stri
 	for i := range t.si {
 		si, err := d.uvarint()
 		if err != nil {
-			return nil, file, err
+			return nil, err
 		}
 		if si >= nStatic {
-			return nil, file, fmt.Errorf("%w: static index %d out of range", ErrTruncated, si)
+			return nil, fmt.Errorf("%w: static index %d out of range", ErrTruncated, si)
 		}
 		dnext, err := d.varint()
 		if err != nil {
-			return nil, file, err
+			return nil, err
 		}
 		if len(d.buf) < 1 {
-			return nil, file, ErrTruncated
+			return nil, ErrTruncated
 		}
 		fl := d.buf[0]
 		d.buf = d.buf[1:]
 		ea, err := d.uvarint()
 		if err != nil {
-			return nil, file, err
+			return nil, err
 		}
 		val, err := d.uvarint()
 		if err != nil {
-			return nil, file, err
+			return nil, err
 		}
 		t.si[i] = uint32(si)
 		t.next[i] = uint32(int64(t.staticPC[si]) + isa.InstBytes + dnext)
@@ -310,10 +328,10 @@ func loadTrace(dir, name string, budget uint64, prog *asm.Program) (*Trace, stri
 
 	nOut, err := d.uvarint()
 	if err != nil {
-		return nil, file, err
+		return nil, err
 	}
 	if nOut > uint64(len(d.buf)) {
-		return nil, file, ErrTruncated
+		return nil, ErrTruncated
 	}
 	if nOut > 0 {
 		t.outAt = make([]uint64, nOut)
@@ -321,7 +339,7 @@ func loadTrace(dir, name string, budget uint64, prog *asm.Program) (*Trace, stri
 		for i := range t.outAt {
 			dat, err := d.uvarint()
 			if err != nil {
-				return nil, file, err
+				return nil, err
 			}
 			prevAt += dat
 			t.outAt[i] = prevAt
@@ -329,7 +347,7 @@ func loadTrace(dir, name string, budget uint64, prog *asm.Program) (*Trace, stri
 		t.out = make([]byte, nOut)
 	}
 	if uint64(copy(t.out, d.buf)) != nOut || uint64(len(d.buf)) != nOut {
-		return nil, file, ErrTruncated
+		return nil, ErrTruncated
 	}
-	return t, file, nil
+	return t, nil
 }

@@ -55,6 +55,9 @@ type Stats struct {
 	DiskLoads      uint64 // captures satisfied by a valid on-disk trace
 	DiskSaves      uint64 // captures persisted to the trace directory
 	DiskRejects    uint64 // on-disk traces rejected (corrupt/stale/version)
+	CDNServes      uint64 // trace bodies exported to cluster peers
+	CDNFetches     uint64 // captures satisfied by a valid peer-fetched trace
+	CDNRejects     uint64 // peer-fetched traces rejected (corrupt/stale/version)
 }
 
 type key struct {
@@ -87,7 +90,8 @@ type Store struct {
 	tail     *entry // least recently used
 	bytes    int64
 	flights  map[key]*captureFlight
-	dir      string // on-disk trace directory ("" = memory only)
+	dir      string  // on-disk trace directory ("" = memory only)
+	fetcher  Fetcher // peer-fetch hook for the trace CDN (nil = disabled)
 
 	captures     atomic.Uint64
 	replayHits   atomic.Uint64
@@ -96,6 +100,9 @@ type Store struct {
 	diskLoads    atomic.Uint64
 	diskSaves    atomic.Uint64
 	diskRejects  atomic.Uint64
+	cdnServes    atomic.Uint64
+	cdnFetches   atomic.Uint64
+	cdnRejects   atomic.Uint64
 
 	// rejectLog receives one line per rejected on-disk trace so the
 	// fail-closed path is loud even without a logger wired in. Nil
@@ -158,6 +165,9 @@ func (s *Store) Stats() Stats {
 		DiskLoads:      s.diskLoads.Load(),
 		DiskSaves:      s.diskSaves.Load(),
 		DiskRejects:    s.diskRejects.Load(),
+		CDNServes:      s.cdnServes.Load(),
+		CDNFetches:     s.cdnFetches.Load(),
+		CDNRejects:     s.cdnRejects.Load(),
 	}
 }
 
@@ -206,7 +216,11 @@ func (s *Store) Get(name string, budget uint64) (*Entry, Outcome, error) {
 	}
 }
 
-// capture builds the program and captures (or disk-loads) its stream.
+// capture builds the program and captures its stream, preferring the
+// cheap sources first: a valid on-disk trace, then a peer fetch over the
+// trace CDN, then live emulation. Disk and CDN bodies go through the
+// same fail-closed validation; a reject is counted, logged, and falls
+// through to the next source.
 func (s *Store) capture(k key, dir string) (*Entry, error) {
 	w, ok := workload.ByName(k.name)
 	if !ok {
@@ -228,6 +242,37 @@ func (s *Store) capture(k key, dir string) (*Entry, error) {
 				s.RejectLog(file, err)
 			}
 		}
+	}
+
+	s.mu.Lock()
+	fetch := s.fetcher
+	s.mu.Unlock()
+	if fetch != nil {
+		hash := programHash(prog)
+		raw, err := fetch(hexHash(hash), k.name, k.budget)
+		if err == nil && raw != nil {
+			tr, derr := decodeTrace(raw, k.name, k.budget, prog)
+			if derr == nil {
+				s.captures.Add(1)
+				s.cdnFetches.Add(1)
+				if dir != "" {
+					if serr := saveTrace(dir, tr, prog); serr == nil {
+						s.diskSaves.Add(1)
+					} else if s.RejectLog != nil {
+						s.RejectLog(traceFileName(dir, k.name, k.budget), serr)
+					}
+				}
+				return &Entry{Prog: prog, Trace: tr}, nil
+			}
+			// A peer served bytes that fail validation: reject loudly and
+			// re-capture live rather than trust them.
+			s.cdnRejects.Add(1)
+			if s.RejectLog != nil {
+				s.RejectLog("cdn:"+k.name, derr)
+			}
+		}
+		// Fetch-transport errors (peer down, 404) are not rejects; live
+		// capture is the designed fallback.
 	}
 
 	t0 := time.Now()
