@@ -441,7 +441,7 @@ func RunWorkloadContextIn(ctx context.Context, cfg Config, name string, st *Trac
 		cfg.MaxInsts = w.DefaultInsts
 	}
 	if cfg.MaxInsts > 0 {
-		if ent, outcome, err := st.Get(name, cfg.MaxInsts); err == nil {
+		if ent, outcome, err := st.GetCtx(ctx, name, cfg.MaxInsts); err == nil {
 			var captured uint64
 			if outcome == tracestore.OutcomeCapture {
 				captured = ent.Trace.Len()

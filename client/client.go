@@ -17,9 +17,17 @@ import (
 // reqIDHeader correlates each exchange with the daemon's log lines.
 const reqIDHeader = "X-Request-ID"
 
+// traceParentHeader carries span context to the daemon: the request ID
+// (the trace) and the caller's span ID the daemon's spans should parent
+// under, as "<trace-id>:<span-id>".
+const traceParentHeader = "X-Trace-Parent"
+
 type ctxKey int
 
-const reqIDKey ctxKey = iota
+const (
+	reqIDKey ctxKey = iota
+	spanParentKey
+)
 
 // WithRequestID returns a context that makes every client call carry id
 // as its X-Request-ID, correlating the exchange with the daemon's
@@ -28,6 +36,24 @@ const reqIDKey ctxKey = iota
 // when a call fails.
 func WithRequestID(ctx context.Context, id string) context.Context {
 	return context.WithValue(ctx, reqIDKey, id)
+}
+
+// WithSpanParent returns a context that makes every client call carry
+// an X-Trace-Parent header naming spanID as the caller's span, so the
+// daemon's spans nest under it in a collated trace. The trace half of
+// the header is the request ID, so this composes with WithRequestID.
+// An empty spanID returns ctx unchanged.
+func WithSpanParent(ctx context.Context, spanID string) context.Context {
+	if spanID == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, spanParentKey, spanID)
+}
+
+// spanParentFrom returns the caller-pinned parent span ID, if any.
+func spanParentFrom(ctx context.Context) string {
+	id, _ := ctx.Value(spanParentKey).(string)
+	return id
 }
 
 // requestIDFrom returns the caller-pinned request ID, or a fresh random
@@ -235,6 +261,9 @@ func (c *Client) doOnce(ctx context.Context, method, path string, in, out any) e
 	}
 	if id := requestIDFrom(ctx); id != "" {
 		req.Header.Set(reqIDHeader, id)
+		if sid := spanParentFrom(ctx); sid != "" {
+			req.Header.Set(traceParentHeader, id+":"+sid)
+		}
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {

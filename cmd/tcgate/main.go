@@ -22,8 +22,18 @@
 //
 // Endpoints (all single-node routes, plus):
 //
-//	GET /v1/cluster   per-node health, demotion counts, ring size
-//	GET /metrics      gateway counters + per-node families ({node=...})
+//	GET /v1/cluster    per-node health, demotion counts, ring size
+//	GET /v1/trace/{id} collated cross-node span tree for one request ID
+//	GET /metrics       gateway counters + per-node families ({node=...})
+//	GET /debug/spans   the gateway's own recent spans (?trace= filters)
+//	GET /debug/flight  flight recorder: recent spans + proxy events
+//
+// The gateway is where a distributed trace is born: it pins the
+// X-Request-ID (minting one when the caller did not), opens a root span
+// per request plus one child span per backend attempt — so failover
+// walks and Retry-After backoffs are visible retries — and forwards the
+// span context via X-Trace-Parent. SIGQUIT dumps the flight recorder
+// to -flight-dir without stopping the gateway.
 package main
 
 import (
@@ -61,6 +71,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		drainWait     = fs.Duration("drain", 30*time.Second, "graceful-drain deadline on SIGTERM/SIGINT")
 		logFormat     = fs.String("log-format", "text", "structured log format: text or json")
 		logLevel      = fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		flightDir     = fs.String("flight-dir", "", "directory for SIGQUIT flight-recorder dumps (\"\" = working directory)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -105,6 +116,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	logger.Info("listening", "url", "http://"+ln.Addr().String(), "nodes", len(nodes))
 	fmt.Fprintf(stdout, "tcgate: listening on http://%s (%d nodes)\n", ln.Addr(), len(nodes))
+
+	// SIGQUIT dumps the flight recorder without stopping the gateway.
+	quitCh := make(chan os.Signal, 1)
+	signal.Notify(quitCh, syscall.SIGQUIT)
+	defer signal.Stop(quitCh)
+	go func() {
+		for range quitCh {
+			if path, err := g.Flight().DumpToDir(*flightDir); err != nil {
+				logger.Error("flight dump failed", "error", err.Error())
+			} else {
+				logger.Info("flight recorder dumped", "path", path, "trigger", "SIGQUIT")
+			}
+		}
+	}()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -21,6 +21,13 @@
 //	GET  /healthz/ready      readiness (503 once draining starts)
 //	GET  /metrics            Prometheus text-format exposition
 //	GET  /metrics.json       the same counters as a JSON snapshot
+//	GET  /debug/spans        recent request spans (?trace=<request-id> filters)
+//	GET  /debug/flight       flight recorder: recent spans + job-lifecycle events
+//	GET  /debug/trace/{id}   merged Chrome trace for a job: spans over cycles
+//
+// Requests carrying X-Trace-Parent (the gateway sets it) contribute
+// their spans to the distributed trace named by the request ID; SIGQUIT
+// dumps the flight recorder to -flight-dir without stopping the daemon.
 //
 // In a cluster (see cmd/tcgate), -cdn points the node at the gateway's
 // trace CDN: a capture miss first asks the cluster for the workload's
@@ -90,6 +97,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		logLevel   = fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
 		traceDir   = fs.String("tracedir", "", "directory for persisted workload traces: warm restarts load captures from disk instead of re-emulating (invalid/stale files are rejected and re-captured)")
 		cdnURL     = fs.String("cdn", "", "cluster gateway base URL: capture misses fetch the trace from peers through GET {cdn}/v1/traces/{sha} before emulating (fetched bodies are fail-closed validated)")
+		flightDir  = fs.String("flight-dir", "", "directory for flight-recorder dumps: SIGQUIT, selfcheck failures, and 5xx responses write the recent-span/event buffer there (\"\" = SIGQUIT dumps to the working directory; automatic dumps off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -134,18 +142,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 				MaxTimeout:     *maxTimeout,
 			},
 		},
-		JobTTL: *jobTTL,
-		Logger: logger,
+		JobTTL:    *jobTTL,
+		Logger:    logger,
+		FlightDir: *flightDir,
 	}
 
 	code := 0
 	if *selfcheck {
-		code = runSelfcheck(stdout, stderr, scfg, *scJobs, *scInsts)
+		code = runSelfcheck(stdout, stderr, scfg, *scJobs, *scInsts, *flightDir)
 		if code == 0 && *scCluster > 0 {
-			code = runClusterSelfcheck(stdout, stderr, scfg, *scCluster, *scInsts)
+			code = runClusterSelfcheck(stdout, stderr, scfg, *scCluster, *scInsts, *flightDir)
 		}
 	} else {
-		code = serve(stdout, stderr, logger, scfg, *addr, *drainWait, *pprofOn)
+		code = serve(stdout, stderr, logger, scfg, *addr, *drainWait, *pprofOn, *flightDir)
 	}
 	if err := stopProf(); err != nil {
 		fmt.Fprintf(stderr, "tcserved: %v\n", err)
@@ -185,7 +194,7 @@ func newLogger(w io.Writer, format, level string) (*slog.Logger, error) {
 // serve runs the daemon until SIGTERM/SIGINT, then drains gracefully:
 // the listener stops accepting, in-flight requests and admitted async
 // jobs finish (up to the drain deadline), then the process exits.
-func serve(stdout, stderr io.Writer, logger *slog.Logger, scfg server.Config, addr string, drainWait time.Duration, pprofOn bool) int {
+func serve(stdout, stderr io.Writer, logger *slog.Logger, scfg server.Config, addr string, drainWait time.Duration, pprofOn bool, flightDir string) int {
 	srv := server.New(scfg)
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())
@@ -201,6 +210,22 @@ func serve(stdout, stderr io.Writer, logger *slog.Logger, scfg server.Config, ad
 	}
 	logger.Info("listening", "url", "http://"+ln.Addr().String(), "pprof", pprofOn)
 	fmt.Fprintf(stdout, "tcserved: listening on http://%s\n", ln.Addr())
+
+	// SIGQUIT dumps the flight recorder without stopping the daemon: a
+	// wedged or misbehaving process preserves its recent spans and job
+	// events for offline inspection, then keeps serving.
+	quitCh := make(chan os.Signal, 1)
+	signal.Notify(quitCh, syscall.SIGQUIT)
+	defer signal.Stop(quitCh)
+	go func() {
+		for range quitCh {
+			if path, err := srv.Flight().DumpToDir(flightDir); err != nil {
+				logger.Error("flight dump failed", "error", err.Error())
+			} else {
+				logger.Info("flight recorder dumped", "path", path, "trigger", "SIGQUIT")
+			}
+		}
+	}()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -70,7 +70,7 @@ func startDaemon(scfg server.Config) (*server.Server, *client.Client, func(ctx c
 // identical to a direct tcsim.Run, a sweep cross-checked against the
 // same references, a cache-effectiveness assertion, and a saturation
 // phase that must produce 429s rather than unbounded queueing.
-func runSelfcheck(stdout, stderr io.Writer, scfg server.Config, jobs int, insts uint64) int {
+func runSelfcheck(stdout, stderr io.Writer, scfg server.Config, jobs int, insts uint64, flightDir string) int {
 	t0 := time.Now()
 	if jobs < 50 {
 		jobs = 50
@@ -87,7 +87,6 @@ func runSelfcheck(stdout, stderr io.Writer, scfg server.Config, jobs int, insts 
 		fmt.Fprintf(stderr, "tcserved selfcheck: %v\n", err)
 		return 1
 	}
-	_ = srv
 
 	if err := cl.Health(ctx); err != nil {
 		fmt.Fprintf(stderr, "tcserved selfcheck: health: %v\n", err)
@@ -283,6 +282,7 @@ func runSelfcheck(stdout, stderr io.Writer, scfg server.Config, jobs int, insts 
 		for _, e := range fails.errs {
 			fmt.Fprintf(stderr, "  - %s\n", e)
 		}
+		dumpFlights(stderr, flightDir, srv.Flight())
 		return 1
 	}
 	fmt.Fprintf(stdout,
@@ -535,6 +535,26 @@ func checkObservability(ctx context.Context, cl *client.Client, met *client.Metr
 		fails.failf("invalid-workload submit: %v, want APIError", err)
 	} else if apiErr.RequestID != "selfcheck-client-rid" {
 		fails.failf("APIError.RequestID %q, want the pinned %q", apiErr.RequestID, "selfcheck-client-rid")
+	}
+}
+
+// dumpFlights writes each flight recorder to dir, so a failing check
+// leaves its recent spans and job events behind as CI artifacts. A
+// no-op without a -flight-dir.
+func dumpFlights(stderr io.Writer, dir string, recs ...*obs.FlightRecorder) {
+	if dir == "" {
+		return
+	}
+	for _, fr := range recs {
+		if fr == nil {
+			continue
+		}
+		path, err := fr.DumpToDir(dir)
+		if err != nil {
+			fmt.Fprintf(stderr, "  flight dump %s: %v\n", fr.Service(), err)
+			continue
+		}
+		fmt.Fprintf(stderr, "  flight recorder dumped: %s\n", path)
 	}
 }
 

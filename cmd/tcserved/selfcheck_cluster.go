@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -43,6 +44,7 @@ func startClusterNode(scfg server.Config, name, addr, dir, gwURL string) (*clust
 	st.SetFetcher(cluster.TraceFetcher(gwURL, nil))
 	cfg := scfg
 	cfg.Engine.Store = st
+	cfg.Service = name // span services are node names: a collated tree shows which node ran what
 	srv := server.New(cfg)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -84,7 +86,7 @@ func emulatedCaptures(st tcsim.TraceStoreStats) uint64 {
 // other nodes fetch it through the content-addressed CDN), re-hash
 // failover masks the dead node, and the gateway's aggregated metrics
 // agree with the nodes' own counters.
-func runClusterSelfcheck(stdout, stderr io.Writer, scfg server.Config, jobs int, insts uint64) int {
+func runClusterSelfcheck(stdout, stderr io.Writer, scfg server.Config, jobs int, insts uint64, flightDir string) int {
 	t0 := time.Now()
 	if jobs < 2000 {
 		jobs = 2000
@@ -403,19 +405,225 @@ func runClusterSelfcheck(stdout, stderr io.Writer, scfg server.Config, jobs int,
 	// the live stores' own counters.
 	checkGatewayMetrics(ctx, gwURL, nodes, &fails)
 
+	// Distributed-tracing phase: force a failover on a dedicated
+	// mini-cluster and assert the collated span tree is connected across
+	// gateway and nodes, with the dead-owner retry visible.
+	checkFailoverTrace(ctx, stderr, scfg, insts, flightDir, &fails)
+
 	if len(fails.errs) > 0 {
 		fmt.Fprintf(stderr, "tcserved cluster selfcheck: %d failure(s):\n", len(fails.errs))
 		for _, e := range fails.errs {
 			fmt.Fprintf(stderr, "  - %s\n", e)
 		}
+		flights := []*obs.FlightRecorder{g.Flight()}
+		for _, n := range nodes {
+			flights = append(flights, n.srv.Flight())
+		}
+		dumpFlights(stderr, flightDir, flights...)
 		return 1
 	}
 	fmt.Fprintf(stdout,
 		"tcserved cluster selfcheck ok: %d jobs across 3 nodes (+1 kill/restart) bit-for-bit identical to direct runs; "+
 			"%d workloads emulated once cluster-wide (+%d re-captured after the kill orphaned them), "+
-			"%d CDN fetches, 0 rejects; sweep %d cells; %.1fs\n",
+			"%d CDN fetches, 0 rejects; sweep %d cells; failover span tree connected; %.1fs\n",
 		jobs, len(selfcheckWorkloads), lost, cdnFetches, sweep.Cells, time.Since(t0).Seconds())
 	return 0
+}
+
+// checkFailoverTrace is the distributed-tracing assertion: a dedicated
+// two-node mini-cluster whose readiness probes are effectively frozen
+// (an hour apart), so killing a node leaves it on the ring and the next
+// request addressed to it MUST fail over inside the request itself —
+// producing a failed attempt span, a successful retry attempt span, and
+// a node-side serve/run subtree, all under one gateway root. The check
+// then collates GET /v1/trace/{id} and asserts the tree is CONNECTED:
+// one root (at the gateway), every parent present, both services on
+// record, and the run span carrying its capture/replay phase attribute.
+func checkFailoverTrace(ctx context.Context, stderr io.Writer, scfg server.Config, insts uint64, flightDir string, fails *checkFailure) {
+	before := len(fails.errs)
+
+	gwLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fails.failf("failover trace: %v", err)
+		return
+	}
+	gwURL := "http://" + gwLn.Addr().String()
+
+	names := []string{"ft-node0", "ft-node1"}
+	nodes := make([]*clusterNode, len(names))
+	cfgNodes := make([]cluster.Node, len(names))
+	for i, name := range names {
+		dir, err := os.MkdirTemp("", "tcsim-ft-"+name+"-*")
+		if err != nil {
+			gwLn.Close()
+			fails.failf("failover trace: %v", err)
+			return
+		}
+		defer os.RemoveAll(dir)
+		n, err := startClusterNode(scfg, name, "127.0.0.1:0", dir, gwURL)
+		if err != nil {
+			gwLn.Close()
+			fails.failf("failover trace: %v", err)
+			return
+		}
+		nodes[i] = n
+		cfgNodes[i] = cluster.Node{Name: name, URL: "http://" + n.addr}
+	}
+	g, err := cluster.New(cluster.Config{
+		Nodes: cfgNodes,
+		// Probes must NOT notice the kill: demotion would reorder the
+		// candidate walk and the dead owner would never be attempted. An
+		// hour between probes freezes the health view for the check.
+		ProbeInterval: time.Hour,
+		ProbeTimeout:  2 * time.Second,
+		Logger:        scfg.Logger,
+	})
+	if err != nil {
+		gwLn.Close()
+		fails.failf("failover trace: %v", err)
+		return
+	}
+	g.Start()
+	gwHTTP := &http.Server{Handler: g.Handler()}
+	go gwHTTP.Serve(gwLn)
+	gcl := client.New(gwURL)
+	defer func() {
+		sctx, scancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer scancel()
+		gwHTTP.Shutdown(sctx)
+		g.Shutdown(sctx)
+		for _, n := range nodes {
+			n.httpSrv.Shutdown(sctx)
+			n.srv.Shutdown(sctx)
+		}
+		if len(fails.errs) > before {
+			flights := []*obs.FlightRecorder{g.Flight()}
+			for _, n := range nodes {
+				flights = append(flights, n.srv.Flight())
+			}
+			dumpFlights(stderr, flightDir, flights...)
+		}
+	}()
+
+	if err := gcl.Ready(ctx); err != nil {
+		fails.failf("failover trace: gateway readiness: %v", err)
+		return
+	}
+
+	// Kill the ring owner of the job's key, then submit that exact job:
+	// the gateway walks owner-first, so the request must retry onto the
+	// survivor while the trace records the failed first attempt.
+	req := client.JobRequest{Workload: selfcheckWorkloads[0], Insts: insts}
+	_, key, err := server.ResolveConfig(&req, server.Limits{})
+	if err != nil {
+		fails.failf("failover trace: resolve: %v", err)
+		return
+	}
+	ring := cluster.NewRing(names, 0)
+	victim := ring.Owner(key)
+	survivor := names[1-victim]
+	nodes[victim].kill()
+
+	rid := "selfcheck-failover-trace"
+	job, err := gcl.SubmitJob(client.WithRequestID(ctx, rid), &req)
+	if err != nil {
+		fails.failf("failover trace: submit through degraded mini-cluster: %v", err)
+		return
+	}
+	if job.State != client.StateDone || job.Result == nil {
+		fails.failf("failover trace: job finished %q (error %q)", job.State, job.Error)
+		return
+	}
+
+	// Collate. The node commits its serve span when the response is
+	// written, strictly before the gateway's attempt span finishes, and
+	// the gateway commits its root before answering the client — so one
+	// immediate scrape should already be connected; the short retry loop
+	// only absorbs scheduling noise.
+	getTree := func() (obs.SpanTree, error) {
+		var tree obs.SpanTree
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, gwURL+"/v1/trace/"+rid, nil)
+		if err != nil {
+			return tree, err
+		}
+		resp, err := http.DefaultClient.Do(hreq)
+		if err != nil {
+			return tree, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return tree, fmt.Errorf("GET /v1/trace/%s answered %s", rid, resp.Status)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&tree); err != nil {
+			return tree, err
+		}
+		return tree, nil
+	}
+	var tree obs.SpanTree
+	for deadline := time.Now().Add(5 * time.Second); ; time.Sleep(50 * time.Millisecond) {
+		tree, err = getTree()
+		if err == nil && tree.Connected {
+			break
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				fails.failf("failover trace: collation: %v", err)
+			} else {
+				fails.failf("failover trace %s never became a connected tree: %d spans, %d roots, services %v",
+					rid, tree.SpanCount, len(tree.Roots), tree.Services)
+			}
+			return
+		}
+	}
+
+	if len(tree.Roots) != 1 || tree.Roots[0].Service != "tcgate" {
+		fails.failf("failover trace: want a single gateway root, got %d roots (first service %q)",
+			len(tree.Roots), tree.Roots[0].Service)
+		return
+	}
+	hasService := func(s string) bool {
+		for _, svc := range tree.Services {
+			if svc == s {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasService("tcgate") || !hasService(survivor) {
+		fails.failf("failover trace: services %v, want both tcgate and the surviving node %s", tree.Services, survivor)
+	}
+	var attempts, failedAttempts, okAttempts int
+	var runSeen bool
+	var runPhase string
+	tree.Walk(func(n *obs.SpanNode) {
+		switch n.Name {
+		case "attempt":
+			attempts++
+			if n.Error != "" {
+				failedAttempts++
+			}
+			if n.Attrs["outcome"] == "ok" {
+				okAttempts++
+			}
+		case "run":
+			runSeen = true
+			runPhase = n.Attrs["phase"]
+		}
+	})
+	if attempts < 2 {
+		fails.failf("failover trace: %d attempt spans, want >= 2 (the dead owner plus the survivor)", attempts)
+	}
+	if failedAttempts == 0 {
+		fails.failf("failover trace: no attempt span records the dead owner's failure")
+	}
+	if okAttempts == 0 {
+		fails.failf("failover trace: no attempt span records the successful retry")
+	}
+	if !runSeen {
+		fails.failf("failover trace: the survivor's run span is missing from the collated tree")
+	} else if runPhase != "capture" && runPhase != "replay" {
+		fails.failf("failover trace: run span phase %q, want capture or replay", runPhase)
+	}
 }
 
 // checkClusterCDN probes the gateway's /v1/traces proxy: a captured

@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"tcsim/client"
+	"tcsim/internal/obs"
+)
+
+// getTree fetches one collated span tree from the gateway.
+func getTree(t *testing.T, gwURL, rid string) (obs.SpanTree, int) {
+	t.Helper()
+	resp, err := http.Get(gwURL + "/v1/trace/" + rid)
+	if err != nil {
+		t.Fatalf("GET /v1/trace/%s: %v", rid, err)
+	}
+	defer resp.Body.Close()
+	var tree obs.SpanTree
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&tree); err != nil {
+			t.Fatalf("decode span tree: %v", err)
+		}
+	}
+	return tree, resp.StatusCode
+}
+
+// TestTraceCollation: a job proxied through the gateway yields one
+// connected cross-process span tree at GET /v1/trace/{id} — the root at
+// the gateway, an attempt span naming the owning node, and the node's
+// serve/run spans grafted under it via the X-Trace-Parent the gateway
+// forwarded.
+func TestTraceCollation(t *testing.T) {
+	_, gts, _ := testCluster(t, 3)
+	cl := client.New(gts.URL)
+
+	rid := "collate-test-rid"
+	job, err := cl.SubmitJob(client.WithRequestID(context.Background(), rid),
+		&client.JobRequest{Workload: "go", Insts: testInsts})
+	if err != nil {
+		t.Fatalf("SubmitJob: %v", err)
+	}
+	if job.State != client.StateDone {
+		t.Fatalf("job state %q", job.State)
+	}
+
+	// The node commits its serve span just after flushing the response,
+	// so the first scrape can race it; poll briefly for connectivity.
+	var tree obs.SpanTree
+	for deadline := time.Now().Add(2 * time.Second); ; time.Sleep(10 * time.Millisecond) {
+		var code int
+		tree, code = getTree(t, gts.URL, rid)
+		if code != http.StatusOK {
+			t.Fatalf("GET /v1/trace/%s = %d", rid, code)
+		}
+		if tree.Connected || time.Now().After(deadline) {
+			break
+		}
+	}
+	if !tree.Connected {
+		t.Fatalf("trace never became connected: %d spans, %d roots, services %v",
+			tree.SpanCount, len(tree.Roots), tree.Services)
+	}
+	if tree.TraceID != rid {
+		t.Errorf("tree trace ID %q", tree.TraceID)
+	}
+	if tree.Roots[0].Service != "tcgate" || tree.Roots[0].Name != "POST /v1/jobs" {
+		t.Errorf("root = %s %q, want the gateway ingress span",
+			tree.Roots[0].Service, tree.Roots[0].Name)
+	}
+	var attemptNode string
+	var nodeServe, nodeRun bool
+	tree.Walk(func(n *obs.SpanNode) {
+		switch {
+		case n.Name == "attempt" && n.Service == "tcgate":
+			attemptNode = n.Attrs["node"]
+			if n.Attrs["outcome"] != "ok" {
+				t.Errorf("attempt outcome = %q", n.Attrs["outcome"])
+			}
+		case n.Service != "tcgate" && n.Name == "POST /v1/jobs":
+			nodeServe = true
+		case n.Name == "run":
+			nodeRun = true
+		}
+	})
+	if attemptNode == "" {
+		t.Error("no gateway attempt span in the tree")
+	}
+	if !nodeServe || !nodeRun {
+		t.Errorf("node-side spans missing (serve=%v run=%v) from a %d-span tree",
+			nodeServe, nodeRun, tree.SpanCount)
+	}
+
+	// Unknown but well-formed trace: an empty, honest tree.
+	if empty, code := getTree(t, gts.URL, "never-seen"); code != http.StatusOK {
+		t.Errorf("unknown trace = %d, want 200", code)
+	} else if empty.Connected || empty.SpanCount != 0 {
+		t.Errorf("unknown trace tree = %+v, want empty and disconnected", empty)
+	}
+
+	// Malformed ID: rejected before any scrape.
+	if _, code := getTree(t, gts.URL, "bad%20id"); code != http.StatusBadRequest {
+		t.Errorf("malformed trace ID = %d, want 400", code)
+	}
+}
+
+// TestGatewayDebugSpans: the gateway serves its own spans in the same
+// wire shape the nodes do (the shape its collation scrapes).
+func TestGatewayDebugSpans(t *testing.T) {
+	_, gts, _ := testCluster(t, 2)
+	cl := client.New(gts.URL)
+	rid := "gw-debug-rid"
+	if _, err := cl.SubmitJob(client.WithRequestID(context.Background(), rid),
+		&client.JobRequest{Workload: "li", Insts: testInsts}); err != nil {
+		t.Fatalf("SubmitJob: %v", err)
+	}
+
+	resp, err := http.Get(gts.URL + "/debug/spans?trace=" + rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var dump obs.SpanDump
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		t.Fatalf("decode gateway span dump: %v", err)
+	}
+	if dump.Service != "tcgate" {
+		t.Errorf("gateway span dump service = %q", dump.Service)
+	}
+	if len(dump.Spans) < 2 { // root + at least one attempt
+		t.Fatalf("gateway recorded %d spans for the trace, want >= 2", len(dump.Spans))
+	}
+	for _, s := range dump.Spans {
+		if s.TraceID != rid {
+			t.Errorf("?trace= filter leaked span of trace %q", s.TraceID)
+		}
+	}
+
+	var flight obs.FlightDump
+	fresp, err := http.Get(gts.URL + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresp.Body.Close()
+	if err := json.NewDecoder(fresp.Body).Decode(&flight); err != nil {
+		t.Fatalf("decode gateway flight dump: %v", err)
+	}
+	if flight.Service != "tcgate" || len(flight.Spans) == 0 {
+		t.Errorf("gateway flight dump = service %q, %d spans", flight.Service, len(flight.Spans))
+	}
+}

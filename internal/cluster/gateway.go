@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"tcsim/client"
+	"tcsim/internal/obs"
 	"tcsim/internal/server"
 )
 
@@ -84,6 +85,8 @@ type Gateway struct {
 	mux          *http.ServeMux
 	log          *slog.Logger
 	met          *gwMetrics
+	flight       *obs.FlightRecorder
+	spans        *obs.Spanner
 	draining     atomic.Bool
 
 	probeCancel context.CancelFunc
@@ -131,17 +134,24 @@ func New(cfg Config) (*Gateway, error) {
 		httpc = &http.Client{}
 	}
 
+	flight := obs.NewFlightRecorder("tcgate", 0, 0)
 	g := &Gateway{
-		cfg:   cfg,
-		nodes: cfg.Nodes,
-		ring:  NewRing(names, cfg.Replicas),
-		httpc: httpc,
-		log:   log,
-		met:   &gwMetrics{start: time.Now()},
+		cfg:    cfg,
+		nodes:  cfg.Nodes,
+		ring:   NewRing(names, cfg.Replicas),
+		httpc:  httpc,
+		log:    log,
+		met:    &gwMetrics{start: time.Now()},
+		flight: flight,
+		spans:  flight.Spanner(),
 	}
 	for _, n := range cfg.Nodes {
 		retry := cfg.Retry
-		retry.OnRetry = func(_ int, _ error, _ time.Duration) { g.met.retries.Add(1) }
+		node := n.Name
+		retry.OnRetry = func(attempt int, err error, d time.Duration) {
+			g.met.retries.Add(1)
+			g.flight.Notef("retry node=%s attempt=%d backoff=%v err=%v", node, attempt, d, err)
+		}
 		g.clients = append(g.clients, client.New(n.URL).WithHTTPClient(httpc).WithRetry(retry))
 		g.probeClients = append(g.probeClients, client.New(n.URL).WithHTTPClient(httpc))
 		h := &nodeHealth{healthy: true} // optimistic: passive demotion corrects fast
@@ -156,9 +166,12 @@ func New(cfg Config) (*Gateway, error) {
 	mux.HandleFunc("GET /v1/policies", g.handlePolicies)
 	mux.HandleFunc("GET /v1/traces/{sha}", g.handleTraces) // also serves HEAD
 	mux.HandleFunc("GET /v1/cluster", g.handleCluster)
+	mux.HandleFunc("GET /v1/trace/{id}", g.handleCollectTrace)
 	mux.HandleFunc("GET /healthz", g.handleHealth)
 	mux.HandleFunc("GET /healthz/ready", g.handleReady)
 	mux.HandleFunc("GET /metrics", g.handleMetrics)
+	mux.HandleFunc("GET /debug/spans", g.handleDebugSpans)
+	mux.HandleFunc("GET /debug/flight", g.handleDebugFlight)
 	g.mux = mux
 	return g, nil
 }
@@ -196,6 +209,10 @@ func (g *Gateway) Shutdown(ctx context.Context) error {
 	}
 	return nil
 }
+
+// Flight exposes the gateway's flight recorder (SIGQUIT dumps,
+// selfcheck failure dumps, tests).
+func (g *Gateway) Flight() *obs.FlightRecorder { return g.flight }
 
 // Healthy counts currently routable nodes.
 func (g *Gateway) Healthy() int {
@@ -256,13 +273,23 @@ func (g *Gateway) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
-// forwardCtx propagates the caller's X-Request-ID to the backend so one
-// ID traces a request across gateway and node logs.
-func forwardCtx(r *http.Request) context.Context {
-	if rid := r.Header.Get("X-Request-ID"); rid != "" {
-		return client.WithRequestID(r.Context(), rid)
+// startRoot opens the gateway's root span for a proxied request and
+// pins the request ID: the caller's (sanitized) if present, a freshly
+// minted one otherwise — the gateway is where a trace is born, so every
+// proxied request gets a usable trace ID even from a bare curl. The
+// returned context carries the root span and makes every backend call
+// forward the ID; the returned finish must run before the response body
+// is written, so a client that immediately asks GET /v1/trace/{rid}
+// finds the root already committed.
+func (g *Gateway) startRoot(w http.ResponseWriter, r *http.Request) (context.Context, *obs.Span, string) {
+	rid := obs.SanitizeID(r.Header.Get("X-Request-ID"))
+	if rid == "" {
+		rid = obs.NewSpanID()
 	}
-	return r.Context()
+	w.Header().Set("X-Request-ID", rid)
+	parent := obs.ParseTraceParent(r.Header.Get(obs.TraceParentHeader))
+	ctx, sp := g.spans.StartRemote(r.Context(), rid, parent, r.Method+" "+r.URL.Path)
+	return client.WithRequestID(ctx, rid), sp, rid
 }
 
 // terminalUpstream reports errors that prove the request itself is bad
@@ -286,8 +313,12 @@ func terminalUpstream(err error) bool {
 // tryNodes runs call against key's ring preference order: healthy
 // candidates first, every candidate as a last resort (health data may
 // be stale). Demotes nodes that fail with transport/5xx errors, counts
-// re-hashes, and returns the index of the node that answered.
-func tryNodes[T any](g *Gateway, ctx context.Context, order []int, call func(i int, c *client.Client) (T, error)) (T, int, error) {
+// re-hashes, and returns the index of the node that answered. Each
+// candidate runs inside an "attempt" span (a child of the request's
+// root span, forwarded to the backend as the trace parent), so a
+// failover walk is a visible sequence of attempts — the failed ones
+// carrying their error — instead of mystery latency.
+func tryNodes[T any](g *Gateway, ctx context.Context, order []int, call func(ctx context.Context, i int, c *client.Client) (T, error)) (T, int, error) {
 	var zero T
 	candidates := make([]int, 0, 2*len(order))
 	for _, i := range order {
@@ -302,38 +333,54 @@ func tryNodes[T any](g *Gateway, ctx context.Context, order []int, call func(i i
 			candidates = append(candidates, i)
 		}
 	}
+	traceID := ""
+	if rs := obs.SpanFrom(ctx); rs != nil {
+		traceID = rs.TraceID
+	}
 	var lastErr error
 	for _, i := range candidates {
 		if err := ctx.Err(); err != nil {
 			return zero, -1, err
 		}
+		actx, sp := g.spans.Start(ctx, "attempt")
+		sp.SetAttr("node", g.nodes[i].Name)
 		if i != order[0] {
 			// Any attempt off the primary replica — whether the owner
 			// failed just now or was already demoted — is a re-hash.
 			g.met.rehashes.Add(1)
+			sp.SetAttr("rehash", "true")
 		}
-		v, err := call(i, g.clients[i])
+		v, err := call(client.WithSpanParent(actx, sp.ID()), i, g.clients[i])
 		if err == nil {
+			sp.SetAttr("outcome", "ok")
+			sp.Finish()
 			if g.health[i].markUp() {
 				g.met.promotions.Add(1)
 				g.log.Info("node promoted", "node", g.nodes[i].Name, "via", "proxy")
 			}
 			return v, i, nil
 		}
+		sp.SetError(err)
 		if terminalUpstream(err) {
 			// The backend answered definitively; its word is the cluster's.
+			sp.SetAttr("outcome", "terminal")
+			sp.Finish()
 			return zero, i, err
 		}
+		sp.SetAttr("outcome", "failover")
+		sp.Finish()
 		var ae *client.APIError
 		if !errors.As(err, &ae) || ae.Status >= 500 {
 			// Transport failure or 5xx: the node itself is suspect.
 			if g.health[i].markDown(err) {
 				g.met.demotions.Add(1)
-				g.log.Warn("node demoted", "node", g.nodes[i].Name, "via", "proxy", "error", err.Error())
+				g.log.Warn("node demoted", "node", g.nodes[i].Name, "via", "proxy",
+					"trace_id", traceID, "span_id", sp.ID(), "error", err.Error())
 			}
 		}
 		lastErr = err
-		g.log.Warn("rehash", "node", g.nodes[i].Name, "error", err.Error())
+		g.log.Warn("rehash", "node", g.nodes[i].Name,
+			"trace_id", traceID, "span_id", sp.ID(), "error", err.Error())
 	}
 	if lastErr == nil {
 		lastErr = errors.New("no candidate nodes")
@@ -371,12 +418,16 @@ func splitID(id string) (node int, rest string, ok bool) {
 // by key, which is what makes blind failover safe: the worst case is a
 // cache hit on the second node.
 func (g *Gateway) handleJobs(w http.ResponseWriter, r *http.Request) {
+	ctx, root, rid := g.startRoot(w, r)
+	defer root.Finish()
 	var req client.JobRequest
 	if !g.decode(w, r, &req) {
+		root.SetAttr("outcome", "bad_request")
 		return
 	}
 	_, key, err := server.ResolveConfig(&req, server.Limits{})
 	if err != nil {
+		root.SetError(err)
 		if server.IsBadRequest(err) {
 			writeErr(w, http.StatusBadRequest, "invalid_argument", err.Error(), 0)
 		} else {
@@ -385,8 +436,11 @@ func (g *Gateway) handleJobs(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	async := r.URL.Query().Get("async") == "1"
-	ctx := forwardCtx(r)
-	job, idx, err := tryNodes(g, ctx, g.ring.Order(key), func(_ int, c *client.Client) (*client.Job, error) {
+	root.SetAttr("key", key)
+	if async {
+		root.SetAttr("async", "true")
+	}
+	job, idx, err := tryNodes(g, ctx, g.ring.Order(key), func(ctx context.Context, _ int, c *client.Client) (*client.Job, error) {
 		if async {
 			return c.SubmitJobAsync(ctx, &req)
 		}
@@ -394,11 +448,24 @@ func (g *Gateway) handleJobs(w http.ResponseWriter, r *http.Request) {
 	})
 	if err != nil {
 		g.met.jobsErr.Add(1)
+		g.flight.Notef("job proxy failed request_id=%s key=%s err=%v", rid, key, err)
+		g.log.Warn("job proxy failed", "trace_id", rid, "request_id", rid,
+			"span_id", root.ID(), "key", key, "error", err.Error())
+		root.SetError(err)
+		root.Finish()
 		g.writeUpstream(w, err)
 		return
 	}
 	g.met.jobsOK.Add(1)
 	job.ID = prefixID(idx, job.ID)
+	g.flight.Notef("job proxied request_id=%s key=%s node=%s job=%s", rid, key, g.nodes[idx].Name, job.ID)
+	g.log.Info("job proxied", "trace_id", rid, "request_id", rid, "span_id", root.ID(),
+		"key", key, "node", g.nodes[idx].Name, "job_id", job.ID)
+	root.SetAttr("node", g.nodes[idx].Name)
+	root.SetAttr("outcome", "ok")
+	// Commit the root before the body goes out: a client that reads the
+	// response and immediately collates GET /v1/trace/{rid} must find it.
+	root.Finish()
 	status := http.StatusOK
 	if async {
 		status = http.StatusAccepted
@@ -410,19 +477,26 @@ func (g *Gateway) handleJobs(w http.ResponseWriter, r *http.Request) {
 // the gateway-issued ID routes the poll; no failover — the job's state
 // lives on exactly that node.
 func (g *Gateway) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	ctx, root, _ := g.startRoot(w, r)
+	defer root.Finish()
 	id := r.PathValue("id")
 	node, rest, ok := splitID(id)
 	if !ok || node >= len(g.nodes) {
+		root.SetAttr("outcome", "not_found")
 		writeErr(w, http.StatusNotFound, "not_found",
 			fmt.Sprintf("no job %q (gateway job IDs look like n0.j123)", id), 0)
 		return
 	}
-	job, err := g.clients[node].GetJob(forwardCtx(r), rest)
+	root.SetAttr("node", g.nodes[node].Name)
+	job, err := g.clients[node].GetJob(client.WithSpanParent(ctx, root.ID()), rest)
 	if err != nil {
+		root.SetError(err)
+		root.Finish()
 		g.writeUpstream(w, err)
 		return
 	}
 	job.ID = prefixID(node, job.ID)
+	root.Finish()
 	writeJSON(w, http.StatusOK, job)
 }
 
@@ -433,12 +507,16 @@ func (g *Gateway) handleGetJob(w http.ResponseWriter, r *http.Request) {
 // on the same node by construction, so the cluster-wide dedup rate
 // matches a single node's.
 func (g *Gateway) handleSweeps(w http.ResponseWriter, r *http.Request) {
+	rctx, root, _ := g.startRoot(w, r)
+	defer root.Finish()
 	var req client.SweepRequest
 	if !g.decode(w, r, &req) {
+		root.SetAttr("outcome", "bad_request")
 		return
 	}
 	cells, err := server.ResolveSweepCells(&req, server.Limits{})
 	if err != nil {
+		root.SetError(err)
 		if server.IsBadRequest(err) {
 			writeErr(w, http.StatusBadRequest, "invalid_argument", err.Error(), 0)
 		} else {
@@ -446,9 +524,10 @@ func (g *Gateway) handleSweeps(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	root.SetAttr("cells", strconv.Itoa(len(cells)))
 	g.met.sweepCells.Add(uint64(len(cells)))
 	t0 := time.Now()
-	ctx, cancel := context.WithCancel(forwardCtx(r))
+	ctx, cancel := context.WithCancel(rctx)
 	defer cancel()
 
 	rows := make([]client.SweepRow, len(cells))
@@ -471,7 +550,7 @@ func (g *Gateway) handleSweeps(w http.ResponseWriter, r *http.Request) {
 				Workloads: []string{cell.Workload},
 				Configs:   []client.JobRequest{cell.Req},
 			}
-			resp, _, err := tryNodes(g, ctx, g.ring.Order(cell.Key), func(_ int, c *client.Client) (*client.SweepResponse, error) {
+			resp, _, err := tryNodes(g, ctx, g.ring.Order(cell.Key), func(ctx context.Context, _ int, c *client.Client) (*client.SweepResponse, error) {
 				return c.Sweep(ctx, one)
 			})
 			if err != nil {
@@ -491,6 +570,7 @@ func (g *Gateway) handleSweeps(w http.ResponseWriter, r *http.Request) {
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil && !errors.Is(err, context.Canceled) {
+			root.SetError(err)
 			g.writeUpstream(w, err)
 			return
 		}
@@ -499,6 +579,7 @@ func (g *Gateway) handleSweeps(w http.ResponseWriter, r *http.Request) {
 		g.writeUpstream(w, err)
 		return
 	}
+	root.Finish()
 	writeJSON(w, http.StatusOK, &client.SweepResponse{
 		Rows:        rows,
 		Cells:       len(cells),
@@ -510,26 +591,32 @@ func (g *Gateway) handleSweeps(w http.ResponseWriter, r *http.Request) {
 // --- registry proxies ---
 
 func (g *Gateway) handlePasses(w http.ResponseWriter, r *http.Request) {
-	ctx := forwardCtx(r)
-	out, _, err := tryNodes(g, ctx, g.anyOrder(), func(_ int, c *client.Client) ([]client.Pass, error) {
+	ctx, root, _ := g.startRoot(w, r)
+	defer root.Finish()
+	out, _, err := tryNodes(g, ctx, g.anyOrder(), func(ctx context.Context, _ int, c *client.Client) ([]client.Pass, error) {
 		return c.Passes(ctx)
 	})
 	if err != nil {
+		root.SetError(err)
 		g.writeUpstream(w, err)
 		return
 	}
+	root.Finish()
 	writeJSON(w, http.StatusOK, out)
 }
 
 func (g *Gateway) handlePolicies(w http.ResponseWriter, r *http.Request) {
-	ctx := forwardCtx(r)
-	out, _, err := tryNodes(g, ctx, g.anyOrder(), func(_ int, c *client.Client) ([]client.Policy, error) {
+	ctx, root, _ := g.startRoot(w, r)
+	defer root.Finish()
+	out, _, err := tryNodes(g, ctx, g.anyOrder(), func(ctx context.Context, _ int, c *client.Client) ([]client.Policy, error) {
 		return c.Policies(ctx)
 	})
 	if err != nil {
+		root.SetError(err)
 		g.writeUpstream(w, err)
 		return
 	}
+	root.Finish()
 	writeJSON(w, http.StatusOK, out)
 }
 

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -240,13 +241,15 @@ func (r *Runner) simulate(ctx context.Context, w workload.Workload, v ConfigVari
 		store = tracestore.Shared()
 	}
 	var prog *asm.Program
+	phase := "live"
 	if cfg.MaxInsts > 0 {
-		if ent, _, err := store.Get(w.Name, cfg.MaxInsts); err == nil {
+		if ent, outcome, err := store.GetCtx(ctx, w.Name, cfg.MaxInsts); err == nil {
 			prog = ent.Prog
 			cfg.Oracle = ent.Trace.NewReplay()
 			// The captured trace doubles as the future-reference index
 			// oracle replacement policies (the Belady bound) consult.
 			cfg.Future = ent.Trace
+			phase = outcome.String()
 		}
 	}
 	if prog == nil {
@@ -256,7 +259,13 @@ func (r *Runner) simulate(ctx context.Context, w workload.Workload, v ConfigVari
 	if err != nil {
 		return pipeline.Stats{}, fmt.Errorf("%s/%s: %w", w.Name, v.Name, err)
 	}
-	st, err := sim.Run()
+	// Label the simulation so profiles split sweep time by workload,
+	// variant, and capture-vs-replay phase.
+	var st pipeline.Stats
+	pprof.Do(ctx, pprof.Labels("workload", w.Name, "variant", v.Name, "phase", phase),
+		func(context.Context) {
+			st, err = sim.Run()
+		})
 	if err != nil {
 		return pipeline.Stats{}, fmt.Errorf("%s/%s: %w", w.Name, v.Name, err)
 	}

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
+	"time"
 )
 
 // Chrome trace-event rendering. The format is the "JSON Object Format"
@@ -19,6 +21,14 @@ const (
 	tidFill   = 2
 	tidIssue  = 3
 	tidRetire = 4
+)
+
+// Process (pid) assignment in merged traces: the cycle-level timeline
+// keeps pid 1 (so plain WriteChromeTrace output is unchanged) and
+// service-level spans render as a second process above it.
+const (
+	pidCycles = 1
+	pidSpans  = 2
 )
 
 // chromeEvent is one trace-event record. Field order is fixed and maps
@@ -43,9 +53,9 @@ type chromeTrace struct {
 }
 
 // metaEvent builds a metadata record naming a process or thread.
-func metaEvent(name string, tid int, value string) chromeEvent {
+func metaEvent(pid int, name string, tid int, value string) chromeEvent {
 	return chromeEvent{
-		Name: name, Ph: "M", Pid: 1, Tid: tid,
+		Name: name, Ph: "M", Pid: pid, Tid: tid,
 		Args: map[string]any{"name": value},
 	}
 }
@@ -54,11 +64,11 @@ func metaEvent(name string, tid int, value string) chromeEvent {
 func (t *Timeline) chromeEvents() []chromeEvent {
 	evs := make([]chromeEvent, 0, len(t.Events)+8)
 	evs = append(evs,
-		metaEvent("process_name", 0, "tcsim"),
-		metaEvent("thread_name", tidFetch, "fetch"),
-		metaEvent("thread_name", tidFill, "fill unit"),
-		metaEvent("thread_name", tidIssue, "issue"),
-		metaEvent("thread_name", tidRetire, "retire"),
+		metaEvent(pidCycles, "process_name", 0, "tcsim"),
+		metaEvent(pidCycles, "thread_name", tidFetch, "fetch"),
+		metaEvent(pidCycles, "thread_name", tidFill, "fill unit"),
+		metaEvent(pidCycles, "thread_name", tidIssue, "issue"),
+		metaEvent(pidCycles, "thread_name", tidRetire, "retire"),
 	)
 	for _, e := range t.Events {
 		switch e.Kind {
@@ -142,3 +152,84 @@ func (t *Timeline) WriteChromeTrace(w io.Writer) error {
 }
 
 func hexPC(pc uint64) string { return fmt.Sprintf("0x%x", pc) }
+
+// spanChromeEvents renders service-level spans as trace events on
+// pid 2, one thread per service (sorted by name so track assignment is
+// deterministic). Timestamps are microseconds since the earliest span
+// start, so a request's span tree starts at t=0 just like the cycle
+// timeline below it.
+func spanChromeEvents(spans []Span) []chromeEvent {
+	if len(spans) == 0 {
+		return nil
+	}
+	sorted := make([]Span, len(spans))
+	copy(sorted, spans)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if !sorted[i].Start.Equal(sorted[j].Start) {
+			return sorted[i].Start.Before(sorted[j].Start)
+		}
+		return sorted[i].SpanID < sorted[j].SpanID
+	})
+	epoch := sorted[0].Start
+	var services []string
+	tids := make(map[string]int)
+	for i := range sorted {
+		if _, ok := tids[sorted[i].Service]; !ok {
+			tids[sorted[i].Service] = 0
+			services = append(services, sorted[i].Service)
+		}
+	}
+	sort.Strings(services)
+	evs := make([]chromeEvent, 0, len(sorted)+len(services)+1)
+	evs = append(evs, metaEvent(pidSpans, "process_name", 0, "services"))
+	for i, svc := range services {
+		tids[svc] = i + 1
+		evs = append(evs, metaEvent(pidSpans, "thread_name", i+1, svc))
+	}
+	for i := range sorted {
+		s := &sorted[i]
+		args := map[string]any{"span_id": s.SpanID}
+		if s.ParentID != "" {
+			args["parent_id"] = s.ParentID
+		}
+		for k, v := range s.Attrs {
+			args[k] = v
+		}
+		if s.Error != "" {
+			args["error"] = s.Error
+		}
+		dur := uint64(1)
+		if d := s.End.Sub(s.Start); d > time.Microsecond {
+			dur = uint64(d / time.Microsecond)
+		}
+		evs = append(evs, chromeEvent{
+			Name: s.Name, Ph: "X",
+			Ts:  uint64(s.Start.Sub(epoch) / time.Microsecond),
+			Dur: dur, Pid: pidSpans, Tid: tids[s.Service],
+			Args: args,
+		})
+	}
+	return evs
+}
+
+// WriteMergedChromeTrace renders one file nesting service-level spans
+// (pid 2, one track per service) above the cycle-level timeline (pid 1,
+// one track per pipeline stage). Either half may be absent: spans may
+// be empty (untraced request) and tl may be nil (no timeline captured).
+// Output is deterministic for given inputs.
+func WriteMergedChromeTrace(w io.Writer, spans []Span, tl *Timeline) error {
+	out := chromeTrace{DisplayTimeUnit: "ms"}
+	out.TraceEvents = append(out.TraceEvents, spanChromeEvents(spans)...)
+	if tl != nil {
+		out.TraceEvents = append(out.TraceEvents, tl.chromeEvents()...)
+		if tl.Dropped > 0 {
+			out.Meta = map[string]any{"dropped_events": tl.Dropped}
+		}
+	}
+	if out.TraceEvents == nil {
+		out.TraceEvents = []chromeEvent{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(&out)
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// goldenSpans is a fixed failed-over request: a gateway root with two
+// attempt children (one dead node, one success) above the node's serve
+// and run spans. IDs and times are hand-pinned so the rendering is
+// byte-stable.
+func goldenSpans() []Span {
+	t0 := time.Unix(1700000000, 0).UTC()
+	at := func(us int64) time.Time { return t0.Add(time.Duration(us) * time.Microsecond) }
+	return []Span{
+		{TraceID: "req-9", SpanID: "aaaa000000000001", Service: "tcgate",
+			Name: "POST /v1/jobs", Start: at(0), End: at(500),
+			Attrs: map[string]string{"outcome": "ok", "node": "node1"}},
+		{TraceID: "req-9", SpanID: "aaaa000000000002", ParentID: "aaaa000000000001",
+			Service: "tcgate", Name: "attempt", Start: at(10), End: at(100),
+			Attrs: map[string]string{"node": "node0", "outcome": "failover"},
+			Error: "connection refused"},
+		{TraceID: "req-9", SpanID: "aaaa000000000003", ParentID: "aaaa000000000001",
+			Service: "tcgate", Name: "attempt", Start: at(120), End: at(480),
+			Attrs: map[string]string{"node": "node1", "outcome": "ok"}},
+		{TraceID: "req-9", SpanID: "bbbb000000000001", ParentID: "aaaa000000000003",
+			Service: "node1", Name: "POST /v1/jobs", Start: at(150), End: at(470)},
+		{TraceID: "req-9", SpanID: "bbbb000000000002", ParentID: "bbbb000000000001",
+			Service: "node1", Name: "run", Start: at(200), End: at(450),
+			Attrs: map[string]string{"workload": "m88ksim", "phase": "replay"}},
+		// Sub-microsecond span: duration clamps to 1µs so it stays visible.
+		{TraceID: "req-9", SpanID: "bbbb000000000003", ParentID: "bbbb000000000001",
+			Service: "node1", Name: "cache-lookup", Start: at(160), End: at(160),
+			Attrs: map[string]string{"outcome": "miss"}},
+	}
+}
+
+// TestMergedChromeTraceGolden freezes the merged rendering: spans on
+// pid 2 (one track per service) above the cycle timeline on pid 1. Run
+// with -update to regenerate testdata/merged_golden.json after an
+// intentional format change.
+func TestMergedChromeTraceGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteMergedChromeTrace(&sb, goldenSpans(), goldenTimeline()); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+
+	golden := filepath.Join("testdata", "merged_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("merged Chrome trace drifted from %s\ngot:\n%s", golden, got)
+	}
+
+	// Structural checks independent of the golden bytes.
+	var trace struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   uint64         `json:"ts"`
+			Dur  uint64         `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(got), &trace); err != nil {
+		t.Fatalf("merged output is not valid JSON: %v", err)
+	}
+	threadNames := map[int]string{} // pid-2 tid -> service
+	var sawCycles, sawClamped bool
+	for _, e := range trace.TraceEvents {
+		switch {
+		case e.Pid == 1:
+			sawCycles = true
+		case e.Pid == 2 && e.Ph == "M" && e.Name == "thread_name":
+			threadNames[e.Tid] = e.Args["name"].(string)
+		case e.Pid == 2 && e.Name == "cache-lookup":
+			if e.Dur != 1 {
+				t.Errorf("instant span dur = %d, want clamped to 1µs", e.Dur)
+			}
+			sawClamped = true
+		case e.Pid == 2 && e.Name == "attempt" && e.Args["node"] == "node0":
+			if e.Args["error"] != "connection refused" {
+				t.Errorf("failed attempt lost its error: %v", e.Args)
+			}
+		}
+	}
+	if !sawCycles {
+		t.Error("merged trace has no pid-1 cycle events")
+	}
+	if !sawClamped {
+		t.Error("merged trace is missing the clamped instant span")
+	}
+	// Service tracks are sorted by name: node1 before tcgate.
+	if threadNames[1] != "node1" || threadNames[2] != "tcgate" {
+		t.Errorf("service track assignment = %v, want node1=1 tcgate=2", threadNames)
+	}
+
+	// Degenerate halves: no spans, and no timeline, must both render.
+	var onlyTl strings.Builder
+	if err := WriteMergedChromeTrace(&onlyTl, nil, goldenTimeline()); err != nil {
+		t.Fatalf("merged with no spans: %v", err)
+	}
+	var onlySpans strings.Builder
+	if err := WriteMergedChromeTrace(&onlySpans, goldenSpans(), nil); err != nil {
+		t.Fatalf("merged with no timeline: %v", err)
+	}
+	var neither strings.Builder
+	if err := WriteMergedChromeTrace(&neither, nil, nil); err != nil {
+		t.Fatalf("merged with neither half: %v", err)
+	}
+	if !strings.Contains(neither.String(), `"traceEvents": []`) {
+		t.Errorf("empty merged trace should render an empty array:\n%s", neither.String())
+	}
+}

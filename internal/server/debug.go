@@ -1,0 +1,62 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+
+	"tcsim/internal/obs"
+)
+
+// Debug endpoints: the span/flight views of this process. These serve
+// raw local state — the cross-node collation lives on the gateway
+// (GET /v1/trace/{request-id}), which scrapes /debug/spans here.
+
+// handleDebugSpans implements GET /debug/spans: the span ring as JSON,
+// optionally filtered to one trace with ?trace=<request-id>.
+func (s *Server) handleDebugSpans(w http.ResponseWriter, r *http.Request) {
+	ring := s.flight.Spans()
+	dump := obs.SpanDump{Service: s.flight.Service(), Dropped: ring.Dropped()}
+	if trace := obs.SanitizeID(r.URL.Query().Get("trace")); trace != "" {
+		dump.Spans = ring.ByTrace(trace)
+	} else {
+		dump.Spans = ring.Snapshot()
+	}
+	if dump.Spans == nil {
+		dump.Spans = []obs.Span{}
+	}
+	writeJSON(w, http.StatusOK, dump)
+}
+
+// handleDebugFlight implements GET /debug/flight: the flight recorder's
+// current contents (recent spans + job-lifecycle events).
+func (s *Server) handleDebugFlight(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	s.flight.WriteJSON(w)
+}
+
+// handleDebugTrace implements GET /debug/trace/{job-id}: a merged
+// Chrome trace for one finished job — the request's service-level spans
+// (looked up by the job's trace ID) nested above the job's cycle-level
+// timeline when the run captured one. Load the output in
+// chrome://tracing or ui.perfetto.dev.
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.jobs.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found",
+			fmt.Sprintf("no job %q (unknown, or expired after %v)", id, s.jobs.ttl), 0)
+		return
+	}
+	j.mu.Lock()
+	rid := j.rid
+	var tl *obs.Timeline
+	if j.res != nil {
+		tl = j.res.Timeline
+	}
+	j.mu.Unlock()
+	spans := s.flight.Spans().ByTrace(rid)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	obs.WriteMergedChromeTrace(w, spans, tl)
+}

@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"time"
 
 	"tcsim"
+	"tcsim/internal/obs"
 )
 
 // Errors the HTTP layer maps to backpressure responses.
@@ -81,6 +83,7 @@ type runFlight struct {
 type Engine struct {
 	cfg     EngineConfig
 	met     *metrics
+	spans   *obs.Spanner // nil outside a Server: every span call no-ops
 	tickets chan struct{} // admission tokens: Workers+Queue
 	slots   chan struct{} // worker slots: Workers
 
@@ -201,15 +204,21 @@ func (e *Engine) Run(ctx context.Context, spec jobSpec) (res tcsim.Result, cache
 			e.mu.Unlock()
 			e.met.hits.Add(1)
 			e.met.cacheAge.Observe(time.Since(ent.at).Seconds())
+			e.spans.Event(ctx, "cache-lookup", "outcome", "hit", "key", shortKey(key))
 			return ent.res, true, nil
 		}
 		if f, ok := e.flights[key]; ok {
 			e.mu.Unlock()
+			_, wsp := e.spans.Start(ctx, "singleflight-wait")
+			wsp.SetAttr("key", shortKey(key))
 			select {
 			case <-f.done:
 			case <-ctx.Done():
+				wsp.SetError(ctx.Err())
+				wsp.Finish()
 				return tcsim.Result{}, false, ctx.Err()
 			}
+			wsp.Finish()
 			if isCancel(f.err) {
 				// The owner was cancelled before producing an answer for
 				// this key; race to become the new owner.
@@ -224,6 +233,7 @@ func (e *Engine) Run(ctx context.Context, spec jobSpec) (res tcsim.Result, cache
 		e.mu.Unlock()
 
 		e.met.misses.Add(1)
+		e.spans.Event(ctx, "cache-lookup", "outcome", "miss", "key", shortKey(key))
 		f.res, f.err = e.simulate(ctx, spec)
 		if isCancel(f.err) {
 			e.forget(key, f)
@@ -269,15 +279,23 @@ func (e *Engine) insert(key string, res tcsim.Result) {
 	delete(e.flights, key)
 }
 
-// simulate waits for a worker slot, then runs the simulation under the
-// spec's timeout.
+// simulate waits for a worker slot (a visible queue-wait span), then
+// runs the simulation under the spec's timeout in a "run" span carrying
+// the workload, the capture/replay phase the trace store stamps on it,
+// and a per-pass summary folded from the run's counters. The worker
+// goroutine carries pprof labels so CPU profiles attribute simulation
+// time per job instead of one anonymous blob.
 func (e *Engine) simulate(ctx context.Context, spec jobSpec) (tcsim.Result, error) {
 	wait0 := time.Now()
+	_, qsp := e.spans.Start(ctx, "queue-wait")
 	select {
 	case e.slots <- struct{}{}:
 	case <-ctx.Done():
+		qsp.SetError(ctx.Err())
+		qsp.Finish()
 		return tcsim.Result{}, ctx.Err()
 	}
+	qsp.Finish()
 	e.met.queueWait.Observe(time.Since(wait0).Seconds())
 	defer func() { <-e.slots }()
 	if err := ctx.Err(); err != nil {
@@ -289,17 +307,34 @@ func (e *Engine) simulate(ctx context.Context, spec jobSpec) (tcsim.Result, erro
 		ctx, cancel = context.WithTimeout(ctx, spec.timeout)
 		defer cancel()
 	}
+	rctx, rsp := e.spans.Start(ctx, "run")
+	rsp.SetAttr("workload", spec.Workload)
+	rsp.SetAttr("insts", fmt.Sprintf("%d", spec.Insts))
 	e.met.inflight.Add(1)
 	t0 := time.Now()
-	res, err := e.runSim(ctx, spec.Config(), spec.Workload)
+	var res tcsim.Result
+	var err error
+	pprof.Do(rctx, pprof.Labels("workload", spec.Workload, "job_key", shortKey(spec.Key())),
+		func(ctx context.Context) {
+			res, err = e.runSim(ctx, spec.Config(), spec.Workload)
+		})
 	wall := time.Since(t0)
 	e.met.inflight.Add(-1)
 	if err != nil {
+		rsp.SetError(err)
+		rsp.Finish()
 		if isCancel(err) {
 			return tcsim.Result{}, fmt.Errorf("job canceled after %v: %w", wall.Round(time.Millisecond), err)
 		}
 		return tcsim.Result{}, err
 	}
+	for _, ps := range res.PassStats {
+		if ps.Segments > 0 {
+			rsp.SetAttr("pass."+ps.Name, fmt.Sprintf("segments=%d touched=%d rewritten=%d",
+				ps.Segments, ps.Touched, ps.Rewritten))
+		}
+	}
+	rsp.Finish()
 	e.met.recordRun(&res, wall)
 	e.mu.Lock()
 	ms := float64(wall.Milliseconds())
@@ -329,6 +364,15 @@ func (e *Engine) Drain(ctx context.Context) error {
 	case <-ctx.Done():
 		return fmt.Errorf("server: drain: %w", ctx.Err())
 	}
+}
+
+// shortKey truncates a canonical cache key for span attrs and pprof
+// labels, where the 12-hex prefix is plenty to correlate.
+func shortKey(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
 }
 
 // CacheLen reports the number of cached results.

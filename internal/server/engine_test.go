@@ -295,7 +295,7 @@ func TestDrainDeadline(t *testing.T) {
 func TestJobStoreTTL(t *testing.T) {
 	s := newJobStore(time.Minute)
 	defer s.close()
-	j := s.create("k")
+	j := s.create("k", "r1")
 	j.finish(tcsim.Result{}, false, nil, 0, time.Minute)
 	if _, ok := s.get(j.id); !ok {
 		t.Fatal("fresh job missing")
@@ -305,7 +305,7 @@ func TestJobStoreTTL(t *testing.T) {
 		t.Fatal("expired job survived the sweep")
 	}
 	// Unfinished jobs never expire.
-	j2 := s.create("k2")
+	j2 := s.create("k2", "r2")
 	s.sweep(time.Now().Add(24 * time.Hour))
 	if _, ok := s.get(j2.id); !ok {
 		t.Fatal("running job was garbage-collected")
@@ -317,7 +317,7 @@ func TestJobStoreIDsUnique(t *testing.T) {
 	defer s.close()
 	seen := make(map[string]bool)
 	for i := 0; i < 100; i++ {
-		j := s.create(fmt.Sprint(i))
+		j := s.create(fmt.Sprint(i), "r")
 		if seen[j.id] {
 			t.Fatalf("duplicate job id %s", j.id)
 		}

@@ -14,6 +14,7 @@ import (
 type job struct {
 	id      string
 	key     string
+	rid     string // request ID (= trace ID) of the submitting request
 	mu      sync.Mutex
 	state   string
 	cached  bool
@@ -117,13 +118,14 @@ func (s *jobStore) sweep(now time.Time) {
 	}
 }
 
-// create registers a new queued job with a fresh random ID.
-func (s *jobStore) create(key string) *job {
+// create registers a new queued job with a fresh random ID, remembering
+// the submitting request's ID so the job's spans stay findable by trace.
+func (s *jobStore) create(key, rid string) *job {
 	var b [8]byte
 	if _, err := rand.Read(b[:]); err != nil {
 		panic("server: crypto/rand unavailable: " + err.Error())
 	}
-	j := &job{id: "j" + hex.EncodeToString(b[:]), key: key, state: client.StateQueued}
+	j := &job{id: "j" + hex.EncodeToString(b[:]), key: key, rid: rid, state: client.StateQueued}
 	s.mu.Lock()
 	s.jobs[j.id] = j
 	s.mu.Unlock()

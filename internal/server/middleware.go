@@ -4,9 +4,14 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"errors"
 	"log/slog"
 	"net/http"
+	"strconv"
+	"strings"
 	"time"
+
+	"tcsim/internal/obs"
 )
 
 // reqIDHeader is the request-correlation header. Clients may supply it;
@@ -36,21 +41,10 @@ func newRequestID() string {
 
 // sanitizeRequestID accepts a client-supplied ID only if it is short
 // and header/log-safe; anything else is replaced rather than propagated
-// into log lines and response headers.
+// into log lines and response headers. The rules are shared with span
+// and trace IDs (obs.SanitizeID) — the request ID is the trace ID.
 func sanitizeRequestID(id string) string {
-	if id == "" || len(id) > 64 {
-		return ""
-	}
-	for i := 0; i < len(id); i++ {
-		c := id[i]
-		switch {
-		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
-		case c == '-' || c == '_' || c == '.':
-		default:
-			return ""
-		}
-	}
-	return id
+	return obs.SanitizeID(id)
 }
 
 // statusWriter captures the response status for the access log.
@@ -75,8 +69,12 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 
 // withObs is the observability middleware: it assigns (or sanitizes and
 // adopts) the request ID, echoes it on the response, attaches it to the
-// request context for handler and job-lifecycle log lines, and writes
-// one structured access-log line per request.
+// request context for handler and job-lifecycle log lines, opens a
+// serve span for API requests (parented under the caller's span when
+// X-Trace-Parent names one — the trace ID is the request ID), and
+// writes one structured access-log line per request. A 5xx additionally
+// notes the failure in the flight recorder and, when the server has a
+// flight directory, dumps the recorder so the context is preserved.
 func (s *Server) withObs(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := sanitizeRequestID(r.Header.Get(reqIDHeader))
@@ -86,17 +84,36 @@ func (s *Server) withObs(next http.Handler) http.Handler {
 		w.Header().Set(reqIDHeader, id)
 		sw := &statusWriter{ResponseWriter: w}
 		t0 := time.Now()
-		next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), reqIDKey, id)))
+		ctx := context.WithValue(r.Context(), reqIDKey, id)
+		var sp *obs.Span
+		if strings.HasPrefix(r.URL.Path, "/v1/") {
+			parent := obs.ParseTraceParent(r.Header.Get(obs.TraceParentHeader))
+			ctx, sp = s.spans.StartRemote(ctx, id, parent, r.Method+" "+r.URL.Path)
+		}
+		next.ServeHTTP(sw, r.WithContext(ctx))
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}
-		s.log.LogAttrs(r.Context(), logLevelFor(sw.status), "request",
+		sp.SetAttr("status", strconv.Itoa(sw.status))
+		if sw.status >= 500 {
+			sp.SetError(errors.New(http.StatusText(sw.status)))
+		}
+		sp.Finish()
+		attrs := []slog.Attr{
 			slog.String("request_id", id),
 			slog.String("method", r.Method),
 			slog.String("path", r.URL.Path),
 			slog.Int("status", sw.status),
 			slog.Duration("duration", time.Since(t0).Round(time.Microsecond)),
-		)
+		}
+		if sid := sp.ID(); sid != "" {
+			attrs = append(attrs, slog.String("span_id", sid))
+		}
+		s.log.LogAttrs(r.Context(), logLevelFor(sw.status), "request", attrs...)
+		if sw.status >= 500 {
+			s.flight.Notef("5xx: %s %s status=%d request_id=%s", r.Method, r.URL.Path, sw.status, id)
+			s.dumpFlightOn5xx()
+		}
 	})
 }
 

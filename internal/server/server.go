@@ -15,6 +15,7 @@ import (
 	"tcsim"
 	"tcsim/client"
 	"tcsim/internal/experiments"
+	"tcsim/internal/obs"
 	"tcsim/internal/tracestore"
 )
 
@@ -30,6 +31,14 @@ type Config struct {
 	// completed, failed, rejected), each carrying the request ID the
 	// response echoed in X-Request-ID. Nil discards everything.
 	Logger *slog.Logger
+	// Service names this process in spans and flight dumps ("" =
+	// "tcserved"). Cluster selfcheck nodes set their node name here so a
+	// collated span tree shows which node served each attempt.
+	Service string
+	// FlightDir, when set, enables automatic flight-recorder dumps: a
+	// 5xx response overwrites flight-<service>-last5xx.json there.
+	// SIGQUIT dumps (wired in cmd/tcserved) land there too.
+	FlightDir string
 }
 
 // Server is the tcserved HTTP front end: job lifecycle, sweeps, pass
@@ -43,6 +52,8 @@ type Server struct {
 	mux     *http.ServeMux
 	handler http.Handler // mux wrapped in the observability middleware
 	log     *slog.Logger
+	flight  *obs.FlightRecorder
+	spans   *obs.Spanner // the flight recorder's span starter
 
 	// baseCtx parents async job execution so Shutdown can cancel what
 	// the drain deadline abandons.
@@ -71,15 +82,23 @@ func New(cfg Config) *Server {
 	// a multi-engine process would leak traces across nodes via the
 	// shared store and falsify per-node CDN accounting.
 	sweeps.Store = cfg.Engine.Store
+	service := cfg.Service
+	if service == "" {
+		service = "tcserved"
+	}
+	flight := obs.NewFlightRecorder(service, 0, 0)
 	s := &Server{
 		cfg:        cfg,
 		engine:     NewEngine(cfg.Engine),
 		jobs:       newJobStore(cfg.JobTTL),
 		sweeps:     sweeps,
 		log:        log,
+		flight:     flight,
+		spans:      flight.Spanner(),
 		baseCtx:    ctx,
 		cancelBase: cancel,
 	}
+	s.engine.spans = s.spans
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
@@ -91,6 +110,9 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /healthz/ready", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handlePrometheus)
 	mux.HandleFunc("GET /metrics.json", s.handleMetrics)
+	mux.HandleFunc("GET /debug/spans", s.handleDebugSpans)
+	mux.HandleFunc("GET /debug/flight", s.handleDebugFlight)
+	mux.HandleFunc("GET /debug/trace/{id}", s.handleDebugTrace)
 	s.mux = mux
 	s.handler = s.withObs(mux)
 	return s
@@ -102,6 +124,25 @@ func (s *Server) Handler() http.Handler { return s.handler }
 
 // Engine exposes the simulation engine (selfcheck and tests).
 func (s *Server) Engine() *Engine { return s.engine }
+
+// Flight exposes the server's flight recorder (SIGQUIT dumps, selfcheck
+// failure dumps, tests).
+func (s *Server) Flight() *obs.FlightRecorder { return s.flight }
+
+// dumpFlightOn5xx preserves the recorder's state after a server error.
+// It overwrites a fixed file name so a 5xx storm keeps the latest
+// context without growing the directory; no FlightDir means no dump.
+func (s *Server) dumpFlightOn5xx() {
+	if s.cfg.FlightDir == "" {
+		return
+	}
+	name := "flight-" + s.flight.Service() + "-last5xx.json"
+	if path, err := s.flight.DumpToFile(s.cfg.FlightDir, name); err != nil {
+		s.log.Warn("flight dump failed", "error", err.Error())
+	} else {
+		s.log.Info("flight recorder dumped", "path", path, "trigger", "5xx")
+	}
+}
 
 // JobCount reports how many async jobs the store currently holds.
 func (s *Server) JobCount() int { return s.jobs.len() }
@@ -205,7 +246,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	spec, err := resolveSpec(&req, s.engine.Limits())
 	if err != nil {
-		s.log.Warn("job rejected", "request_id", rid, "error", err.Error())
+		s.log.Warn("job rejected", "trace_id", rid, "request_id", rid,
+			"span_id", obs.SpanFrom(r.Context()).ID(), "error", err.Error())
+		s.flight.Notef("job rejected request_id=%s err=%v", rid, err)
 		s.writeRunError(w, err)
 		return
 	}
@@ -217,10 +260,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// full queue never rejects an already-computed answer.
 	if res, ok := s.engine.Cached(key); ok {
 		s.engine.met.completed.Add(1)
-		j := s.jobs.create(key)
+		s.spans.Event(r.Context(), "cache-lookup", "outcome", "hit", "key", key)
+		j := s.jobs.create(key, rid)
 		j.finish(res, true, nil, 0, s.jobs.ttl)
-		s.log.Info("job cache hit", "request_id", rid, "job_id", j.id,
+		s.log.Info("job cache hit", "trace_id", rid, "request_id", rid,
+			"span_id", obs.SpanFrom(r.Context()).ID(), "job_id", j.id,
 			"key", key, "workload", spec.Workload)
+		s.flight.Notef("job cache hit request_id=%s job=%s key=%s", rid, j.id, key)
 		status := http.StatusOK
 		if async {
 			status = http.StatusAccepted
@@ -231,18 +277,27 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	release, err := s.engine.Admit()
 	if err != nil {
-		s.log.Warn("job rejected", "request_id", rid, "key", key, "error", err.Error())
+		s.log.Warn("job rejected", "trace_id", rid, "request_id", rid,
+			"span_id", obs.SpanFrom(r.Context()).ID(), "key", key, "error", err.Error())
+		s.flight.Notef("job rejected request_id=%s key=%s err=%v", rid, key, err)
 		s.writeRunError(w, err)
 		return
 	}
 
-	j := s.jobs.create(key)
-	s.log.Info("job accepted", "request_id", rid, "job_id", j.id,
+	j := s.jobs.create(key, rid)
+	s.log.Info("job accepted", "trace_id", rid, "request_id", rid,
+		"span_id", obs.SpanFrom(r.Context()).ID(), "job_id", j.id,
 		"key", key, "workload", spec.Workload, "insts", spec.Insts, "async", async)
+	s.flight.Notef("job accepted request_id=%s job=%s key=%s async=%v", rid, j.id, key, async)
 	if async {
+		// Detach the request's span identity onto the server's base
+		// context: the job's spans still parent under the submitting
+		// request, but its cancellation is the server's, not the
+		// already-answered request's.
+		ctx := obs.Detach(s.baseCtx, r.Context())
 		go func() {
 			defer release()
-			s.runJob(s.baseCtx, rid, j, spec)
+			s.runJob(ctx, rid, j, spec)
 		}()
 		writeJSON(w, http.StatusAccepted, j.wire())
 		return
@@ -260,20 +315,34 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // explicitly because async jobs outlive their request context.
 func (s *Server) runJob(ctx context.Context, rid string, j *job, spec jobSpec) error {
 	j.setRunning()
-	s.log.Info("job started", "request_id", rid, "job_id", j.id, "key", j.key)
+	// Async jobs run on a detached context: no active span, only the
+	// submitting request's remote span identity. Log under that parent so
+	// the lifecycle lines still name a span in the trace.
+	sid := obs.SpanFrom(ctx).ID()
+	if sid == "" {
+		if rc, ok := obs.RemoteFrom(ctx); ok {
+			sid = rc.SpanID
+		}
+	}
+	s.log.Info("job started", "trace_id", rid, "request_id", rid, "span_id", sid,
+		"job_id", j.id, "key", j.key)
+	s.flight.Notef("job started request_id=%s job=%s key=%s", rid, j.id, j.key)
 	t0 := time.Now()
 	res, cached, err := s.engine.Run(ctx, spec)
 	wall := time.Since(t0)
 	j.finish(res, cached, err, wall, s.jobs.ttl)
 	if err != nil {
 		s.engine.met.failed.Add(1)
-		s.log.Error("job failed", "request_id", rid, "job_id", j.id,
-			"key", j.key, "wall", wall.Round(time.Microsecond), "error", err.Error())
+		s.log.Error("job failed", "trace_id", rid, "request_id", rid, "span_id", sid,
+			"job_id", j.id, "key", j.key, "wall", wall.Round(time.Microsecond), "error", err.Error())
+		s.flight.Notef("job failed request_id=%s job=%s key=%s err=%v", rid, j.id, j.key, err)
 		return err
 	}
 	s.engine.met.completed.Add(1)
-	s.log.Info("job completed", "request_id", rid, "job_id", j.id, "key", j.key,
+	s.log.Info("job completed", "trace_id", rid, "request_id", rid, "span_id", sid,
+		"job_id", j.id, "key", j.key,
 		"cached", cached, "wall", wall.Round(time.Microsecond), "ipc", res.IPC)
+	s.flight.Notef("job completed request_id=%s job=%s key=%s cached=%v", rid, j.id, j.key, cached)
 	return nil
 }
 

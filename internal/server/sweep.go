@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -136,7 +137,15 @@ func runSweep(ctx context.Context, r *experiments.Runner, cells []sweepCell) (*c
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			st, err := r.RunByName(ctx, cell.spec.Workload, sweepVariant(cell.spec))
+			// Label the fan-out goroutine so a CPU profile attributes each
+			// cell's time to its workload and config instead of pooling
+			// every sweep into one anonymous stack.
+			var st pipeline.Stats
+			var err error
+			pprof.Do(ctx, pprof.Labels("sweep_workload", cell.spec.Workload, "sweep_key", shortKey(cell.spec.Key())),
+				func(ctx context.Context) {
+					st, err = r.RunByName(ctx, cell.spec.Workload, sweepVariant(cell.spec))
+				})
 			if err != nil {
 				errs[i] = err
 				cancel()

@@ -1,0 +1,246 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"tcsim/client"
+	"tcsim/internal/obs"
+)
+
+// waitSpans polls the server's span ring for a trace until at least n
+// spans landed: the middleware commits the serve span just after the
+// response is flushed, so the client can observe the response first.
+func waitSpans(t *testing.T, srv *Server, rid string, n int) []obs.Span {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		spans := srv.Flight().Spans().ByTrace(rid)
+		if len(spans) >= n {
+			return spans
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace %s has %d spans after 2s, want >= %d: %+v", rid, len(spans), n, spans)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRequestSpansEndToEnd drives a real HTTP job with a pinned request
+// ID and an X-Trace-Parent, then asserts the span tree the node
+// recorded: a serve span parented under the remote caller, queue-wait
+// and run children, the run's workload/phase attributes, and a
+// cache-lookup hit event on the repeat submit.
+func TestRequestSpansEndToEnd(t *testing.T) {
+	srv, cl := newTestServer(t, Config{Service: "nodeA"})
+	req := &client.JobRequest{Workload: "m88ksim", Insts: testInsts}
+
+	rid := "trace-e2e-1"
+	ctx := client.WithSpanParent(client.WithRequestID(context.Background(), rid), "feedfacefeedface")
+	job, err := cl.SubmitJob(ctx, req)
+	if err != nil {
+		t.Fatalf("SubmitJob: %v", err)
+	}
+	if job.State != client.StateDone {
+		t.Fatalf("job state %q", job.State)
+	}
+
+	// serve + queue-wait + run + cache-lookup(miss) at minimum.
+	spans := waitSpans(t, srv, rid, 4)
+	byName := map[string]obs.Span{}
+	for _, s := range spans {
+		byName[s.Name] = s
+		if s.Service != "nodeA" {
+			t.Errorf("span %s has service %q, want the configured nodeA", s.Name, s.Service)
+		}
+	}
+	serve, ok := byName["POST /v1/jobs"]
+	if !ok {
+		t.Fatalf("no serve span in %v", names(spans))
+	}
+	if serve.ParentID != "feedfacefeedface" {
+		t.Errorf("serve span parent %q, want the X-Trace-Parent span", serve.ParentID)
+	}
+	if serve.Attrs["status"] != "200" {
+		t.Errorf("serve span status attr = %q", serve.Attrs["status"])
+	}
+	run, ok := byName["run"]
+	if !ok {
+		t.Fatalf("no run span in %v", names(spans))
+	}
+	if run.Attrs["workload"] != "m88ksim" {
+		t.Errorf("run span workload = %q", run.Attrs["workload"])
+	}
+	if p := run.Attrs["phase"]; p != "capture" && p != "replay" {
+		t.Errorf("run span phase = %q, want capture or replay", p)
+	}
+	if _, ok := byName["queue-wait"]; !ok {
+		t.Errorf("no queue-wait span in %v", names(spans))
+	}
+	if lk, ok := byName["cache-lookup"]; !ok {
+		t.Errorf("no cache-lookup event in %v", names(spans))
+	} else if lk.Attrs["outcome"] != "miss" {
+		t.Errorf("first submit cache-lookup outcome = %q, want miss", lk.Attrs["outcome"])
+	}
+
+	// The node's own spans form a single tree under the serve span (its
+	// remote parent lives in the caller's process, so it roots here).
+	tree := obs.BuildSpanTree(rid, spans)
+	if !tree.Connected {
+		t.Errorf("node-local trace is not connected: %d roots from %v", len(tree.Roots), names(spans))
+	}
+
+	// Repeat submit under a fresh trace: served from cache, with the hit
+	// recorded as an event span.
+	rid2 := "trace-e2e-2"
+	job2, err := cl.SubmitJob(client.WithRequestID(context.Background(), rid2), req)
+	if err != nil {
+		t.Fatalf("repeat SubmitJob: %v", err)
+	}
+	if !job2.Cached {
+		t.Fatalf("repeat submit was not served from cache")
+	}
+	spans2 := waitSpans(t, srv, rid2, 2)
+	var hit bool
+	for _, s := range spans2 {
+		if s.Name == "cache-lookup" && s.Attrs["outcome"] == "hit" {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Errorf("cached submit recorded no cache-lookup hit event: %v", names(spans2))
+	}
+}
+
+func names(spans []obs.Span) []string {
+	out := make([]string, len(spans))
+	for i := range spans {
+		out[i] = spans[i].Name
+	}
+	return out
+}
+
+// TestDebugSpansAndFlightEndpoints asserts the wire shapes of the two
+// debug views: /debug/spans (with and without ?trace=) and
+// /debug/flight with its job-lifecycle events.
+func TestDebugSpansAndFlightEndpoints(t *testing.T) {
+	srv, cl := newTestServer(t, Config{})
+	rid := "debug-endpoints-rid"
+	ctx := client.WithRequestID(context.Background(), rid)
+	if _, err := cl.SubmitJob(ctx, &client.JobRequest{Workload: "compress", Insts: testInsts}); err != nil {
+		t.Fatalf("SubmitJob: %v", err)
+	}
+	waitSpans(t, srv, rid, 3)
+
+	getJSON := func(path string, into any) {
+		t.Helper()
+		resp, err := http.Get(cl.Base() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("decode %s: %v", path, err)
+		}
+	}
+
+	var filtered obs.SpanDump
+	getJSON("/debug/spans?trace="+rid, &filtered)
+	if filtered.Service != "tcserved" {
+		t.Errorf("span dump service = %q, want the default tcserved", filtered.Service)
+	}
+	if len(filtered.Spans) < 3 {
+		t.Fatalf("filtered dump has %d spans, want >= 3", len(filtered.Spans))
+	}
+	for _, s := range filtered.Spans {
+		if s.TraceID != rid {
+			t.Errorf("?trace= filter leaked span of trace %q", s.TraceID)
+		}
+	}
+	var all obs.SpanDump
+	getJSON("/debug/spans", &all)
+	if len(all.Spans) < len(filtered.Spans) {
+		t.Errorf("unfiltered dump (%d) smaller than filtered (%d)", len(all.Spans), len(filtered.Spans))
+	}
+
+	var flight obs.FlightDump
+	getJSON("/debug/flight", &flight)
+	if flight.Service != "tcserved" || flight.DumpedAt.IsZero() {
+		t.Errorf("flight dump header = %q at %v", flight.Service, flight.DumpedAt)
+	}
+	wantEvents := map[string]bool{"accepted": false, "started": false, "completed": false}
+	for _, ev := range flight.Events {
+		for k := range wantEvents {
+			if strings.Contains(ev.Msg, "job "+k) {
+				wantEvents[k] = true
+			}
+		}
+	}
+	for k, seen := range wantEvents {
+		if !seen {
+			t.Errorf("flight recorder has no 'job %s' event: %+v", k, flight.Events)
+		}
+	}
+}
+
+// TestDebugTraceMergedOutput asserts GET /debug/trace/{job} emits a
+// merged Chrome trace whose pid-2 events include the request's run span
+// with its attributes, and that unknown jobs answer 404.
+func TestDebugTraceMergedOutput(t *testing.T) {
+	srv, cl := newTestServer(t, Config{})
+	rid := "debug-trace-rid"
+	ctx := client.WithRequestID(context.Background(), rid)
+	job, err := cl.SubmitJob(ctx, &client.JobRequest{Workload: "li", Insts: testInsts})
+	if err != nil {
+		t.Fatalf("SubmitJob: %v", err)
+	}
+	waitSpans(t, srv, rid, 3)
+
+	resp, err := http.Get(cl.Base() + "/debug/trace/" + job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/trace/%s = %d", job.ID, resp.StatusCode)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&trace); err != nil {
+		t.Fatalf("merged trace is not valid JSON: %v", err)
+	}
+	var runSeen bool
+	for _, e := range trace.TraceEvents {
+		if e.Pid == 2 && e.Name == "run" && e.Ph == "X" {
+			runSeen = true
+			if e.Args["workload"] != "li" {
+				t.Errorf("run event args = %v", e.Args)
+			}
+		}
+	}
+	if !runSeen {
+		t.Errorf("no pid-2 run span among %d merged events", len(trace.TraceEvents))
+	}
+
+	if resp, err := http.Get(cl.Base() + "/debug/trace/no-such-job"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("unknown job trace = %d, want 404", resp.StatusCode)
+		}
+	}
+}

@@ -1,12 +1,15 @@
 package tracestore
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"tcsim/internal/asm"
+	"tcsim/internal/obs"
 	"tcsim/internal/workload"
 )
 
@@ -176,6 +179,16 @@ func (s *Store) Stats() Stats {
 // returned Entry is immutable and shared; run a simulation off it with
 // Entry.Trace.NewReplay().
 func (s *Store) Get(name string, budget uint64) (*Entry, Outcome, error) {
+	return s.GetCtx(context.Background(), name, budget)
+}
+
+// GetCtx is Get with request context: when ctx carries an active span
+// (a traced tcserved job), the outcome lands on it as a phase attr
+// ("capture" or "replay"), a capture opens a child span naming the
+// source it was satisfied from, and the capture goroutine carries pprof
+// labels. The context does not cancel the capture — a joined flight
+// would hand the cancellation to an innocent concurrent caller.
+func (s *Store) GetCtx(ctx context.Context, name string, budget uint64) (*Entry, Outcome, error) {
 	if budget == 0 {
 		return nil, OutcomeReplay, fmt.Errorf("tracestore: budget must be resolved (non-zero) for %q", name)
 	}
@@ -186,6 +199,7 @@ func (s *Store) Get(name string, budget uint64) (*Entry, Outcome, error) {
 			s.touch(e)
 			s.mu.Unlock()
 			s.replayHits.Add(1)
+			obs.SpanFrom(ctx).SetAttr("phase", OutcomeReplay.String())
 			return e.ent, OutcomeReplay, nil
 		}
 		if f, ok := s.flights[k]; ok {
@@ -197,6 +211,7 @@ func (s *Store) Get(name string, budget uint64) (*Entry, Outcome, error) {
 			// Joined a concurrent capture: for this caller it is a
 			// replay — the work was not repeated.
 			s.replayHits.Add(1)
+			obs.SpanFrom(ctx).SetAttr("phase", OutcomeReplay.String())
 			return f.ent, OutcomeReplay, nil
 		}
 		f := &captureFlight{done: make(chan struct{})}
@@ -204,7 +219,7 @@ func (s *Store) Get(name string, budget uint64) (*Entry, Outcome, error) {
 		dir := s.dir
 		s.mu.Unlock()
 
-		f.ent, f.err = s.capture(k, dir)
+		f.ent, f.err = s.capture(ctx, k, dir)
 		s.mu.Lock()
 		if f.err == nil {
 			s.insert(k, f.ent)
@@ -212,6 +227,7 @@ func (s *Store) Get(name string, budget uint64) (*Entry, Outcome, error) {
 		delete(s.flights, k)
 		s.mu.Unlock()
 		close(f.done)
+		obs.SpanFrom(ctx).SetAttr("phase", OutcomeCapture.String())
 		return f.ent, OutcomeCapture, f.err
 	}
 }
@@ -220,11 +236,18 @@ func (s *Store) Get(name string, budget uint64) (*Entry, Outcome, error) {
 // cheap sources first: a valid on-disk trace, then a peer fetch over the
 // trace CDN, then live emulation. Disk and CDN bodies go through the
 // same fail-closed validation; a reject is counted, logged, and falls
-// through to the next source.
-func (s *Store) capture(k key, dir string) (*Entry, error) {
+// through to the next source. ctx only carries tracing identity — a
+// "trace-capture" span recording which source satisfied the capture —
+// never cancellation (see GetCtx).
+func (s *Store) capture(ctx context.Context, k key, dir string) (*Entry, error) {
+	ctx, csp := obs.StartSpan(ctx, "trace-capture")
+	csp.SetAttr("workload", k.name)
+	defer csp.Finish()
 	w, ok := workload.ByName(k.name)
 	if !ok {
-		return nil, fmt.Errorf("tracestore: unknown workload %q", k.name)
+		err := fmt.Errorf("tracestore: unknown workload %q", k.name)
+		csp.SetError(err)
+		return nil, err
 	}
 	prog := w.Build()
 
@@ -234,6 +257,7 @@ func (s *Store) capture(k key, dir string) (*Entry, error) {
 		case err == nil && tr != nil:
 			s.captures.Add(1)
 			s.diskLoads.Add(1)
+			csp.SetAttr("source", "disk")
 			return &Entry{Prog: prog, Trace: tr}, nil
 		case err != nil:
 			// Fail closed to live capture, loudly.
@@ -249,12 +273,17 @@ func (s *Store) capture(k key, dir string) (*Entry, error) {
 	s.mu.Unlock()
 	if fetch != nil {
 		hash := programHash(prog)
+		_, fsp := obs.StartSpan(ctx, "cdn-fetch")
+		fsp.SetAttr("workload", k.name)
 		raw, err := fetch(hexHash(hash), k.name, k.budget)
+		fsp.SetError(err)
+		fsp.Finish()
 		if err == nil && raw != nil {
 			tr, derr := decodeTrace(raw, k.name, k.budget, prog)
 			if derr == nil {
 				s.captures.Add(1)
 				s.cdnFetches.Add(1)
+				csp.SetAttr("source", "cdn")
 				if dir != "" {
 					if serr := saveTrace(dir, tr, prog); serr == nil {
 						s.diskSaves.Add(1)
@@ -276,12 +305,21 @@ func (s *Store) capture(k key, dir string) (*Entry, error) {
 	}
 
 	t0 := time.Now()
-	tr, err := Capture(k.name, prog, k.budget)
+	var tr *Trace
+	var err error
+	// Label the emulation so profiles attribute capture time per
+	// workload; it is the one expensive leg of the chain.
+	pprof.Do(ctx, pprof.Labels("phase", "capture", "workload", k.name),
+		func(context.Context) {
+			tr, err = Capture(k.name, prog, k.budget)
+		})
 	if err != nil {
+		csp.SetError(err)
 		return nil, err
 	}
 	s.captureNanos.Add(time.Since(t0).Nanoseconds())
 	s.captures.Add(1)
+	csp.SetAttr("source", "emulate")
 
 	if dir != "" && tr.stepErr == nil {
 		if err := saveTrace(dir, tr, prog); err == nil {
