@@ -2,7 +2,10 @@ package tcsim
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 
 	"tcsim/internal/asm"
 	"tcsim/internal/core"
@@ -143,6 +146,15 @@ type Config struct {
 	// MaxCycles aborts a non-halting simulation (0 = a very large bound).
 	MaxCycles uint64
 
+	// Sampling enables SMARTS-style sampled timing: detailed
+	// cycle-accurate windows at each Period boundary (a Warmup prefix is
+	// timed but discarded), functional fast-forward — or, with Seek, a
+	// checkpoint seek — in between, and a sampled-IPC estimate with a
+	// 95% confidence interval in Result.Sampled. The zero value runs
+	// exact simulation, bit-for-bit identical to earlier releases.
+	// DefaultSamplingFor builds a sensible plan for a budget.
+	Sampling SamplingConfig
+
 	// Timeline records a cycle-level event timeline (fetch source,
 	// segment finalization, per-pass rewrites, issue/retire occupancy)
 	// into Result.Timeline. Recording observes the run without touching
@@ -196,7 +208,72 @@ func (c Config) pipelineConfig() pipeline.Config {
 	if c.MaxCycles > 0 {
 		pc.MaxCycles = c.MaxCycles
 	}
+	pc.Sampling = c.Sampling
 	return pc
+}
+
+// SamplingConfig selects sampled timing (see Config.Sampling). It is an
+// alias of the pipeline type: Period (retired instructions per sampling
+// period; 0 = exact), WindowLen (measured detailed window), Warmup
+// (discarded detailed prefix per window), Seek (skip gaps via
+// checkpoint seek instead of functional warming; needs a seekable
+// source, i.e. a workload run).
+type SamplingConfig = pipeline.SamplingConfig
+
+// SampledStats is the sampled-timing estimate attached to Result when
+// sampling ran: the window-mean IPC with its 95% confidence interval,
+// per-window IPCs, and the instruction accounting across warm-up,
+// measured, fast-forwarded and seek-skipped portions.
+type SampledStats = pipeline.SampledStats
+
+// DefaultSamplingFor returns the standard sampling plan for an
+// instruction budget (10k windows, 20k warm-up, ~50 windows per run).
+func DefaultSamplingFor(budget uint64) SamplingConfig {
+	return pipeline.DefaultSamplingFor(budget)
+}
+
+// ParseSamplingSpec parses the -sample CLI flag shared by cmd/tcsim and
+// cmd/tcexp into a sampling plan. The spec is a comma list: either
+// "auto" (the DefaultSamplingFor plan at the given budget) or an
+// explicit "period,window,warmup" triple, optionally followed by
+// "seek" to skip gaps via checkpoint seek. "" and "off" disable
+// sampling. The returned plan is validated.
+func ParseSamplingSpec(spec string, budget uint64) (SamplingConfig, error) {
+	var sc SamplingConfig
+	var nums []uint64
+	for _, f := range strings.Split(spec, ",") {
+		switch f = strings.TrimSpace(f); f {
+		case "", "off":
+		case "auto":
+			d := DefaultSamplingFor(budget)
+			sc.Period, sc.WindowLen, sc.Warmup = d.Period, d.WindowLen, d.Warmup
+		case "seek":
+			sc.Seek = true
+		default:
+			n, err := strconv.ParseUint(f, 10, 64)
+			if err != nil {
+				return sc, fmt.Errorf("tcsim: bad -sample element %q (want auto, seek, off, or a period,window,warmup triple)", f)
+			}
+			nums = append(nums, n)
+		}
+	}
+	switch len(nums) {
+	case 0:
+	case 3:
+		if sc.Period != 0 {
+			return sc, errors.New("tcsim: -sample cannot mix auto with an explicit period,window,warmup triple")
+		}
+		sc.Period, sc.WindowLen, sc.Warmup = nums[0], nums[1], nums[2]
+	default:
+		return sc, fmt.Errorf("tcsim: -sample needs exactly three numbers (period,window,warmup), got %d", len(nums))
+	}
+	if sc.Seek && !sc.Enabled() {
+		return sc, errors.New("tcsim: -sample seek needs a plan (auto or period,window,warmup)")
+	}
+	if err := sc.Validate(); err != nil {
+		return sc, err
+	}
+	return sc, nil
 }
 
 // Program is a loadable TCR executable.
@@ -249,6 +326,12 @@ type Result struct {
 	// TCBypasses counts fills the replacement policy rejected outright
 	// (always zero except under a bypass-capable policy like "belady").
 	TCBypasses uint64
+
+	// Sampled is the sampled-timing estimate (nil unless Config.Sampling
+	// was enabled). When present, IPC above is the sampled estimate, not
+	// retired/cycles — most retired instructions never passed through
+	// the cycle-accurate core.
+	Sampled *SampledStats
 
 	// Timeline is the recorded event timeline (nil unless
 	// Config.Timeline was set). Write it out with WriteChromeTrace for
@@ -339,6 +422,7 @@ func resultFrom(st pipeline.Stats, out []byte) Result {
 		SegLengths:        segLens,
 		TraceReuse:        reuseRows(st.TCReuse),
 		TCBypasses:        st.TCBypasses,
+		Sampled:           st.Sampled,
 		Output:            out,
 	}
 }
@@ -439,6 +523,19 @@ func RunWorkloadContextIn(ctx context.Context, cfg Config, name string, st *Trac
 	}
 	if cfg.MaxInsts == 0 {
 		cfg.MaxInsts = w.DefaultInsts
+	}
+	if cfg.MaxInsts > tracestore.FullCaptureLimit {
+		// The budget is too large to hold a full per-instruction trace in
+		// the store (a 50M-inst trace is ~850MB). Sampled runs stay
+		// feasible: seek mode runs over a checkpoint log (registers +
+		// page deltas only, seekable), warm mode over live emulation.
+		if cfg.Sampling.Enabled() && cfg.Sampling.Seek {
+			if ent, _, err := st.GetCheckpointLog(ctx, name, cfg.MaxInsts); err == nil {
+				src := tracestore.NewCkptSource(ent.Prog, ent.Trace, pipeline.MaxOracleLead(cfg.pipelineConfig()))
+				return runContext(ctx, cfg, &Program{p: ent.Prog}, src, nil, 0)
+			}
+		}
+		return RunContext(ctx, cfg, &Program{p: w.Build()})
 	}
 	if cfg.MaxInsts > 0 {
 		if ent, outcome, err := st.GetCtx(ctx, name, cfg.MaxInsts); err == nil {
@@ -556,8 +653,24 @@ func (s *Suite) Reproduce(id string) (string, error) {
 			return "", err
 		}
 		return p.Format(r.WorkloadNames()), nil
+	case SamplingExperimentID:
+		return s.Sampling(0, 0, SamplingConfig{})
 	}
 	return "", fmt.Errorf("tcsim: unknown experiment %q", id)
+}
+
+// Sampling reproduces the sampled-timing validation figure: sampled vs
+// exact IPC per workload at valInsts (0 = 2M) with error and
+// CI-coverage columns, then a headline sampled sweep at headInsts
+// (0 = 50M) that detailed timing cannot reach. A disabled plan selects
+// the per-budget default. Validation simulations are memoized like
+// every other figure; headline runs are wall-timed and never cached.
+func (s *Suite) Sampling(valInsts, headInsts uint64, plan SamplingConfig) (string, error) {
+	f, err := s.r.Sampling(valInsts, headInsts, plan)
+	if err != nil {
+		return "", err
+	}
+	return f.Format(), nil
 }
 
 // ExperimentIDs lists every table/figure id reproduced by the "all"
@@ -572,3 +685,10 @@ func ExperimentIDs() []string {
 // policy x workload figure (IPC and trace-cache hit rate under every
 // registered policy, the Belady oracle as the upper-bound column).
 const PoliciesExperimentID = "policies"
+
+// SamplingExperimentID reproduces the sampled-timing validation figure
+// (sampled vs exact IPC with CI coverage, plus a long-budget headline
+// sweep). Like the policy lab it is this simulator's extension, not one
+// of the paper's figures, and runs on explicit request only so the
+// "all" sweep's output stays stable.
+const SamplingExperimentID = "sampling"

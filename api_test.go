@@ -127,3 +127,39 @@ func TestReproduceFigureIDs(t *testing.T) {
 		t.Error("unknown figure should fail")
 	}
 }
+
+// TestParseSamplingSpec covers the CLI sampling-plan grammar both
+// binaries share.
+func TestParseSamplingSpec(t *testing.T) {
+	auto := tcsim.DefaultSamplingFor(10_000_000)
+	cases := []struct {
+		spec string
+		want tcsim.SamplingConfig
+		ok   bool
+	}{
+		{"", tcsim.SamplingConfig{}, true},
+		{"off", tcsim.SamplingConfig{}, true},
+		{"auto", auto, true},
+		{"auto,seek", tcsim.SamplingConfig{Period: auto.Period, WindowLen: auto.WindowLen, Warmup: auto.Warmup, Seek: true}, true},
+		{"100000,10000,5000", tcsim.SamplingConfig{Period: 100_000, WindowLen: 10_000, Warmup: 5_000}, true},
+		{"100000,10000,5000,seek", tcsim.SamplingConfig{Period: 100_000, WindowLen: 10_000, Warmup: 5_000, Seek: true}, true},
+		{" 100000 , 10000 , 5000 ", tcsim.SamplingConfig{Period: 100_000, WindowLen: 10_000, Warmup: 5_000}, true},
+		{"100000,10000", tcsim.SamplingConfig{}, false},           // two numbers
+		{"1,2,3,4", tcsim.SamplingConfig{}, false},                // four numbers
+		{"auto,100000,10000,5000", tcsim.SamplingConfig{}, false}, // auto mixed with a triple
+		{"seek", tcsim.SamplingConfig{}, false},                   // seek without a plan
+		{"100000,bogus,5000", tcsim.SamplingConfig{}, false},      // not a number
+		{"10000,8000,4000", tcsim.SamplingConfig{}, false},        // period <= warmup+window
+		{"100000,0,5000", tcsim.SamplingConfig{}, false},          // zero window with enabled period
+	}
+	for _, tc := range cases {
+		got, err := tcsim.ParseSamplingSpec(tc.spec, 10_000_000)
+		if tc.ok != (err == nil) {
+			t.Errorf("ParseSamplingSpec(%q): err = %v, want ok=%v", tc.spec, err, tc.ok)
+			continue
+		}
+		if tc.ok && got != tc.want {
+			t.Errorf("ParseSamplingSpec(%q) = %+v, want %+v", tc.spec, got, tc.want)
+		}
+	}
+}

@@ -239,6 +239,58 @@ func BenchmarkReplayCycleLoop(b *testing.B) {
 	}
 }
 
+// BenchmarkFastForward measures the sampled-mode functional warm-up
+// path per workload: records streamed from a captured trace, caches and
+// predictors warmed, no cycle-accurate scheduling. sim-inst/s here over
+// the same metric from BenchmarkCycleLoop (or BenchmarkTable1Workloads)
+// is the fast-forward speedup; the acceptance floor is 20x. allocs/op
+// pins the hot path's zero-allocation invariant after the first warm
+// sweep (predictor tables grow once per static branch PC).
+func BenchmarkFastForward(b *testing.B) {
+	const budget = 1_000_000
+	const warmEnd, chunk = budget / 2, uint64(10_000)
+	for _, name := range tcsim.Workloads() {
+		b.Run(name, func(b *testing.B) {
+			w, _ := workload.ByName(name)
+			prog := w.Build()
+			tr, err := tracestore.Capture(name, prog, budget)
+			if err != nil {
+				b.Fatal(err)
+			}
+			warm := func() *pipeline.Simulator {
+				cfg := pipeline.DefaultConfig()
+				cfg.Oracle = tr.NewReplay()
+				cfg.Future = tr
+				sim, err := pipeline.New(cfg, prog)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := sim.FastForward(warmEnd); err != nil {
+					b.Fatal(err)
+				}
+				return sim
+			}
+			sim := warm()
+			pos := uint64(warmEnd)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if pos+chunk > budget {
+					b.StopTimer()
+					sim = warm()
+					pos = warmEnd
+					b.StartTimer()
+				}
+				pos += chunk
+				if err := sim.FastForward(pos); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)*float64(chunk)/b.Elapsed().Seconds(), "sim-inst/s")
+		})
+	}
+}
+
 // BenchmarkFillUnitOnly isolates the fill unit itself (no pipeline): how
 // fast segment construction plus all four optimization passes run over a
 // retired instruction stream.

@@ -64,6 +64,19 @@ type JobRequest struct {
 	TCPolicy string `json:"tc_policy,omitempty"`
 	ICPolicy string `json:"ic_policy,omitempty"`
 
+	// SamplePeriod enables SMARTS-style sampled timing (0 = exact
+	// simulation): detailed cycle-accurate windows of SampleWindow
+	// instructions every SamplePeriod retired instructions, each
+	// preceded by a discarded SampleWarmup prefix; the gaps advance by
+	// functional fast-forward, or by checkpoint seek with SampleSeek.
+	// The result carries the sampled-IPC estimate and its 95% CI in
+	// Result.Sampled. The sampling plan is part of the canonical cache
+	// key, so sampled and exact runs of one machine never collide.
+	SamplePeriod uint64 `json:"sample_period,omitempty"`
+	SampleWindow uint64 `json:"sample_window,omitempty"`
+	SampleWarmup uint64 `json:"sample_warmup,omitempty"`
+	SampleSeek   bool   `json:"sample_seek,omitempty"`
+
 	// TimeoutMS caps the job's wall time (0 = the server default; the
 	// server also enforces a maximum). Timeouts do not affect the cache
 	// key: the same machine config always hashes the same.
@@ -200,6 +213,22 @@ type Metrics struct {
 	// TraceStore reports the process-wide capture-once/replay-many trace
 	// store every simulation is served through.
 	TraceStore TraceStoreMetrics `json:"trace_store"`
+
+	// Sampling aggregates sampled-timing activity across executed jobs
+	// (all zero until a job sets sample_period).
+	Sampling SamplingMetrics `json:"sampling"`
+}
+
+// SamplingMetrics is the sampled-timing counter snapshot inside
+// Metrics: measured windows run, instructions skipped past detailed
+// timing (functionally fast-forwarded in warm mode, seeked past in
+// seek mode), and checkpoint usage.
+type SamplingMetrics struct {
+	Windows            uint64 `json:"windows_total"`
+	InstsFFwd          uint64 `json:"insts_ffwd_total"`
+	InstsSkipped       uint64 `json:"insts_skipped_total"`
+	Seeks              uint64 `json:"seeks_total"`
+	CheckpointRestores uint64 `json:"checkpoint_restores_total"`
 }
 
 // ReuseClassMetrics is one reuse-decanting class aggregate inside

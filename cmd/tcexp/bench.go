@@ -11,6 +11,9 @@ import (
 	"time"
 
 	"tcsim"
+	"tcsim/internal/pipeline"
+	"tcsim/internal/tracestore"
+	"tcsim/internal/workload"
 )
 
 // benchReport is the BENCH_sweep.json schema: per-workload simulation
@@ -44,6 +47,38 @@ type benchReport struct {
 
 	// TraceStore summarizes the run's capture-once/replay-many split.
 	TraceStore traceStoreBench `json:"trace_store"`
+
+	// Sampling is the sampled-timing provenance block: the plan the
+	// sampled columns ran under, the measured functional fast-forward
+	// rate, and sampled-vs-exact IPC per workload at the sweep budget.
+	Sampling samplingBench `json:"sampling"`
+}
+
+// samplingBench records the sweep's sampled-timing provenance so
+// sampled figures are never mistaken for exact ones (and vice versa).
+type samplingBench struct {
+	Period    uint64 `json:"period"`
+	WindowLen uint64 `json:"window_len"`
+	Warmup    uint64 `json:"warmup"`
+	// FFwdInstPerSec is the functional fast-forward rate measured in
+	// isolation (compress, 1M-inst captured trace, steady state) — the
+	// sampled mode's hot path, to compare against sim_inst_per_sec.
+	FFwdInstPerSec float64                 `json:"ffwd_inst_per_sec"`
+	Workloads      []samplingWorkloadBench `json:"workloads"`
+}
+
+// samplingWorkloadBench is one workload's sampled-vs-exact column pair:
+// the exact IPC comes from the sweep's cold run above, the sampled
+// estimate from a sampled run at the same budget.
+type samplingWorkloadBench struct {
+	Name       string  `json:"name"`
+	ExactIPC   float64 `json:"exact_ipc"`
+	SampledIPC float64 `json:"sampled_ipc"`
+	ErrPct     float64 `json:"err_pct"`
+	CILow      float64 `json:"ci_low"`
+	CIHigh     float64 `json:"ci_high"`
+	Windows    int     `json:"windows"`
+	WallSecs   float64 `json:"wall_secs"`
 }
 
 type workloadBench struct {
@@ -187,6 +222,30 @@ func runBench(stdout io.Writer, logger *slog.Logger, insts uint64, outPath strin
 		wb.ReplayInstPerSec = float64(rres.Retired) / rwall.Seconds()
 		wb.ReplayAllocsPerK = float64(ms1.Mallocs-ms0.Mallocs) / k
 
+		// Sampled column pair: the same machine and budget under the
+		// default sampling plan, against the exact run above.
+		scfg := cfg
+		scfg.Sampling = tcsim.DefaultSamplingFor(insts)
+		t0 = time.Now()
+		sres, err := tcsim.RunWorkload(scfg, name)
+		if err != nil {
+			return fmt.Errorf("bench %s (sampled): %w", name, err)
+		}
+		swall := time.Since(t0)
+		sb := samplingWorkloadBench{
+			Name:       name,
+			ExactIPC:   res.IPC,
+			SampledIPC: sres.IPC,
+			WallSecs:   swall.Seconds(),
+		}
+		if s := sres.Sampled; s != nil {
+			sb.CILow, sb.CIHigh, sb.Windows = s.CILow, s.CIHigh, s.Windows
+		}
+		if res.IPC > 0 {
+			sb.ErrPct = 100 * (sres.IPC - res.IPC) / res.IPC
+		}
+		rep.Sampling.Workloads = append(rep.Sampling.Workloads, sb)
+
 		rep.Workloads = append(rep.Workloads, wb)
 		logger.Info("workload done", "name", name, "wall", wall.Round(time.Millisecond),
 			"retired", res.Retired, "inst_per_sec", int64(wb.InstPerSec),
@@ -235,6 +294,15 @@ func runBench(stdout io.Writer, logger *slog.Logger, insts uint64, outPath strin
 		fmt.Fprintf(stdout, "bench %-10s %6.2fs  %d captures / %d replays\n",
 			id, fb.WallSecs, fb.Captures, fb.ReplayHits)
 	}
+	plan := tcsim.DefaultSamplingFor(insts)
+	rep.Sampling.Period, rep.Sampling.WindowLen, rep.Sampling.Warmup = plan.Period, plan.WindowLen, plan.Warmup
+	ffwd, err := measureFFwdRate()
+	if err != nil {
+		return fmt.Errorf("bench ffwd rate: %w", err)
+	}
+	rep.Sampling.FFwdInstPerSec = ffwd
+	fmt.Fprintf(stdout, "bench %-10s %9.0f inst/s (functional fast-forward)\n", "ffwd", ffwd)
+
 	rep.Simulations = suite.Simulations()
 	rep.TotalSecs = secs(time.Since(start))
 	final := tcsim.TraceStats()
@@ -259,6 +327,38 @@ func runBench(stdout io.Writer, logger *slog.Logger, insts uint64, outPath strin
 		rep.GeomeanIPS, len(rep.Workloads), rep.Simulations,
 		rep.TraceStore.Captures, rep.TraceStore.CaptureWallSecs, rep.TraceStore.ReplayHits, outPath)
 	return nil
+}
+
+// measureFFwdRate times the functional fast-forward hot path in
+// isolation: compress over a freshly captured 1M-instruction trace,
+// first half as warm-up (predictor tables grow once per static branch
+// PC), second half measured steady-state.
+func measureFFwdRate() (float64, error) {
+	const budget = 1_000_000
+	w, ok := workload.ByName("compress")
+	if !ok {
+		return 0, fmt.Errorf("workload compress not registered")
+	}
+	prog := w.Build()
+	tr, err := tracestore.Capture("compress", prog, budget)
+	if err != nil {
+		return 0, err
+	}
+	cfg := pipeline.DefaultConfig()
+	cfg.Oracle = tr.NewReplay()
+	cfg.Future = tr
+	sim, err := pipeline.New(cfg, prog)
+	if err != nil {
+		return 0, err
+	}
+	if err := sim.FastForward(budget / 2); err != nil {
+		return 0, err
+	}
+	t0 := time.Now()
+	if err := sim.FastForward(budget); err != nil {
+		return 0, err
+	}
+	return float64(budget/2) / time.Since(t0).Seconds(), nil
 }
 
 // traceSource classifies a run that just finished against the trace

@@ -39,8 +39,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tcexp", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp      = fs.String("exp", "all", "experiment id: "+strings.Join(tcsim.ExperimentIDs(), ", ")+", '"+tcsim.PoliciesExperimentID+"', 'all', or 'bench'")
-		insts    = fs.Uint64("insts", 200_000, "retired-instruction budget per simulation (0 = workload defaults)")
+		exp      = fs.String("exp", "all", "experiment id: "+strings.Join(tcsim.ExperimentIDs(), ", ")+", '"+tcsim.PoliciesExperimentID+"', '"+tcsim.SamplingExperimentID+"', 'all', or 'bench'")
+		insts    = fs.Uint64("insts", 200_000, "retired-instruction budget per simulation (0 = workload defaults); for -exp sampling this sets the validation budget (default 2M)")
+		budget   = fs.Uint64("budget", 0, "headline instruction budget for the -exp sampling sweep (0 = 50M); sampled timing makes it near-free")
+		sample   = fs.String("sample", "", "sampling plan for -exp sampling: 'period,window,warmup' (default: the per-budget auto plan)")
 		benchOut = fs.String("bench-out", "BENCH_sweep.json", "output path for -exp bench")
 		passes   = fs.String("passes", "", "pass pipeline for the -exp bench sweep (default: the paper's combined configuration); figures always use their defined variants")
 		tcPolicy = fs.String("tc-policy", "", "trace-cache replacement policy for the -exp bench sweep (default "+tcsim.DefaultPolicy()+"; see -list-policies); the policies figure always sweeps all of them")
@@ -108,6 +110,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return usagef("-tc-policy/-ic-policy only apply to -exp bench; the %q figure sweeps every registered policy", tcsim.PoliciesExperimentID)
 	}
 
+	var plan tcsim.SamplingConfig
+	if (*budget != 0 || *sample != "") && *exp != tcsim.SamplingExperimentID {
+		return usagef("-budget/-sample only apply to -exp %s", tcsim.SamplingExperimentID)
+	}
+	if *sample != "" && *sample != "auto" {
+		var perr error
+		if plan, perr = tcsim.ParseSamplingSpec(*sample, *budget); perr != nil {
+			return usagef("%v", perr)
+		}
+		if plan.Seek {
+			return usagef("-sample seek applies to tcsim runs; the sampling figure picks its oracle sources itself")
+		}
+	}
+	// For -exp sampling the -insts default (200k) is too small to
+	// validate against; only an explicit -insts overrides the figure's
+	// 2M default.
+	valInsts := uint64(0)
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "insts" {
+			valInsts = *insts
+		}
+	})
+
 	stop, err := prof.Start(*cpuProf, *memProf, *trc)
 	if err != nil {
 		fmt.Fprintf(stderr, "tcexp: %v\n", err)
@@ -122,9 +147,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	logger := slog.New(slog.NewTextHandler(logDst, nil))
 
-	if *exp == "bench" {
+	switch *exp {
+	case "bench":
 		err = runBench(stdout, logger, *insts, *benchOut, spec, *tcPolicy, *icPolicy)
-	} else {
+	case tcsim.SamplingExperimentID:
+		err = runSampling(stdout, logger, valInsts, *budget, plan)
+	default:
 		err = runFigures(stdout, logger, *exp, *insts)
 	}
 	if perr := stop(); err == nil {
@@ -141,7 +169,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 // The policy lab is valid standalone but not part of "all" (it is this
 // simulator's extension, not a paper figure).
 func validExperiment(id string) bool {
-	if id == "all" || id == "bench" || id == tcsim.PoliciesExperimentID {
+	if id == "all" || id == "bench" || id == tcsim.PoliciesExperimentID || id == tcsim.SamplingExperimentID {
 		return true
 	}
 	for _, known := range tcsim.ExperimentIDs() {
@@ -174,6 +202,25 @@ func runFigures(stdout io.Writer, logger *slog.Logger, exp string, insts uint64)
 	}
 	logger.Info("suite done", "wall", time.Since(t00).Round(time.Millisecond),
 		"simulations", suite.Simulations())
+	return nil
+}
+
+// runSampling reproduces the sampled-timing validation figure:
+// sampled vs exact IPC at the validation budget (0 = 2M), then the
+// headline sampled sweep at the -budget budget (0 = 50M).
+func runSampling(stdout io.Writer, logger *slog.Logger, valInsts, budget uint64, plan tcsim.SamplingConfig) error {
+	suite := tcsim.NewSuite(0)
+	logger.Info("figure start", "id", tcsim.SamplingExperimentID,
+		"validate_insts", valInsts, "headline_insts", budget)
+	t0 := time.Now()
+	out, err := suite.Sampling(valInsts, budget, plan)
+	if err != nil {
+		logger.Error("figure failed", "id", tcsim.SamplingExperimentID, "error", err.Error())
+		return err
+	}
+	logger.Info("figure done", "id", tcsim.SamplingExperimentID,
+		"wall", time.Since(t0).Round(time.Millisecond), "simulations", suite.Simulations())
+	fmt.Fprintln(stdout, out)
 	return nil
 }
 

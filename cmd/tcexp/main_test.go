@@ -19,6 +19,11 @@ func TestBadFlagsExitNonZero(t *testing.T) {
 		{"unknown pass", []string{"-exp", "bench", "-passes", "bogus"}, "unknown pass"},
 		{"passes on figures", []string{"-exp", "fig3", "-passes", "moves"}, "only applies to -exp bench"},
 		{"unknown flag", []string{"-definitely-not-a-flag"}, "flag provided but not defined"},
+		{"budget without sampling", []string{"-exp", "bench", "-budget", "1000000"}, "only apply to -exp sampling"},
+		{"sample without sampling", []string{"-exp", "fig3", "-sample", "auto"}, "only apply to -exp sampling"},
+		{"malformed sample plan", []string{"-exp", "sampling", "-sample", "50000,oops,5000"}, "period,window,warmup"},
+		{"short sample plan", []string{"-exp", "sampling", "-sample", "50000,5000"}, "period,window,warmup"},
+		{"seek sample plan", []string{"-exp", "sampling", "-sample", "50000,5000,5000,seek"}, "oracle sources"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -235,6 +235,13 @@ func runSelfcheck(stdout, stderr io.Writer, scfg server.Config, jobs int, insts 
 	// IDs must round-trip through both raw HTTP and the client.
 	checkObservability(ctx, cl, met, &fails)
 
+	// Sampled-timing phase: warm-mode and seek-mode sampled jobs must be
+	// bit-for-bit a direct run's, and the sampling counters must surface
+	// in both metrics views. Runs after the observability phase because
+	// its seek job uses a fresh (workload, budget) pair, which would
+	// break that phase's exact capture-count assertion.
+	samp := checkSampling(ctx, cl, insts, &fails)
+
 	if err := shutdown(ctx); err != nil {
 		fails.failf("graceful shutdown: %v", err)
 	}
@@ -289,12 +296,112 @@ func runSelfcheck(stdout, stderr io.Writer, scfg server.Config, jobs int, insts 
 		"tcserved selfcheck ok: %d jobs (%d unique) bit-for-bit identical to direct runs; "+
 			"cache hits %d, misses %d, dedup joins %d; sweep %d cells (%d simulated); "+
 			"trace store %d captures / %d replays; "+
+			"sampling %d windows, %d insts fast-forwarded, %d checkpoint restores; "+
 			"%d/6 saturation submissions rejected with 429; %.1fs\n",
 		jobs, len(unique), met.CacheHits, met.CacheMisses, met.DedupJoins,
 		sweep.Cells, sweep.Simulations,
 		met.TraceStore.Captures, met.TraceStore.ReplayHits,
+		samp.Windows, samp.InstsFFwd, samp.CheckpointRestores,
 		rejected, time.Since(t0).Seconds())
 	return 0
+}
+
+// checkSampling is the sampled-timing phase: a warm-mode sampled job at
+// the shared budget (fast-forward through the gaps) and a seek-mode job
+// above tracestore.FullCaptureLimit (checkpoint-log oracle, so seeks
+// must restore capture-time checkpoints instead of re-emulating the
+// whole gap). Both must match a direct run of the resolved config
+// bit-for-bit, and the aggregated sampling counters must agree between
+// /metrics.json and the Prometheus exposition. Returns the final
+// sampling aggregates for the summary line (zero-valued on failure).
+func checkSampling(ctx context.Context, cl *client.Client, insts uint64, fails *checkFailure) client.SamplingMetrics {
+	warm := client.JobRequest{Workload: "m88ksim", Insts: insts,
+		SamplePeriod: insts / 4, SampleWindow: insts / 20, SampleWarmup: insts / 20}
+	// The seek job's budget must exceed the full-capture limit so the
+	// daemon serves it from a checkpoint log; its sparse plan keeps the
+	// detailed portion tiny while every seek crosses checkpoints.
+	seek := client.JobRequest{Workload: "m88ksim", Insts: 5_000_000,
+		SamplePeriod: 1_000_000, SampleWindow: 5_000, SampleWarmup: 5_000, SampleSeek: true}
+
+	for _, req := range []client.JobRequest{warm, seek} {
+		req := req
+		dcfg, key, err := server.ResolveConfig(&req, server.Limits{})
+		if err != nil {
+			fails.failf("sampling phase: resolve (seek=%v): %v", req.SampleSeek, err)
+			return client.SamplingMetrics{}
+		}
+		expected, err := tcsim.RunWorkload(dcfg, req.Workload)
+		if err != nil {
+			fails.failf("sampling phase: direct run (seek=%v): %v", req.SampleSeek, err)
+			return client.SamplingMetrics{}
+		}
+		if expected.Sampled == nil || expected.Sampled.Windows == 0 {
+			fails.failf("sampling phase: direct run (seek=%v) produced no sampled windows", req.SampleSeek)
+			return client.SamplingMetrics{}
+		}
+		if req.SampleSeek && expected.Sampled.CheckpointRestores == 0 {
+			fails.failf("sampling phase: seek-mode run above the full-capture limit restored no checkpoints: %+v",
+				expected.Sampled)
+		}
+		job, err := cl.SubmitJob(ctx, &req)
+		if err != nil {
+			fails.failf("sampling phase: submit (seek=%v): %v", req.SampleSeek, err)
+			return client.SamplingMetrics{}
+		}
+		if job.Key != key {
+			fails.failf("sampling phase: server key %s != client-computed key %s", job.Key, key)
+		}
+		if job.Result == nil || !reflect.DeepEqual(*job.Result, expected) {
+			fails.failf("sampling phase (seek=%v, key %s): served sampled result differs from direct run",
+				req.SampleSeek, key)
+		}
+	}
+
+	met, err := cl.Metrics(ctx)
+	if err != nil {
+		fails.failf("sampling phase: metrics: %v", err)
+		return client.SamplingMetrics{}
+	}
+	s := met.Sampling
+	if s.Windows == 0 || s.InstsFFwd == 0 || s.InstsSkipped == 0 || s.Seeks == 0 || s.CheckpointRestores == 0 {
+		fails.failf("sampling aggregates incomplete after warm+seek jobs: %+v", s)
+	}
+
+	// The exposition must carry the same counters.
+	resp, err := http.Get(cl.Base() + "/metrics")
+	if err != nil {
+		fails.failf("sampling phase: GET /metrics: %v", err)
+		return s
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		fails.failf("sampling phase: read /metrics: %v", err)
+		return s
+	}
+	samples, err := obs.ParseExposition(body)
+	if err != nil {
+		fails.failf("sampling phase: parse /metrics: %v", err)
+		return s
+	}
+	for _, c := range []struct {
+		sample string
+		want   float64
+	}{
+		{"tcserved_sampling_windows_total", float64(s.Windows)},
+		{`tcserved_sampling_insts_total{mode="ffwd"}`, float64(s.InstsFFwd)},
+		{`tcserved_sampling_insts_total{mode="skipped"}`, float64(s.InstsSkipped)},
+		{"tcserved_sampling_seeks_total", float64(s.Seeks)},
+		{"tcserved_sampling_checkpoint_restores_total", float64(s.CheckpointRestores)},
+	} {
+		got, ok := samples[c.sample]
+		if !ok {
+			fails.failf("/metrics is missing sample %s", c.sample)
+		} else if got != c.want {
+			fails.failf("/metrics %s = %v, but /metrics.json reports %v", c.sample, got, c.want)
+		}
+	}
+	return s
 }
 
 // checkPolicies is the replacement-policy phase: GET /v1/policies must

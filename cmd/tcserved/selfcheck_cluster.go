@@ -367,6 +367,33 @@ func runClusterSelfcheck(stdout, stderr io.Writer, scfg server.Config, jobs int,
 		fails.failf("invalid workload via gateway = %v, want 400 invalid_argument", err)
 	}
 
+	// Sampled job through the gateway: the sampling plan is part of the
+	// canonical key, so the gateway must route it like any job and the
+	// estimate must come back bit-for-bit a direct run's. Warm-mode only:
+	// a seek job above the full-capture limit would emulate a fresh
+	// checkpoint log on its owner and break the capture-once accounting
+	// below. The direct reference replays the process-global store, never
+	// touching any node's counters.
+	sreq := client.JobRequest{Workload: selfcheckWorkloads[0], Insts: insts,
+		SamplePeriod: insts / 4, SampleWindow: insts / 20, SampleWarmup: insts / 20}
+	if sdcfg, skey, err := server.ResolveConfig(&sreq, server.Limits{}); err != nil {
+		fails.failf("cluster sampled job: resolve: %v", err)
+	} else if sexp, err := tcsim.RunWorkload(sdcfg, sreq.Workload); err != nil {
+		fails.failf("cluster sampled job: direct run: %v", err)
+	} else if job, err := gcl.SubmitJob(ctx, &sreq); err != nil {
+		fails.failf("cluster sampled job: submit: %v", err)
+	} else {
+		if job.Key != skey {
+			fails.failf("cluster sampled job: gateway key %s != client key %s", job.Key, skey)
+		}
+		if job.Result == nil || !reflect.DeepEqual(*job.Result, sexp) {
+			fails.failf("cluster sampled job (key %s): gateway result differs from direct run", skey)
+		}
+		if job.Result != nil && (job.Result.Sampled == nil || job.Result.Sampled.Windows == 0) {
+			fails.failf("cluster sampled job: result carries no sampled windows")
+		}
+	}
+
 	// Trace CDN probes through the gateway.
 	checkClusterCDN(ctx, gwURL, insts, &fails)
 

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	tcsim -workload m88ksim -insts 300000 -opt all
+//	tcsim -workload gcc -budget 50000000 -sample auto
 //	tcsim -asm prog.s -opt moves,place
 //	tcsim -workload gcc -passes reassoc,moves,scadd,place -time-passes
 //	tcsim -list
@@ -35,6 +36,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		wl       = fs.String("workload", "", "bundled benchmark to run (see -list)")
 		asmFile  = fs.String("asm", "", "TCR assembly file to assemble and run")
 		insts    = fs.Uint64("insts", 0, "retired-instruction budget (0 = workload default / run to halt)")
+		budget   = fs.Uint64("budget", 0, "retired-instruction budget for long runs (same as -insts; pair with -sample to keep wall time flat)")
+		sample   = fs.String("sample", "", "sampled timing plan: 'auto', or 'period,window,warmup', optionally with ',seek' to skip gaps via checkpoint seek (needs -workload); default off = exact simulation")
 		opts     = fs.String("opt", "", "fill-unit optimizations: comma list of moves,reassoc,scadd,place, or 'all'")
 		passes   = fs.String("passes", "", "explicit pass pipeline, ordered (e.g. reassoc,moves,scadd,place); overrides -opt; see -list-passes")
 		listPass = fs.Bool("list-passes", false, "list registered optimization passes and exit")
@@ -89,6 +92,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	cfg := tcsim.DefaultConfig()
 	cfg.MaxInsts = *insts
+	if *budget != 0 {
+		if *insts != 0 && *insts != *budget {
+			return usagef("pass either -insts or -budget, not both")
+		}
+		cfg.MaxInsts = *budget
+	}
+	if *sample != "" {
+		plan, err := tcsim.ParseSamplingSpec(*sample, cfg.MaxInsts)
+		if err != nil {
+			return usagef("%v", err)
+		}
+		if plan.Seek && *asmFile != "" {
+			return usagef("-sample seek needs -workload: checkpoint seek runs over a captured trace, not live -asm emulation")
+		}
+		cfg.Sampling = plan
+	}
 	cfg.FillLatency = *fillLat
 	cfg.UseTraceCache = !*noTC
 	cfg.TracePacking = !*noPack
@@ -190,6 +209,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	fmt.Fprintf(stdout, "IPC                 %.4f\n", res.IPC)
+	if s := res.Sampled; s != nil {
+		fmt.Fprintf(stdout, "sampled 95%% CI      [%.4f, %.4f] over %d windows\n", s.CILow, s.CIHigh, s.Windows)
+		fmt.Fprintf(stdout, "sampled insts       %d detailed  %d warmup  %d ffwd  %d seek-skipped\n",
+			s.InstsDetailed, s.InstsWarmup, s.InstsFFwd, s.InstsSkipped)
+		if s.Seeks > 0 {
+			fmt.Fprintf(stdout, "checkpoint seeks    %d (%d restores)\n", s.Seeks, s.CheckpointRestores)
+		}
+	}
 	fmt.Fprintf(stdout, "cycles              %d\n", res.Cycles)
 	fmt.Fprintf(stdout, "retired             %d\n", res.Retired)
 	fmt.Fprintf(stdout, "trace cache hit     %.2f%%\n", 100*res.TraceCacheHitRate)

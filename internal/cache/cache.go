@@ -149,6 +149,30 @@ func (c *Cache) Access(addr uint32, isStore bool) bool {
 	return false
 }
 
+// Warm performs a demand access for state only: tags, dirty bits, and
+// replacement recency move exactly as in Access, but the hit/miss
+// counters stay untouched. Fast-forward warming between sampled timing
+// windows uses it so the detailed windows measure their own hit rates
+// over honestly warmed content, unpolluted by millions of functional
+// accesses.
+func (c *Cache) Warm(addr uint32, isStore bool) bool {
+	set, s, tag, key := c.set(addr)
+	if w := findWay(set, tag); w >= 0 {
+		if isStore {
+			set[w].dirty = true
+		}
+		c.pol.Touch(s, w, key)
+		return true
+	}
+	victim := replace.FindVictim(c.pol, s, c.ways, key,
+		func(w int) bool { return !set[w].valid }, nil)
+	if victim != replace.Bypass {
+		set[victim] = line{tag: tag, valid: true, dirty: isStore}
+		c.pol.Insert(s, victim, key)
+	}
+	return false
+}
+
 // Probe reports whether addr currently hits without updating any
 // replacement state (the policy's Probe hook is required to be a
 // non-mutating observation).

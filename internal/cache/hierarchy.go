@@ -108,6 +108,22 @@ func (h *Hierarchy) DataAccess(addr uint32, isStore bool) int {
 	return h.P.L1DLatency + h.P.MemLatency
 }
 
+// WarmInst is InstFetch for state only: the same lines move through
+// the same levels, but no hit/miss counters advance and no latency is
+// modeled. Fast-forward warming between sampled windows uses it.
+func (h *Hierarchy) WarmInst(addr uint32) {
+	if !h.L1I.Warm(addr, false) {
+		h.L2.Warm(addr, false)
+	}
+}
+
+// WarmData is DataAccess for state only (see WarmInst).
+func (h *Hierarchy) WarmData(addr uint32, isStore bool) {
+	if !h.L1D.Warm(addr, isStore) {
+		h.L2.Warm(addr, false)
+	}
+}
+
 // Reset clears all levels and statistics.
 func (h *Hierarchy) Reset() {
 	h.L1I.Reset()

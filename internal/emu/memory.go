@@ -6,7 +6,10 @@
 // carrying speculative data values.
 package emu
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"sort"
+)
 
 const (
 	pageShift = 12
@@ -25,6 +28,7 @@ type Memory struct {
 	pages    map[uint32]*[pageSize]byte
 	lastPN   uint32
 	lastPage *[pageSize]byte
+	dirty    map[uint32]struct{} // nil unless TrackDirty enabled
 }
 
 // NewMemory returns an empty address space.
@@ -34,6 +38,9 @@ func NewMemory() *Memory {
 
 func (m *Memory) page(addr uint32, alloc bool) *[pageSize]byte {
 	pn := addr >> pageShift
+	if alloc && m.dirty != nil {
+		m.dirty[pn] = struct{}{}
+	}
 	if p := m.lastPage; p != nil && pn == m.lastPN {
 		return p
 	}
@@ -113,3 +120,61 @@ func (m *Memory) WriteBytes(addr uint32, b []byte) {
 
 // MappedPages reports how many pages have been allocated (test hook).
 func (m *Memory) MappedPages() int { return len(m.pages) }
+
+// PageBytes is the size of one memory page; checkpoint page deltas are
+// recorded at this granularity.
+const PageBytes = pageSize
+
+// TrackDirty starts recording which pages are written. Capture enables
+// it after the program image is loaded so checkpoints carry only the
+// pages mutated since the previous snapshot, not the whole image.
+func (m *Memory) TrackDirty() {
+	if m.dirty == nil {
+		m.dirty = make(map[uint32]struct{})
+	}
+}
+
+// TakeDirty appends the page numbers written since the last call (sorted,
+// for deterministic encoding) to dst and clears the set. It returns dst
+// unchanged when tracking is off or nothing was written.
+func (m *Memory) TakeDirty(dst []uint32) []uint32 {
+	if len(m.dirty) == 0 {
+		return dst
+	}
+	start := len(dst)
+	for pn := range m.dirty {
+		dst = append(dst, pn)
+		delete(m.dirty, pn)
+	}
+	tail := dst[start:]
+	sort.Slice(tail, func(i, j int) bool { return tail[i] < tail[j] })
+	return dst
+}
+
+// ReadPage copies page pn into dst (which must hold PageBytes) and
+// reports whether the page is mapped; an unmapped page zero-fills dst.
+func (m *Memory) ReadPage(pn uint32, dst []byte) bool {
+	p := m.pages[pn]
+	if p == nil {
+		for i := range dst[:PageBytes] {
+			dst[i] = 0
+		}
+		return false
+	}
+	copy(dst, p[:])
+	return true
+}
+
+// WritePage replaces page pn with the contents of src (PageBytes long).
+// Checkpoint restore uses it to apply recorded page deltas.
+func (m *Memory) WritePage(pn uint32, src []byte) {
+	p := m.pages[pn]
+	if p == nil {
+		p = new([pageSize]byte)
+		m.pages[pn] = p
+	}
+	copy(p[:], src[:pageSize])
+	if m.dirty != nil {
+		m.dirty[pn] = struct{}{}
+	}
+}

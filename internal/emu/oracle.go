@@ -29,6 +29,18 @@ type Source interface {
 	Output() []byte
 }
 
+// Seeker is the optional fast-path a Source may offer for sampled
+// simulation: Seek(seq) positions the stream so the next At(seq) is
+// served without replaying or re-emulating every instruction in
+// between. Records below seq are considered architecturally executed
+// (their OUT bytes appear in Output) but are never observed by the
+// pipeline. The live Oracle deliberately does not implement Seeker —
+// it has no checkpoints to restore from — so seek-mode sampling over a
+// live source is a configuration error, not a silent slow path.
+type Seeker interface {
+	Seek(seq uint64)
+}
+
 // Oracle serves the correct-path dynamic instruction stream to the
 // timing simulator by random access over a sliding window. The window
 // grows forward on demand (At steps the underlying machine lazily) and is
@@ -47,9 +59,11 @@ type Oracle struct {
 	stepErr error
 }
 
-// NewOracle wraps a freshly constructed machine.
+// NewOracle wraps a machine. The window base starts at the machine's
+// current step count, so a machine restored from a checkpoint serves
+// records numbered by absolute dynamic sequence.
 func NewOracle(m *Machine) *Oracle {
-	return &Oracle{m: m}
+	return &Oracle{m: m, base: m.Steps}
 }
 
 // NewOracleSized wraps a machine with the ring pre-sized to hold at
@@ -57,7 +71,7 @@ func NewOracle(m *Machine) *Oracle {
 // whose maximum in-flight lead is known never pays the
 // start-small-and-double growth copies on its oracle.
 func NewOracleSized(m *Machine, window int) *Oracle {
-	o := &Oracle{m: m}
+	o := &Oracle{m: m, base: m.Steps}
 	if window > 0 {
 		size := 1
 		for size < window {
@@ -131,6 +145,32 @@ func (o *Oracle) Release(upTo uint64) {
 	o.head = (o.head + int(n)) & (len(o.buf) - 1)
 	o.n -= int(n)
 	o.base = upTo
+}
+
+// SkipTo advances the window base to seq, running the underlying
+// machine forward without buffering the skipped records. Targets at or
+// below the buffered frontier just release; past it, the ring is
+// dropped and the machine steps (architecturally, without record
+// retention) until it reaches seq, halts, or faults. Used by seekable
+// sources after a checkpoint restore leaves the machine short of the
+// exact seek target.
+func (o *Oracle) SkipTo(seq uint64) {
+	if seq <= o.base+uint64(o.n) {
+		o.Release(seq)
+		return
+	}
+	o.head, o.n = 0, 0
+	for o.m.Steps < seq && !o.done {
+		if _, err := o.m.Step(); err != nil {
+			o.stepErr = err
+			o.done = true
+			break
+		}
+		if o.m.Halted {
+			o.done = true
+		}
+	}
+	o.base = o.m.Steps
 }
 
 // WindowLen reports the number of buffered records (test hook).

@@ -242,7 +242,19 @@ func (r *Runner) simulate(ctx context.Context, w workload.Workload, v ConfigVari
 	}
 	var prog *asm.Program
 	phase := "live"
-	if cfg.MaxInsts > 0 {
+	switch {
+	case cfg.MaxInsts > tracestore.FullCaptureLimit:
+		// Too large for a full per-instruction trace. Seek-mode sampling
+		// runs over a checkpoint log (registers + page deltas, seekable);
+		// anything else emulates live.
+		if cfg.Sampling.Enabled() && cfg.Sampling.Seek {
+			if ent, outcome, err := store.GetCheckpointLog(ctx, w.Name, cfg.MaxInsts); err == nil {
+				prog = ent.Prog
+				cfg.Oracle = tracestore.NewCkptSource(ent.Prog, ent.Trace, pipeline.MaxOracleLead(cfg))
+				phase = outcome.String()
+			}
+		}
+	case cfg.MaxInsts > 0:
 		if ent, outcome, err := store.GetCtx(ctx, w.Name, cfg.MaxInsts); err == nil {
 			prog = ent.Prog
 			cfg.Oracle = ent.Trace.NewReplay()

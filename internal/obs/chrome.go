@@ -127,6 +127,21 @@ func (t *Timeline) chromeEvents() []chromeEvent {
 				Name: "trace-capture", Ph: "i", Ts: e.Cycle, Pid: 1, Tid: tidFetch, S: "g",
 				Args: map[string]any{"records": e.A, "budget": e.B},
 			})
+		case KWindow:
+			evs = append(evs, chromeEvent{
+				Name: "sample-window", Ph: "i", Ts: e.Cycle, Pid: 1, Tid: tidRetire, S: "g",
+				Args: map[string]any{"window": e.A, "sample_phase": e.B, "retired": e.C},
+			})
+		case KSeek:
+			evs = append(evs, chromeEvent{
+				Name: "ckpt-seek", Ph: "i", Ts: e.Cycle, Pid: 1, Tid: tidFetch, S: "g",
+				Args: map[string]any{"target_seq": e.A, "skipped": e.B},
+			})
+		case KFFwd:
+			evs = append(evs, chromeEvent{
+				Name: "ffwd", Ph: "i", Ts: e.Cycle, Pid: 1, Tid: tidFetch, S: "g",
+				Args: map[string]any{"insts": e.A, "to_seq": e.B},
+			})
 		}
 	}
 	return evs

@@ -54,6 +54,18 @@ const (
 	// Appended after KCapture so earlier kinds keep their serialized
 	// values.
 	KReuse
+	// KWindow: a sampled run crossed a window boundary. A = window
+	// index, B = phase (0 warm-up start, 1 measurement start, 2
+	// measurement end), C = retired-instruction position. Appended after
+	// KReuse (serialized values are frozen).
+	KWindow
+	// KSeek: a sampled run seeked the oracle past a fast-forward gap.
+	// A = target dynamic sequence, B = instructions skipped.
+	KSeek
+	// KFFwd: a sampled run fast-forwarded functionally (caches and
+	// predictors warmed, no timing). A = instructions warmed, B = the
+	// dynamic sequence reached.
+	KFFwd
 )
 
 // String names the kind for trace output.
@@ -77,6 +89,12 @@ func (k Kind) String() string {
 		return "reuse"
 	case KCapture:
 		return "capture"
+	case KWindow:
+		return "window"
+	case KSeek:
+		return "seek"
+	case KFFwd:
+		return "ffwd"
 	}
 	return "unknown"
 }

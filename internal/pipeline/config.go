@@ -76,6 +76,14 @@ type Config struct {
 	// L1I; New rejects the configuration otherwise.
 	Future FutureIndex
 
+	// Sampling, when enabled (Period > 0), runs SMARTS-style sampled
+	// timing: detailed cycle-accurate windows at each period boundary
+	// (warm-up first, discarded), functional fast-forward (or a
+	// checkpoint seek) in between, and a sampled-IPC estimate with a
+	// 95% confidence interval in Stats.Sampled. Zero value = exact
+	// simulation, bit-for-bit identical to builds without this field.
+	Sampling SamplingConfig
+
 	// Recorder, when non-nil, receives cycle-level timeline events:
 	// fetch source (trace-cache hit / instruction-cache fetch / miss),
 	// issue and retirement occupancy, and — forwarded to the fill unit —
@@ -238,6 +246,11 @@ type Stats struct {
 	// Passes holds the fill unit's per-pass counters in pipeline run
 	// order (empty on the baseline, which runs no passes).
 	Passes []core.PassStats
+
+	// Sampled holds the sampled-timing estimate when Config.Sampling was
+	// enabled; nil on exact runs so their Stats stay bit-for-bit
+	// unchanged.
+	Sampled *SampledStats
 }
 
 // BypassDelayRate returns the Figure 7 metric.

@@ -42,7 +42,7 @@ func (g *fetchGroup) reset() {
 // fetchCycle runs the fetch stage: trace cache first, instruction cache
 // path on a miss.
 func (s *Simulator) fetchCycle(c uint64) {
-	if s.fetchBuf != nil || s.serializeWait || c < s.fetchStallUntil {
+	if s.fetchBuf != nil || s.serializeWait || s.fetchHold || c < s.fetchStallUntil {
 		return
 	}
 	pc := s.fetchPC

@@ -53,6 +53,17 @@ type Simulator struct {
 	done            bool
 	lastRetire      uint64
 
+	// Sampled-timing state (internal/pipeline/sampled.go). fetchHold
+	// stalls the fetch stage while a measured window drains before a
+	// functional gap; the rest accumulates into Stats.Sampled.
+	fetchHold     bool
+	sampWindowCPI []float64
+	sampWarmup    uint64
+	sampDetailed  uint64
+	sampFFwd      uint64
+	sampSkipped   uint64
+	sampSeeks     uint64
+
 	slotScratch      []int       // tryIssue FU-slot list
 	activatedScratch []*exec.UOp // recover's activated-suffix list
 
@@ -67,6 +78,9 @@ type Simulator struct {
 // New builds a simulator for the program under the given configuration.
 func New(cfg Config, prog *asm.Program) (*Simulator, error) {
 	cfg = cfg.normalize()
+	if err := cfg.Sampling.Validate(); err != nil {
+		return nil, err
+	}
 	// The pipeline always runs the fill unit in fetch-aligned mode:
 	// segments start at addresses the fetch engine actually missed on,
 	// otherwise segment starts phase-lock to retirement counts and the
@@ -122,6 +136,11 @@ func New(cfg Config, prog *asm.Program) (*Simulator, error) {
 	if err := s.bindOraclePolicies(); err != nil {
 		return nil, err
 	}
+	if cfg.Sampling.Enabled() && cfg.Sampling.Seek {
+		if _, ok := s.oracle.(emu.Seeker); !ok {
+			return nil, fmt.Errorf("pipeline: seek-mode sampling needs a seekable oracle (a captured trace or checkpoint log); live emulation cannot seek")
+		}
+	}
 	return s, nil
 }
 
@@ -151,25 +170,41 @@ func (s *Simulator) bindOraclePolicies() error {
 // Run simulates until the program halts (or the retirement bound is
 // reached) and returns the statistics.
 func (s *Simulator) Run() (Stats, error) {
-	cancelled := s.cfg.Cancelled
-	for !s.done {
-		c := s.cycle
-		if c >= s.cfg.MaxCycles {
-			return s.stats, fmt.Errorf("pipeline: exceeded %d cycles without halting", s.cfg.MaxCycles)
-		}
-		if c-s.lastRetire > 500000 {
-			return s.stats, fmt.Errorf("pipeline: no retirement for 500000 cycles at cycle %d (deadlock)", c)
-		}
-		if cancelled != nil && c&4095 == 0 && cancelled() {
-			return s.stats, ErrCanceled
-		}
-		s.Step()
+	if s.cfg.Sampling.Enabled() {
+		return s.runSampled()
+	}
+	if err := s.runDetailedUntil(^uint64(0)); err != nil {
+		return s.stats, err
 	}
 	if err := s.oracle.Err(); err != nil {
 		return s.stats, err
 	}
 	s.finalizeStats()
 	return s.stats, nil
+}
+
+// runDetailedUntil runs the cycle-accurate loop until the program halts
+// or the retired-instruction count reaches target. Exact runs pass
+// ^uint64(0), which Retired can never reach, so the loop is exactly the
+// historical Run body; sampled runs pass window boundaries. Retirement
+// is up to RetireWidth per cycle, so the stop position may overshoot
+// target by at most RetireWidth-1 instructions.
+func (s *Simulator) runDetailedUntil(target uint64) error {
+	cancelled := s.cfg.Cancelled
+	for !s.done && s.stats.Retired < target {
+		c := s.cycle
+		if c >= s.cfg.MaxCycles {
+			return fmt.Errorf("pipeline: exceeded %d cycles without halting", s.cfg.MaxCycles)
+		}
+		if c-s.lastRetire > 500000 {
+			return fmt.Errorf("pipeline: no retirement for 500000 cycles at cycle %d (deadlock)", c)
+		}
+		if cancelled != nil && c&4095 == 0 && cancelled() {
+			return ErrCanceled
+		}
+		s.Step()
+	}
+	return nil
 }
 
 // Step advances the machine exactly one cycle. Run loops over Step;

@@ -1,0 +1,95 @@
+package sample
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", what, got, want, tol)
+	}
+}
+
+// TestEstimateKnownDistribution checks the full pipeline against a
+// hand-computed case: means {1, 2, 3, 4, 5} have mean 3, sample stddev
+// sqrt(2.5), and with t(4)=2.776 the 95% half-width is
+// 2.776*sqrt(2.5)/sqrt(5) = 1.9629...
+func TestEstimateKnownDistribution(t *testing.T) {
+	e := Estimate95([]float64{1, 2, 3, 4, 5})
+	approx(t, e.Mean, 3, 1e-12, "mean")
+	approx(t, e.Stddev, math.Sqrt(2.5), 1e-12, "stddev")
+	half := 2.776 * math.Sqrt(2.5) / math.Sqrt(5)
+	approx(t, e.High-e.Mean, half, 1e-9, "upper half-width")
+	approx(t, e.Mean-e.Low, half, 1e-9, "lower half-width")
+	if e.N != 5 {
+		t.Errorf("N = %d, want 5", e.N)
+	}
+	if !e.Contains(3) || !e.Contains(3+half) || e.Contains(3+half+0.001) {
+		t.Error("Contains boundary behavior wrong")
+	}
+}
+
+// TestEstimateConstantWindows: identical window means collapse the
+// interval to a point regardless of n.
+func TestEstimateConstantWindows(t *testing.T) {
+	e := Estimate95([]float64{1.5, 1.5, 1.5, 1.5})
+	approx(t, e.Mean, 1.5, 0, "mean")
+	approx(t, e.Stddev, 0, 0, "stddev")
+	if e.Low != 1.5 || e.High != 1.5 {
+		t.Errorf("CI = [%v, %v], want degenerate [1.5, 1.5]", e.Low, e.High)
+	}
+}
+
+// TestEstimateDegenerate: zero and one window never produce a fake
+// interval.
+func TestEstimateDegenerate(t *testing.T) {
+	z := Estimate95(nil)
+	if z.N != 0 || z.Mean != 0 {
+		t.Errorf("empty estimate = %+v", z)
+	}
+	one := Estimate95([]float64{2.25})
+	if one.Mean != 2.25 || one.Low != 2.25 || one.High != 2.25 || one.N != 1 {
+		t.Errorf("single-window estimate = %+v", one)
+	}
+}
+
+// TestEstimateTwoWindows pins the widest-interval case: df=1 uses
+// t=12.706.
+func TestEstimateTwoWindows(t *testing.T) {
+	e := Estimate95([]float64{1, 3})
+	// mean 2, sd sqrt(2), half = 12.706*sqrt(2)/sqrt(2) = 12.706
+	approx(t, e.Mean, 2, 0, "mean")
+	approx(t, e.High-e.Mean, 12.706, 1e-9, "half-width")
+}
+
+// TestTCrit95 pins the table anchors and the conservative interpolation
+// rule (nearest smaller df between anchors).
+func TestTCrit95(t *testing.T) {
+	cases := []struct {
+		df   int
+		want float64
+	}{
+		{1, 12.706}, {2, 4.303}, {10, 2.228}, {30, 2.042},
+		{31, 2.021}, {40, 2.021}, {41, 2.000}, {60, 2.000},
+		{61, 1.980}, {120, 1.980}, {121, 1.960}, {10000, 1.960},
+	}
+	for _, c := range cases {
+		if got := TCrit95(c.df); got != c.want {
+			t.Errorf("TCrit95(%d) = %v, want %v", c.df, got, c.want)
+		}
+	}
+	if !math.IsInf(TCrit95(0), 1) {
+		t.Error("TCrit95(0) should be +Inf")
+	}
+	// Monotone non-increasing in df.
+	prev := math.Inf(1)
+	for df := 1; df <= 200; df++ {
+		v := TCrit95(df)
+		if v > prev {
+			t.Fatalf("TCrit95 not monotone at df=%d: %v > %v", df, v, prev)
+		}
+		prev = v
+	}
+}

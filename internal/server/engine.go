@@ -83,7 +83,7 @@ type runFlight struct {
 type Engine struct {
 	cfg     EngineConfig
 	met     *metrics
-	spans   *obs.Spanner // nil outside a Server: every span call no-ops
+	spans   *obs.Spanner  // nil outside a Server: every span call no-ops
 	tickets chan struct{} // admission tokens: Workers+Queue
 	slots   chan struct{} // worker slots: Workers
 
@@ -310,6 +310,10 @@ func (e *Engine) simulate(ctx context.Context, spec jobSpec) (tcsim.Result, erro
 	rctx, rsp := e.spans.Start(ctx, "run")
 	rsp.SetAttr("workload", spec.Workload)
 	rsp.SetAttr("insts", fmt.Sprintf("%d", spec.Insts))
+	if spec.SamplePeriod > 0 {
+		rsp.SetAttr("sampling", fmt.Sprintf("period=%d window=%d warmup=%d seek=%v",
+			spec.SamplePeriod, spec.SampleWindow, spec.SampleWarmup, spec.SampleSeek))
+	}
 	e.met.inflight.Add(1)
 	t0 := time.Now()
 	var res tcsim.Result
@@ -333,6 +337,10 @@ func (e *Engine) simulate(ctx context.Context, spec jobSpec) (tcsim.Result, erro
 			rsp.SetAttr("pass."+ps.Name, fmt.Sprintf("segments=%d touched=%d rewritten=%d",
 				ps.Segments, ps.Touched, ps.Rewritten))
 		}
+	}
+	if s := res.Sampled; s != nil {
+		rsp.SetAttr("sampled", fmt.Sprintf("windows=%d ffwd=%d skipped=%d seeks=%d restores=%d",
+			s.Windows, s.InstsFFwd, s.InstsSkipped, s.Seeks, s.CheckpointRestores))
 	}
 	rsp.Finish()
 	e.met.recordRun(&res, wall)

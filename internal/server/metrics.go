@@ -53,6 +53,14 @@ type metrics struct {
 
 	tcBypasses atomic.Uint64 // trace-cache fills the policy rejected
 
+	// Sampled-timing aggregates across executed jobs (zero until a job
+	// enables Config.Sampling).
+	sampWindows  atomic.Uint64 // measured detailed windows run
+	sampFFwd     atomic.Uint64 // instructions functionally fast-forwarded
+	sampSkipped  atomic.Uint64 // instructions seeked past without observation
+	sampSeeks    atomic.Uint64 // oracle seeks performed
+	sampRestores atomic.Uint64 // seeks that restored a capture-time checkpoint
+
 	// Histograms (exposed on GET /metrics).
 	jobDur    *obs.Hist // executed-job wall time, seconds
 	queueWait *obs.Hist // admission-to-worker-slot wait, seconds
@@ -106,6 +114,13 @@ func (m *metrics) recordRun(res *tcsim.Result, wall time.Duration) {
 		}
 	}
 	m.tcBypasses.Add(res.TCBypasses)
+	if s := res.Sampled; s != nil {
+		m.sampWindows.Add(uint64(s.Windows))
+		m.sampFFwd.Add(s.InstsFFwd)
+		m.sampSkipped.Add(s.InstsSkipped)
+		m.sampSeeks.Add(s.Seeks)
+		m.sampRestores.Add(s.CheckpointRestores)
+	}
 	for _, row := range res.TraceReuse {
 		for h, count := range row.Hits {
 			if count > 0 {

@@ -106,6 +106,22 @@ func (s *Server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
 		"Trace-cache fills rejected by the replacement policy (bypass-capable policies only).",
 		float64(m.tcBypasses.Load()))
 
+	e.Counter("tcserved_sampling_windows_total",
+		"Detailed measurement windows run by sampled-timing jobs.",
+		float64(m.sampWindows.Load()))
+	e.CounterVec("tcserved_sampling_insts_total",
+		"Instructions sampled-timing jobs advanced without cycle-accurate timing: ffwd = functionally fast-forwarded, skipped = seeked past without observation.",
+		[]obs.LabeledValue{
+			{Labels: [][2]string{{"mode", "ffwd"}}, Value: float64(m.sampFFwd.Load())},
+			{Labels: [][2]string{{"mode", "skipped"}}, Value: float64(m.sampSkipped.Load())},
+		})
+	e.Counter("tcserved_sampling_seeks_total",
+		"Oracle seeks performed by seek-mode sampled jobs.",
+		float64(m.sampSeeks.Load()))
+	e.Counter("tcserved_sampling_checkpoint_restores_total",
+		"Seeks that restored architectural state from a capture-time checkpoint.",
+		float64(m.sampRestores.Load()))
+
 	ts := s.traceStoreMetrics()
 	e.Counter("tcserved_tracestore_captures_total",
 		"Correct-path streams captured into the trace store (emulated or disk-loaded).",

@@ -527,6 +527,14 @@ func (s *Server) Metrics() *client.Metrics {
 		TraceReuse: m.reuseSnapshot(),
 		TCBypasses: m.tcBypasses.Load(),
 
+		Sampling: client.SamplingMetrics{
+			Windows:            m.sampWindows.Load(),
+			InstsFFwd:          m.sampFFwd.Load(),
+			InstsSkipped:       m.sampSkipped.Load(),
+			Seeks:              m.sampSeeks.Load(),
+			CheckpointRestores: m.sampRestores.Load(),
+		},
+
 		TraceStore: s.traceStoreMetrics(),
 	}
 }

@@ -60,6 +60,16 @@ type jobSpec struct {
 	TCPolicy string `json:"tc_policy"`
 	ICPolicy string `json:"ic_policy"`
 
+	// The resolved sampling plan. omitempty keeps exact-run keys
+	// identical to pre-sampling releases while any enabled plan —
+	// period, window, warm-up, or seek mode — splits the cache, so a
+	// sampled result can never be served for an exact request or vice
+	// versa.
+	SamplePeriod uint64 `json:"sample_period,omitempty"`
+	SampleWindow uint64 `json:"sample_window,omitempty"`
+	SampleWarmup uint64 `json:"sample_warmup,omitempty"`
+	SampleSeek   bool   `json:"sample_seek,omitempty"`
+
 	// timeout is the per-job wall-clock cap. Deliberately excluded from
 	// the canonical JSON: it bounds the run, it does not configure the
 	// machine, so it must not split the cache.
@@ -128,6 +138,23 @@ func resolveSpec(req *client.JobRequest, lim Limits) (jobSpec, error) {
 	s.MaxCyc = req.MaxCycles
 	s.Timeline = req.Timeline
 
+	sc := tcsim.SamplingConfig{
+		Period:    req.SamplePeriod,
+		WindowLen: req.SampleWindow,
+		Warmup:    req.SampleWarmup,
+		Seek:      req.SampleSeek,
+	}
+	if !sc.Enabled() && (sc.WindowLen != 0 || sc.Warmup != 0 || sc.Seek) {
+		return s, badRequestf("sample_window/sample_warmup/sample_seek need sample_period > 0")
+	}
+	if err := sc.Validate(); err != nil {
+		return s, &badRequest{msg: err.Error()}
+	}
+	s.SamplePeriod = sc.Period
+	s.SampleWindow = sc.WindowLen
+	s.SampleWarmup = sc.Warmup
+	s.SampleSeek = sc.Seek
+
 	for _, p := range []string{req.TCPolicy, req.ICPolicy} {
 		if err := tcsim.ValidatePolicy(p); err != nil {
 			return s, &badRequest{msg: err.Error()}
@@ -185,6 +212,12 @@ func (s jobSpec) Config() tcsim.Config {
 	cfg.MaxCycles = s.MaxCyc
 	cfg.TCPolicy = s.TCPolicy
 	cfg.ICPolicy = s.ICPolicy
+	cfg.Sampling = tcsim.SamplingConfig{
+		Period:    s.SamplePeriod,
+		WindowLen: s.SampleWindow,
+		Warmup:    s.SampleWarmup,
+		Seek:      s.SampleSeek,
+	}
 	if s.Timeline {
 		cfg.Timeline = true
 		// Served timelines are bounded tighter than the library default:

@@ -106,7 +106,7 @@ func (s *Store) ExportBytes(name string, budget uint64, count bool) ([]byte, err
 	if budget == 0 {
 		return nil, fmt.Errorf("tracestore: budget must be resolved (non-zero) for %q", name)
 	}
-	k := key{name, budget}
+	k := key{name: name, budget: budget}
 	s.mu.Lock()
 	e, ok := s.entries[k]
 	if ok {

@@ -10,34 +10,46 @@ import (
 	"path/filepath"
 
 	"tcsim/internal/asm"
+	"tcsim/internal/emu"
 	"tcsim/internal/isa"
 )
 
-// On-disk trace format, version 1:
+// On-disk trace format, version 2:
 //
 //	magic   "TCTR"            4 bytes
 //	version uint32 LE         must equal formatVersion
 //	header  (uvarint-framed)  name, budget, program hash, flags, counts
 //	payload (varint columns)  static table, record columns, OUT stream
+//	chunk   "TCCK"            checkpoint chunk: chunk version, count,
+//	                          per-checkpoint seq/PC/outLen/registers and
+//	                          dirtied-page deltas (raw page images)
 //	crc32   uint32 LE         IEEE, over everything before it
 //
-// Any mismatch — magic, version, checksum, workload name, budget, or
-// the sha256 of the program image the trace was captured from — is a
-// typed error; the store counts it, logs it, and falls back to live
-// capture. A stale trace can therefore never be replayed silently.
+// Any mismatch — magic, version, checksum, workload name, budget, the
+// sha256 of the program image the trace was captured from, or a
+// malformed checkpoint chunk — is a typed error; the store counts it,
+// logs it, and falls back to live capture. A stale trace can therefore
+// never be replayed silently. Version 1 files (no checkpoint chunk)
+// reject with ErrBadVersion and are recaptured.
 
 const diskMagic = "TCTR"
-const formatVersion = 1
+const formatVersion = 2
+
+const (
+	ckptMagic        = "TCCK"
+	ckptChunkVersion = 1
+)
 
 // Typed reject reasons, surfaced in logs and asserted by the
 // fail-closed fixture tests.
 var (
-	ErrBadMagic     = errors.New("tracestore: not a trace file (bad magic)")
-	ErrBadVersion   = errors.New("tracestore: unsupported trace format version")
-	ErrBadChecksum  = errors.New("tracestore: trace payload checksum mismatch")
-	ErrStaleProgram = errors.New("tracestore: trace was captured from a different program image")
-	ErrKeyMismatch  = errors.New("tracestore: trace file does not match requested workload/budget")
-	ErrTruncated    = errors.New("tracestore: trace file truncated or malformed")
+	ErrBadMagic      = errors.New("tracestore: not a trace file (bad magic)")
+	ErrBadVersion    = errors.New("tracestore: unsupported trace format version")
+	ErrBadChecksum   = errors.New("tracestore: trace payload checksum mismatch")
+	ErrStaleProgram  = errors.New("tracestore: trace was captured from a different program image")
+	ErrKeyMismatch   = errors.New("tracestore: trace file does not match requested workload/budget")
+	ErrTruncated     = errors.New("tracestore: trace file truncated or malformed")
+	ErrBadCheckpoint = errors.New("tracestore: bad TCCK checkpoint chunk")
 )
 
 // programHash fingerprints the built program image: entry point, load
@@ -66,6 +78,13 @@ func programHash(p *asm.Program) [32]byte {
 
 func traceFileName(dir, name string, budget uint64) string {
 	return filepath.Join(dir, fmt.Sprintf("%s-%d.tctrace", name, budget))
+}
+
+// ckptFileName is the on-disk name for a checkpoint-only log: same
+// format, zero record columns, so it gets its own extension to keep it
+// from shadowing a full trace at the same (name, budget).
+func ckptFileName(dir, name string, budget uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s-%d.tcckpt", name, budget))
 }
 
 // --- encoding helpers ---
@@ -171,19 +190,50 @@ func encodeTrace(t *Trace, prog *asm.Program) []byte {
 	}
 	e.raw(t.out)
 
+	// Checkpoint chunk: always present in v2, count may be zero.
+	e.raw([]byte(ckptMagic))
+	e.uvarint(ckptChunkVersion)
+	e.uvarint(uint64(len(t.ckptSeq)))
+	var prevSeq, prevOut uint64
+	for k := range t.ckptSeq {
+		e.uvarint(t.ckptSeq[k] - prevSeq)
+		prevSeq = t.ckptSeq[k]
+		e.uvarint(uint64(t.ckptPC[k]))
+		e.uvarint(t.ckptOutLen[k] - prevOut)
+		prevOut = t.ckptOutLen[k]
+		for _, r := range t.ckptRegs[k*isa.NumRegs : (k+1)*isa.NumRegs] {
+			e.uvarint(uint64(r))
+		}
+		var start uint32
+		if k > 0 {
+			start = t.ckptPageIdx[k-1]
+		}
+		end := t.ckptPageIdx[k]
+		e.uvarint(uint64(end - start))
+		for i := start; i < end; i++ {
+			e.uvarint(uint64(t.ckptPN[i]))
+			off := int(i) * emu.PageBytes
+			e.raw(t.ckptPages[off : off+emu.PageBytes])
+		}
+	}
+
 	e.u32le(crc32.ChecksumIEEE(e.buf))
 	return e.buf
 }
 
 // saveTrace persists a capture. Written atomically (tmp + rename) so a
 // crashed writer leaves no partial file under the final name; a partial
-// tmp file would fail the checksum anyway.
-func saveTrace(dir string, t *Trace, prog *asm.Program) error {
+// tmp file would fail the checksum anyway. ckptOnly selects the
+// checkpoint-log file name.
+func saveTrace(dir string, t *Trace, prog *asm.Program, ckptOnly bool) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	buf := encodeTrace(t, prog)
 	file := traceFileName(dir, t.name, t.budget)
+	if ckptOnly {
+		file = ckptFileName(dir, t.name, t.budget)
+	}
 	tmp := file + ".tmp"
 	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
 		return err
@@ -194,8 +244,11 @@ func saveTrace(dir string, t *Trace, prog *asm.Program) error {
 // loadTrace loads and validates the persisted trace for (name, budget).
 // Returns (nil, file, nil) when no file exists — a plain miss — and a
 // typed error for any validation failure.
-func loadTrace(dir, name string, budget uint64, prog *asm.Program) (*Trace, string, error) {
+func loadTrace(dir, name string, budget uint64, prog *asm.Program, ckptOnly bool) (*Trace, string, error) {
 	file := traceFileName(dir, name, budget)
+	if ckptOnly {
+		file = ckptFileName(dir, name, budget)
+	}
 	raw, err := os.ReadFile(file)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -345,9 +398,89 @@ func decodeTrace(raw []byte, name string, budget uint64, prog *asm.Program) (*Tr
 			t.outAt[i] = prevAt
 		}
 		t.out = make([]byte, nOut)
+		if uint64(len(d.buf)) < nOut {
+			return nil, ErrTruncated
+		}
+		copy(t.out, d.buf[:nOut])
+		d.buf = d.buf[nOut:]
 	}
-	if uint64(copy(t.out, d.buf)) != nOut || uint64(len(d.buf)) != nOut {
+
+	if err := decodeCheckpoints(&d, t); err != nil {
+		return nil, err
+	}
+	if len(d.buf) != 0 {
 		return nil, ErrTruncated
 	}
 	return t, nil
+}
+
+// decodeCheckpoints parses the TCCK chunk that trails the OUT stream.
+// The file-level CRC has already passed by the time this runs, so any
+// failure here means the chunk itself is malformed (or from a future
+// chunk version): everything maps to ErrBadCheckpoint, and the error
+// text names the chunk so the store's reject log pinpoints it.
+func decodeCheckpoints(d *decoder, t *Trace) error {
+	if len(d.buf) < len(ckptMagic) || string(d.buf[:len(ckptMagic)]) != ckptMagic {
+		return fmt.Errorf("%w: %q chunk missing", ErrBadCheckpoint, ckptMagic)
+	}
+	d.buf = d.buf[len(ckptMagic):]
+	cv, err := d.uvarint()
+	if err != nil {
+		return fmt.Errorf("%w: %q chunk truncated", ErrBadCheckpoint, ckptMagic)
+	}
+	if cv != ckptChunkVersion {
+		return fmt.Errorf("%w: %q chunk version %d, want %d", ErrBadCheckpoint, ckptMagic, cv, ckptChunkVersion)
+	}
+	n, err := d.uvarint()
+	if err != nil || n > uint64(len(d.buf)) {
+		return fmt.Errorf("%w: %q chunk truncated", ErrBadCheckpoint, ckptMagic)
+	}
+	var prevSeq, prevOut uint64
+	for k := uint64(0); k < n; k++ {
+		dseq, err := d.uvarint()
+		if err != nil {
+			return fmt.Errorf("%w: %q chunk truncated at checkpoint %d", ErrBadCheckpoint, ckptMagic, k)
+		}
+		if dseq == 0 {
+			return fmt.Errorf("%w: checkpoint %d sequence not increasing", ErrBadCheckpoint, k)
+		}
+		prevSeq += dseq
+		pc, err := d.uvarint()
+		if err != nil {
+			return fmt.Errorf("%w: %q chunk truncated at checkpoint %d", ErrBadCheckpoint, ckptMagic, k)
+		}
+		dout, err := d.uvarint()
+		if err != nil {
+			return fmt.Errorf("%w: %q chunk truncated at checkpoint %d", ErrBadCheckpoint, ckptMagic, k)
+		}
+		prevOut += dout
+		if prevOut > uint64(len(t.out)) {
+			return fmt.Errorf("%w: checkpoint %d OUT length %d past stream end %d", ErrBadCheckpoint, k, prevOut, len(t.out))
+		}
+		t.ckptSeq = append(t.ckptSeq, prevSeq)
+		t.ckptPC = append(t.ckptPC, uint32(pc))
+		t.ckptOutLen = append(t.ckptOutLen, prevOut)
+		for r := 0; r < isa.NumRegs; r++ {
+			v, err := d.uvarint()
+			if err != nil {
+				return fmt.Errorf("%w: %q chunk truncated at checkpoint %d", ErrBadCheckpoint, ckptMagic, k)
+			}
+			t.ckptRegs = append(t.ckptRegs, uint32(v))
+		}
+		nPages, err := d.uvarint()
+		if err != nil || nPages*emu.PageBytes > uint64(len(d.buf)) {
+			return fmt.Errorf("%w: %q chunk truncated at checkpoint %d", ErrBadCheckpoint, ckptMagic, k)
+		}
+		for p := uint64(0); p < nPages; p++ {
+			pn, err := d.uvarint()
+			if err != nil || len(d.buf) < emu.PageBytes {
+				return fmt.Errorf("%w: %q chunk truncated at checkpoint %d page %d", ErrBadCheckpoint, ckptMagic, k, p)
+			}
+			t.ckptPN = append(t.ckptPN, uint32(pn))
+			t.ckptPages = append(t.ckptPages, d.buf[:emu.PageBytes]...)
+			d.buf = d.buf[emu.PageBytes:]
+		}
+		t.ckptPageIdx = append(t.ckptPageIdx, uint32(len(t.ckptPN)))
+	}
+	return nil
 }

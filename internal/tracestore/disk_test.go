@@ -17,10 +17,10 @@ func TestDiskRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := saveTrace(dir, orig, prog); err != nil {
+	if err := saveTrace(dir, orig, prog, false); err != nil {
 		t.Fatal(err)
 	}
-	got, file, err := loadTrace(dir, "compress", 5000, prog)
+	got, file, err := loadTrace(dir, "compress", 5000, prog, false)
 	if err != nil {
 		t.Fatalf("load %s: %v", file, err)
 	}
@@ -52,7 +52,7 @@ func TestDiskRejectsFailClosed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := saveTrace(dir, tr, prog); err != nil {
+	if err := saveTrace(dir, tr, prog, false); err != nil {
 		t.Fatal(err)
 	}
 	file := traceFileName(dir, "compress", 2000)
@@ -73,7 +73,7 @@ func TestDiskRejectsFailClosed(t *testing.T) {
 			if err := os.WriteFile(file, mutate(b), 0o644); err != nil {
 				t.Fatal(err)
 			}
-			got, _, err := loadTrace(dir, "compress", 2000, prog)
+			got, _, err := loadTrace(dir, "compress", 2000, prog, false)
 			if got != nil || err == nil {
 				t.Fatalf("corrupted load returned (%v, %v), want typed error", got, err)
 			}
@@ -102,7 +102,7 @@ func TestDiskRejectsFailClosed(t *testing.T) {
 	t.Run("stale-program", func(t *testing.T) {
 		restore()
 		other := mustWorkload(t, "gcc").Build()
-		got, _, err := loadTrace(dir, "compress", 2000, other)
+		got, _, err := loadTrace(dir, "compress", 2000, other, false)
 		if got != nil || !errors.Is(err, ErrStaleProgram) {
 			t.Fatalf("stale-program load = (%v, %v), want ErrStaleProgram", got, err)
 		}
@@ -112,7 +112,7 @@ func TestDiskRejectsFailClosed(t *testing.T) {
 		if err := os.Rename(file, traceFileName(dir, "compress", 9999)); err != nil {
 			t.Fatal(err)
 		}
-		got, _, err := loadTrace(dir, "compress", 9999, prog)
+		got, _, err := loadTrace(dir, "compress", 9999, prog, false)
 		if got != nil || !errors.Is(err, ErrKeyMismatch) {
 			t.Fatalf("renamed-key load = (%v, %v), want ErrKeyMismatch", got, err)
 		}

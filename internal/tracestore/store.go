@@ -66,6 +66,7 @@ type Stats struct {
 type key struct {
 	name   string
 	budget uint64
+	ckpt   bool // checkpoint-only log, not a full trace
 }
 
 type entry struct {
@@ -189,10 +190,23 @@ func (s *Store) Get(name string, budget uint64) (*Entry, Outcome, error) {
 // labels. The context does not cancel the capture — a joined flight
 // would hand the cancellation to an innocent concurrent caller.
 func (s *Store) GetCtx(ctx context.Context, name string, budget uint64) (*Entry, Outcome, error) {
-	if budget == 0 {
-		return nil, OutcomeReplay, fmt.Errorf("tracestore: budget must be resolved (non-zero) for %q", name)
+	return s.get(ctx, key{name: name, budget: budget})
+}
+
+// GetCheckpointLog returns the checkpoint-only log for (name, budget):
+// a Trace carrying periodic architectural snapshots and the OUT stream
+// but no record columns, served through a CkptSource. It lives under
+// its own store key (and .tcckpt file), so it never collides with the
+// full trace at the same (name, budget). Seek-mode sampled runs use it
+// when the full trace would not fit the store.
+func (s *Store) GetCheckpointLog(ctx context.Context, name string, budget uint64) (*Entry, Outcome, error) {
+	return s.get(ctx, key{name: name, budget: budget, ckpt: true})
+}
+
+func (s *Store) get(ctx context.Context, k key) (*Entry, Outcome, error) {
+	if k.budget == 0 {
+		return nil, OutcomeReplay, fmt.Errorf("tracestore: budget must be resolved (non-zero) for %q", k.name)
 	}
-	k := key{name, budget}
 	for {
 		s.mu.Lock()
 		if e, ok := s.entries[k]; ok {
@@ -251,8 +265,12 @@ func (s *Store) capture(ctx context.Context, k key, dir string) (*Entry, error) 
 	}
 	prog := w.Build()
 
+	if k.ckpt {
+		csp.SetAttr("kind", "ckpt-log")
+	}
+
 	if dir != "" {
-		tr, file, err := loadTrace(dir, k.name, k.budget, prog)
+		tr, file, err := loadTrace(dir, k.name, k.budget, prog, k.ckpt)
 		switch {
 		case err == nil && tr != nil:
 			s.captures.Add(1)
@@ -271,7 +289,10 @@ func (s *Store) capture(ctx context.Context, k key, dir string) (*Entry, error) 
 	s.mu.Lock()
 	fetch := s.fetcher
 	s.mu.Unlock()
-	if fetch != nil {
+	// Checkpoint logs are not served over the trace CDN: they are cheap
+	// to regenerate (one functional pass) and budget-specific, so the
+	// peer-fetch protocol stays a single-kind exchange.
+	if fetch != nil && !k.ckpt {
 		hash := programHash(prog)
 		_, fsp := obs.StartSpan(ctx, "cdn-fetch")
 		fsp.SetAttr("workload", k.name)
@@ -285,7 +306,7 @@ func (s *Store) capture(ctx context.Context, k key, dir string) (*Entry, error) 
 				s.cdnFetches.Add(1)
 				csp.SetAttr("source", "cdn")
 				if dir != "" {
-					if serr := saveTrace(dir, tr, prog); serr == nil {
+					if serr := saveTrace(dir, tr, prog, false); serr == nil {
 						s.diskSaves.Add(1)
 					} else if s.RejectLog != nil {
 						s.RejectLog(traceFileName(dir, k.name, k.budget), serr)
@@ -311,7 +332,11 @@ func (s *Store) capture(ctx context.Context, k key, dir string) (*Entry, error) 
 	// workload; it is the one expensive leg of the chain.
 	pprof.Do(ctx, pprof.Labels("phase", "capture", "workload", k.name),
 		func(context.Context) {
-			tr, err = Capture(k.name, prog, k.budget)
+			if k.ckpt {
+				tr, err = CaptureCheckpointLog(k.name, prog, k.budget)
+			} else {
+				tr, err = Capture(k.name, prog, k.budget)
+			}
 		})
 	if err != nil {
 		csp.SetError(err)
@@ -322,10 +347,14 @@ func (s *Store) capture(ctx context.Context, k key, dir string) (*Entry, error) 
 	csp.SetAttr("source", "emulate")
 
 	if dir != "" && tr.stepErr == nil {
-		if err := saveTrace(dir, tr, prog); err == nil {
+		file := traceFileName(dir, k.name, k.budget)
+		if k.ckpt {
+			file = ckptFileName(dir, k.name, k.budget)
+		}
+		if err := saveTrace(dir, tr, prog, k.ckpt); err == nil {
 			s.diskSaves.Add(1)
 		} else if s.RejectLog != nil {
-			s.RejectLog(traceFileName(dir, k.name, k.budget), err)
+			s.RejectLog(file, err)
 		}
 	}
 	return &Entry{Prog: prog, Trace: tr}, nil

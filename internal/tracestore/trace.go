@@ -75,6 +75,18 @@ type Trace struct {
 	halted  bool
 	stepErr error
 
+	// Periodic architectural checkpoints (checkpoint.go): columnar like
+	// the records. Checkpoint k's page delta spans ckptPN/ckptPages
+	// indices [ckptPageIdx[k-1], ckptPageIdx[k]) (0 for k==0), and its
+	// registers are ckptRegs[k*isa.NumRegs : (k+1)*isa.NumRegs].
+	ckptSeq     []uint64
+	ckptPC      []uint32
+	ckptOutLen  []uint64
+	ckptRegs    []uint32
+	ckptPageIdx []uint32
+	ckptPN      []uint32
+	ckptPages   []byte
+
 	// Lazily built future-reference indexes for the Belady oracle
 	// replacement policy (future.go). Derived views: never serialized.
 	futureState
@@ -84,63 +96,106 @@ type Trace struct {
 // correct-path stream: budget+CaptureSlack records, or fewer if the
 // program halts (or faults) first. budget must be non-zero — an
 // unbounded capture of a non-halting workload would never return.
+// Periodic architectural checkpoints (CheckpointInterval apart) are
+// recorded alongside the records so a replay can seek instead of
+// streaming from instruction zero.
 func Capture(name string, prog *asm.Program, budget uint64) (*Trace, error) {
+	return capture(name, prog, budget, true)
+}
+
+// CaptureCheckpointLog runs the same functional capture but keeps only
+// the periodic checkpoints and the OUT stream, not the per-instruction
+// record columns: the seekable skeleton that seek-mode sampled runs use
+// when the full columnar trace would blow the store's memory bound
+// (budget > FullCaptureLimit). The resulting Trace has Len()==0 and is
+// served through a CkptSource, never a Replay.
+func CaptureCheckpointLog(name string, prog *asm.Program, budget uint64) (*Trace, error) {
+	return capture(name, prog, budget, false)
+}
+
+func capture(name string, prog *asm.Program, budget uint64, records bool) (*Trace, error) {
 	if budget == 0 {
 		return nil, fmt.Errorf("tracestore: refusing unbounded capture of %q (budget 0)", name)
 	}
-	limit := budget + CaptureSlack
+	limit := budget
+	if records {
+		limit += CaptureSlack
+	}
 	t := &Trace{name: name, budget: budget}
-	t.si = make([]uint32, 0, limit)
-	t.next = make([]uint32, 0, limit)
-	t.ea = make([]uint32, 0, limit)
-	t.val = make([]uint32, 0, limit)
-	t.flags = make([]uint8, 0, limit)
 
 	// Intern key: the raw word as well as the PC, so self-modifying text
 	// (a store into the text image) can never alias two different
 	// dynamic instructions onto one static entry.
 	type staticKey struct{ pc, word uint32 }
-	intern := make(map[staticKey]uint32)
+	var intern map[staticKey]uint32
+	if records {
+		t.si = make([]uint32, 0, limit)
+		t.next = make([]uint32, 0, limit)
+		t.ea = make([]uint32, 0, limit)
+		t.val = make([]uint32, 0, limit)
+		t.flags = make([]uint8, 0, limit)
+		intern = make(map[staticKey]uint32)
+	}
+
+	interval := CheckpointInterval(budget)
+	nextCkpt := interval
+	var pageBuf []uint32
 
 	m := emu.New(prog)
-	for uint64(len(t.si)) < limit {
+	// Dirty tracking starts after the program image is loaded, so
+	// checkpoints carry only the pages mutated since the previous one.
+	m.Mem.TrackDirty()
+	var n uint64
+	for n < limit {
 		pc := m.PC
-		word := m.Mem.Read32(pc)
+		var word uint32
+		if records {
+			word = m.Mem.Read32(pc)
+		}
 		rec, err := m.Step()
 		if err != nil {
 			t.stepErr = err
 			break
 		}
-		k := staticKey{pc, word}
-		idx, ok := intern[k]
-		if !ok {
-			idx = uint32(len(t.staticPC))
-			intern[k] = idx
-			t.staticPC = append(t.staticPC, pc)
-			t.staticWord = append(t.staticWord, word)
-			t.staticInst = append(t.staticInst, rec.Inst)
+		n++
+		if records {
+			k := staticKey{pc, word}
+			idx, ok := intern[k]
+			if !ok {
+				idx = uint32(len(t.staticPC))
+				intern[k] = idx
+				t.staticPC = append(t.staticPC, pc)
+				t.staticWord = append(t.staticWord, word)
+				t.staticInst = append(t.staticInst, rec.Inst)
+			}
+			var fl uint8
+			if rec.Taken {
+				fl |= flagTaken
+			}
+			if rec.Load {
+				fl |= flagLoad
+			}
+			if rec.Store {
+				fl |= flagStore
+			}
+			t.si = append(t.si, idx)
+			t.next = append(t.next, rec.NextPC)
+			t.ea = append(t.ea, rec.EA)
+			t.val = append(t.val, rec.Val)
+			t.flags = append(t.flags, fl)
 		}
-		var fl uint8
-		if rec.Taken {
-			fl |= flagTaken
-		}
-		if rec.Load {
-			fl |= flagLoad
-		}
-		if rec.Store {
-			fl |= flagStore
-		}
-		t.si = append(t.si, idx)
-		t.next = append(t.next, rec.NextPC)
-		t.ea = append(t.ea, rec.EA)
-		t.val = append(t.val, rec.Val)
-		t.flags = append(t.flags, fl)
 		if rec.Inst.Op == isa.OUT {
 			t.outAt = append(t.outAt, rec.Seq)
 		}
 		if m.Halted {
 			t.halted = true
 			break
+		}
+		// Snapshot only inside the budget: the slack region is fetch-ahead
+		// territory that no seek ever targets.
+		if n == nextCkpt && n <= budget {
+			pageBuf = t.snapshot(m, pageBuf)
+			nextCkpt += interval
 		}
 	}
 	t.out = append([]byte(nil), m.Output...)
@@ -170,7 +225,9 @@ func (t *Trace) Bytes() int64 {
 	const instSize = 16 // isa.Inst: Op+3 regs padded + int32
 	return int64(len(t.staticPC))*(4+4+instSize) +
 		int64(len(t.si))*(4+4+4+4+1) +
-		int64(len(t.outAt))*8 + int64(len(t.out))
+		int64(len(t.outAt))*8 + int64(len(t.out)) +
+		int64(len(t.ckptSeq))*(8+4+8+4) + int64(len(t.ckptRegs))*4 +
+		int64(len(t.ckptPN))*4 + int64(len(t.ckptPages))
 }
 
 // record reconstructs the emu.Record at index i. Pure value
